@@ -1,0 +1,25 @@
+//! Criterion bench for E11: Algorithm 1's cost — single-layer exploration
+//! (tilings × schemes × mappings) and the parallel whole-network run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drmap_bench::build_engines;
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+
+fn bench_dse(c: &mut Criterion) {
+    let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+    let salp2 = &engines[2].engine;
+    let network = Network::alexnet();
+    let conv3 = &network.layers()[2];
+    let tiny = Network::tiny();
+
+    c.bench_function("dse_explore_layer_conv3", |b| {
+        b.iter(|| std::hint::black_box(salp2.explore_layer(conv3).unwrap()))
+    });
+    c.bench_function("dse_explore_network_tiny", |b| {
+        b.iter(|| std::hint::black_box(salp2.explore_network(&tiny).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for E1: how fast the access-condition profiler
+//! regenerates the Fig. 1 data (one full condition × architecture grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drmap_dram::profiler::{AccessCondition, Profiler};
+use drmap_dram::request::RequestKind;
+use drmap_dram::timing::DramArch;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut profiler = Profiler::table_ii().unwrap();
+    profiler.set_rounds(8);
+    let mut group = c.benchmark_group("fig1_profile");
+    for arch in DramArch::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("conditions", arch.label()),
+            &arch,
+            |b, &arch| {
+                b.iter(|| {
+                    for condition in AccessCondition::ALL {
+                        std::hint::black_box(profiler.fig1_condition(
+                            arch,
+                            condition,
+                            RequestKind::Read,
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for E4–E7: the cost of computing one Fig. 9 cell
+//! (min-EDP over all feasible tilings for a layer × scheme × mapping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drmap_bench::{build_engines, fig9_cell};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn bench_fig9(c: &mut Criterion) {
+    let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+    let network = Network::alexnet();
+    let ddr3 = &engines[0].engine;
+    let drmap = MappingPolicy::drmap();
+
+    let mut group = c.benchmark_group("fig9_cell");
+    for layer in [&network.layers()[1], &network.layers()[5]] {
+        group.bench_with_input(
+            BenchmarkId::new("min_over_tilings", &layer.name),
+            layer,
+            |b, layer| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        fig9_cell(ddr3, layer, ReuseScheme::AdaptiveReuse, &drmap).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the mapping layer: closed-form transition counting
+//! (the DSE inner loop) vs explicit address-stream generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drmap_core::access_model::transition_counts;
+use drmap_core::mapping::MappingPolicy;
+use drmap_dram::geometry::Geometry;
+
+fn bench_mapping(c: &mut Criterion) {
+    let g = Geometry::salp_2gb_x8();
+    let units = 8192u64;
+
+    let mut group = c.benchmark_group("mapping");
+    group.throughput(Throughput::Elements(units));
+    for policy in MappingPolicy::table_i() {
+        group.bench_with_input(
+            BenchmarkId::new("closed_form_counts", policy.name()),
+            &policy,
+            |b, policy| b.iter(|| std::hint::black_box(transition_counts(policy, &g, units))),
+        );
+    }
+    group.bench_function("address_stream_8k", |b| {
+        let drmap = MappingPolicy::drmap();
+        b.iter(|| std::hint::black_box(drmap.address_stream(g, 0, units).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for the DRAM substrate: requests per second through
+//! the cycle-level controller on hit-heavy and conflict-heavy streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drmap_dram::controller::ControllerConfig;
+use drmap_dram::energy::EnergyParams;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::request::DriveMode;
+use drmap_dram::sim::DramSimulator;
+use drmap_dram::timing::{DramArch, TimingParams};
+use drmap_dram::trace::TraceBuilder;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let n = 4096usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let traces = [
+        (
+            "hits",
+            TraceBuilder::new()
+                .sequential_columns(0, 0, 0, 128)
+                .sequential_columns(1, 0, 0, 128)
+                .build()
+                .into_iter()
+                .cycle()
+                .take(n)
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "subarray_sweep",
+            TraceBuilder::new().subarray_sweep(0, 8, n / 8).build(),
+        ),
+    ];
+    for arch in [DramArch::Ddr3, DramArch::SalpMasa] {
+        for (name, trace) in &traces {
+            group.bench_with_input(BenchmarkId::new(*name, arch.label()), trace, |b, trace| {
+                b.iter(|| {
+                    let mut sim = DramSimulator::new(
+                        Geometry::salp_2gb_x8(),
+                        TimingParams::ddr3_1600k(),
+                        ControllerConfig::new(arch),
+                        EnergyParams::micron_2gb_x8(),
+                    )
+                    .unwrap();
+                    std::hint::black_box(sim.run(trace, DriveMode::Streamed))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation A7: commodity-DRAM generality.
+//!
+//! Section I of the paper argues that "different types of commodity DRAM
+//! have similar behavior regarding latency-per-access and
+//! energy-per-access", so DRMap should transfer across generations. This
+//! ablation re-runs the key result with DDR4-2400 and LPDDR3-1600 timing
+//! in place of DDR3-1600.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_ddr4`
+
+use drmap_bench::{improvement_pct, network_totals, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::dse::{DseConfig, DseEngine};
+use drmap_core::edp::EdpModel;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+use drmap_dram::energy::EnergyParams;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::profiler::Profiler;
+use drmap_dram::timing::{DramArch, TimingParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::tiny();
+    let mappings = MappingPolicy::table_i();
+    let geometry = Geometry::salp_2gb_x8();
+    let generations = [
+        ("DDR3-1600", TimingParams::ddr3_1600k()),
+        ("DDR4-2400", TimingParams::ddr4_2400r()),
+        ("LPDDR3-1600", TimingParams::lpddr3_1600()),
+    ];
+
+    println!("# Ablation A7 — DRMap across commodity-DRAM generations (TinyNet, adaptive)");
+    println!(
+        "{}",
+        tsv_row(
+            [
+                "generation",
+                "best_mapping",
+                "drmap_EDP_Js",
+                "worst_EDP_Js",
+                "improvement_%"
+            ]
+            .map(String::from)
+        )
+    );
+    for (name, timing) in generations {
+        let profiler = Profiler::new(geometry, timing, EnergyParams::micron_2gb_x8())?;
+        let table = profiler.cost_table(DramArch::Ddr3);
+        let engine = DseEngine::new(
+            EdpModel::new(geometry, table, AcceleratorConfig::table_ii()),
+            DseConfig::default(),
+        );
+        let totals = network_totals(&engine, &network, ReuseScheme::AdaptiveReuse, &mappings)?;
+        let best = totals
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let drmap = totals[2].1;
+        let worst = totals.iter().map(|t| t.1).fold(0.0f64, f64::max);
+        println!(
+            "{}",
+            tsv_row([
+                name.to_owned(),
+                best.0.name(),
+                format!("{drmap:.4e}"),
+                format!("{worst:.4e}"),
+                format!("{:.1}", improvement_pct(drmap, worst)),
+            ])
+        );
+    }
+    Ok(())
+}

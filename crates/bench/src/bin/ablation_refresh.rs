@@ -1,0 +1,63 @@
+//! Ablation A3: effect of periodic refresh on per-access costs.
+//!
+//! The paper's analytical model (like ours) excludes refresh. This
+//! ablation bounds the error: refresh steals `tRFC` every `tREFI`
+//! (≈ 2% of cycles on DDR3-1600 2 Gb) plus refresh energy.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_refresh`
+
+use drmap_bench::tsv_row;
+use drmap_dram::controller::ControllerConfig;
+use drmap_dram::energy::EnergyParams;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::request::DriveMode;
+use drmap_dram::sim::DramSimulator;
+use drmap_dram::timing::{DramArch, TimingParams};
+use drmap_dram::trace::TraceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Ablation A3 — refresh on/off (DDR3, long column-sequential stream)");
+    println!(
+        "{}",
+        tsv_row(
+            [
+                "refresh",
+                "makespan_cycles",
+                "cycles/access",
+                "energy_nJ/access"
+            ]
+            .map(String::from)
+        )
+    );
+    // A stream long enough to span several tREFI windows when spaced.
+    let trace = {
+        let mut b = TraceBuilder::new();
+        for row in 0..64 {
+            b = b.sequential_columns(0, 0, row, 128);
+        }
+        b.build()
+    };
+    for refresh_enabled in [false, true] {
+        let config = ControllerConfig {
+            refresh_enabled,
+            ..ControllerConfig::new(DramArch::Ddr3)
+        };
+        let mut sim = DramSimulator::new(
+            Geometry::salp_2gb_x8(),
+            TimingParams::ddr3_1600k(),
+            config,
+            EnergyParams::micron_2gb_x8(),
+        )?;
+        let stats = sim.run(&trace, DriveMode::Spaced(4));
+        println!(
+            "{}",
+            tsv_row([
+                refresh_enabled.to_string(),
+                stats.makespan_cycles.to_string(),
+                format!("{:.2}", stats.cycles_per_access()),
+                format!("{:.3}", stats.energy_per_access() * 1e9),
+            ])
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Ablation A1: open-row vs closed-row controller policy.
+//!
+//! The paper's Table II fixes the controller to open-row. This ablation
+//! quantifies why: under a closed-row policy every access pays an
+//! activation, flattening the hit/conflict distinction that DRMap
+//! exploits.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_row_policy`
+
+use drmap_bench::tsv_row;
+use drmap_dram::controller::{ControllerConfig, RowPolicy};
+use drmap_dram::energy::EnergyParams;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::request::DriveMode;
+use drmap_dram::sim::DramSimulator;
+use drmap_dram::timing::{DramArch, TimingParams};
+use drmap_dram::trace::TraceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Ablation A1 — open vs closed row policy (DDR3, column-sequential stream)");
+    println!(
+        "{}",
+        tsv_row(["policy", "cycles/access", "energy_nJ/access", "hit_rate"].map(String::from))
+    );
+    for policy in [RowPolicy::Open, RowPolicy::Closed, RowPolicy::Timeout(64)] {
+        let config = ControllerConfig {
+            row_policy: policy,
+            ..ControllerConfig::new(DramArch::Ddr3)
+        };
+        let mut sim = DramSimulator::new(
+            Geometry::salp_2gb_x8(),
+            TimingParams::ddr3_1600k(),
+            config,
+            EnergyParams::micron_2gb_x8(),
+        )?;
+        let trace = TraceBuilder::new().sequential_columns(0, 0, 0, 128).build();
+        let stats = sim.run(&trace, DriveMode::Streamed);
+        println!(
+            "{}",
+            tsv_row([
+                format!("{policy:?}"),
+                format!("{:.2}", stats.cycles_per_access()),
+                format!("{:.3}", stats.energy_per_access() * 1e9),
+                format!("{:.2}", stats.hit_rate()),
+            ])
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Ablation A5: subarrays-per-bank sweep.
+//!
+//! Table II fixes 8 subarrays per bank. This ablation sweeps 2..32 and
+//! reports the DRMap-vs-worst-mapping improvement on SALP-MASA, showing
+//! how much subarray-level parallelism the mapping question is worth as
+//! the architecture scales.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin ablation_subarrays`
+
+use drmap_bench::{build_engines_with, improvement_pct, network_totals, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::timing::DramArch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::tiny();
+    let mappings = MappingPolicy::table_i();
+    println!("# Ablation A5 — subarrays-per-bank sweep (TinyNet, SALP-MASA, adaptive)");
+    println!(
+        "{}",
+        tsv_row(["subarrays", "drmap_EDP_Js", "worst_EDP_Js", "improvement_%"].map(String::from))
+    );
+    for subarrays in [2usize, 4, 8, 16, 32] {
+        let geometry = Geometry::builder().subarrays(subarrays).build()?;
+        let engines = build_engines_with(AcceleratorConfig::table_ii(), geometry)?;
+        let masa = engines
+            .iter()
+            .find(|e| e.arch == DramArch::SalpMasa)
+            .expect("MASA engine present");
+        let totals = network_totals(
+            &masa.engine,
+            &network,
+            ReuseScheme::AdaptiveReuse,
+            &mappings,
+        )?;
+        let drmap = totals[2].1;
+        let worst = totals.iter().map(|t| t.1).fold(0.0f64, f64::max);
+        println!(
+            "{}",
+            tsv_row([
+                subarrays.to_string(),
+                format!("{drmap:.4e}"),
+                format!("{worst:.4e}"),
+                format!("{:.1}", improvement_pct(drmap, worst)),
+            ])
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Ablation A6 / extension: networks beyond the paper.
+//!
+//! The paper evaluates AlexNet only. This extension runs the identical
+//! DSE on VGG-16 and TinyNet, confirming DRMap's generality across layer
+//! shapes (the paper's "generic" claim).
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin extension_networks`
+
+use drmap_bench::{build_engines, improvement_pct, network_totals, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+    let mappings = MappingPolicy::table_i();
+    println!("# Extension — DRMap vs best/worst alternative on other networks (adaptive)");
+    println!(
+        "{}",
+        tsv_row(
+            [
+                "network",
+                "arch",
+                "drmap_EDP_Js",
+                "best_other",
+                "worst_other",
+                "improvement_%"
+            ]
+            .map(String::from)
+        )
+    );
+    for network in [
+        Network::tiny(),
+        Network::alexnet_grouped(),
+        Network::resnet18(),
+        Network::vgg16(),
+    ] {
+        for ae in &engines {
+            let totals =
+                network_totals(&ae.engine, &network, ReuseScheme::AdaptiveReuse, &mappings)?;
+            let drmap = totals[2].1;
+            let others: Vec<f64> = totals
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 2)
+                .map(|(_, t)| t.1)
+                .collect();
+            let best_other = others.iter().cloned().fold(f64::INFINITY, f64::min);
+            let worst_other = others.iter().cloned().fold(0.0, f64::max);
+            println!(
+                "{}",
+                tsv_row([
+                    network.name().to_owned(),
+                    ae.arch.label().to_owned(),
+                    format!("{drmap:.4e}"),
+                    format!("{best_other:.4e}"),
+                    format!("{worst_other:.4e}"),
+                    format!("{:.1}", improvement_pct(drmap, worst_other)),
+                ])
+            );
+        }
+    }
+    Ok(())
+}

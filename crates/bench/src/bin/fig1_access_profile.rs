@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 1** of the paper: DRAM latency-per-access and
+//! energy-per-access for a row buffer hit, row buffer miss, row buffer
+//! conflict, subarray-level parallelism and bank-level parallelism, on
+//! DDR3, SALP-1, SALP-2 and SALP-MASA (DDR3-1600 2 Gb x8, 8 subarrays
+//! per bank).
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin fig1_access_profile`
+
+use drmap_bench::tsv_row;
+use drmap_dram::profiler::{AccessCondition, Profiler};
+use drmap_dram::request::RequestKind;
+use drmap_dram::timing::DramArch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profiler = Profiler::table_ii()?;
+
+    println!("# Fig. 1 — per-access latency and energy by access condition");
+    println!("# condition, architecture, cycles/access, energy [nJ/access]");
+    println!(
+        "{}",
+        tsv_row(["condition", "arch", "cycles", "energy_nj", "norm_cycles"].map(String::from))
+    );
+
+    // Normalization baseline: DDR3 row-buffer hit (the paper's Fig. 1
+    // shows normalized cycles alongside absolute energy).
+    let base = profiler
+        .fig1_condition(
+            DramArch::Ddr3,
+            AccessCondition::RowBufferHit,
+            RequestKind::Read,
+        )
+        .cycles;
+
+    for condition in AccessCondition::ALL {
+        for arch in DramArch::ALL {
+            let cost = profiler.fig1_condition(arch, condition, RequestKind::Read);
+            println!(
+                "{}",
+                tsv_row([
+                    condition.label().to_owned(),
+                    arch.label().to_owned(),
+                    format!("{:.2}", cost.cycles),
+                    format!("{:.3}", cost.energy * 1e9),
+                    format!("{:.2}", cost.cycles / base),
+                ])
+            );
+        }
+    }
+
+    println!();
+    println!("# Write-access profile (same conditions, WR bursts)");
+    for condition in AccessCondition::ALL {
+        for arch in DramArch::ALL {
+            let cost = profiler.fig1_condition(arch, condition, RequestKind::Write);
+            println!(
+                "{}",
+                tsv_row([
+                    condition.label().to_owned(),
+                    arch.label().to_owned(),
+                    format!("{:.2}", cost.cycles),
+                    format!("{:.3}", cost.energy * 1e9),
+                    String::new(),
+                ])
+            );
+        }
+    }
+    Ok(())
+}

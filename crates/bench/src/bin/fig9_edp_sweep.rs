@@ -1,0 +1,83 @@
+//! Regenerates **Fig. 9** of the paper: the EDP of AlexNet for the six
+//! Table I mapping policies across DDR3, SALP-1, SALP-2 and SALP-MASA,
+//! per layer (CONV1..FC8) plus the network total, for each scheduling
+//! scheme — (a) ifms-reuse, (b) wghs-reuse, (c) ofms-reuse,
+//! (d) adaptive-reuse.
+//!
+//! Each cell is the minimum EDP over all buffer-feasible tilings, exactly
+//! as Algorithm 1 explores them.
+//!
+//! Run with:
+//! `cargo run --release -p drmap-bench --bin fig9_edp_sweep [-- --schedule <ifms|wghs|ofms|adaptive|all>]`
+
+use drmap_bench::{build_engines, fig9_cell, fmt_edp, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn parse_schedules() -> Vec<ReuseScheme> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut schedules = ReuseScheme::ALL.to_vec();
+    if let Some(pos) = args.iter().position(|a| a == "--schedule") {
+        if let Some(v) = args.get(pos + 1) {
+            schedules = match v.as_str() {
+                "ifms" => vec![ReuseScheme::IfmsReuse],
+                "wghs" => vec![ReuseScheme::WghsReuse],
+                "ofms" => vec![ReuseScheme::OfmsReuse],
+                "adaptive" => vec![ReuseScheme::AdaptiveReuse],
+                "all" => ReuseScheme::ALL.to_vec(),
+                other => {
+                    eprintln!("unknown schedule '{other}', using all");
+                    ReuseScheme::ALL.to_vec()
+                }
+            };
+        }
+    }
+    schedules
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schedules = parse_schedules();
+    let network = Network::alexnet();
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+    let mappings = MappingPolicy::table_i();
+
+    let subplot = |s: ReuseScheme| match s {
+        ReuseScheme::IfmsReuse => "(a)",
+        ReuseScheme::WghsReuse => "(b)",
+        ReuseScheme::OfmsReuse => "(c)",
+        ReuseScheme::AdaptiveReuse => "(d)",
+    };
+
+    for scheme in schedules {
+        println!(
+            "# Fig. 9{} — EDP [J*s] on AlexNet, {} scheduling",
+            subplot(scheme),
+            scheme
+        );
+        let mut header = vec!["layer".to_owned(), "arch".to_owned()];
+        header.extend(mappings.iter().map(|m| m.name()));
+        println!("{}", tsv_row(header));
+
+        let mut totals = vec![[0.0f64; 6]; engines.len()];
+        for layer in network.layers() {
+            for (ai, ae) in engines.iter().enumerate() {
+                let mut row = vec![layer.name.clone(), ae.arch.label().to_owned()];
+                for (mi, mapping) in mappings.iter().enumerate() {
+                    let edp = fig9_cell(&ae.engine, layer, scheme, mapping)?;
+                    totals[ai][mi] += edp;
+                    row.push(fmt_edp(edp));
+                }
+                println!("{}", tsv_row(row));
+            }
+        }
+        for (ai, ae) in engines.iter().enumerate() {
+            let mut row = vec!["Total".to_owned(), ae.arch.label().to_owned()];
+            row.extend(totals[ai].iter().map(|&e| fmt_edp(e)));
+            println!("{}", tsv_row(row));
+        }
+        println!();
+    }
+    Ok(())
+}

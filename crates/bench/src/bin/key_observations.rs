@@ -1,0 +1,121 @@
+//! Regenerates the paper's headline numbers:
+//!
+//! * **Key result** — DRMap's EDP improvement over the other mapping
+//!   policies (paper: up to 96% DDR3, 94% SALP-1, 91% SALP-2, 80%
+//!   SALP-MASA on AlexNet).
+//! * **Key Observation 1–3** — DRMap lowest everywhere; Mapping-2/5
+//!   worst; Mapping-1 comparable to Mapping-3.
+//! * **Key Observation 4** — EDP improvement of each SALP architecture
+//!   over DDR3 per mapping policy, adaptive-reuse scheduling.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin key_observations`
+
+use drmap_bench::{build_engines, improvement_pct, network_totals, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+    let mappings = MappingPolicy::table_i();
+    let drmap_idx = 2; // Mapping-3
+
+    // Totals per (arch, scheme, mapping).
+    println!("# Key result — DRMap EDP improvement over other mappings (AlexNet totals)");
+    println!(
+        "{}",
+        tsv_row(["arch", "scheme", "worst_mapping", "improvement_%"].map(String::from))
+    );
+    let mut max_improvement = vec![0.0f64; engines.len()];
+    for ae in &engines {
+        for scheme in ReuseScheme::ALL {
+            let totals = network_totals(&ae.engine, &network, scheme, &mappings)?;
+            let drmap_edp = totals[drmap_idx].1;
+            let (worst_mapping, worst_edp) = totals
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(m, e)| (m.name(), *e))
+                .unwrap();
+            let imp = improvement_pct(drmap_edp, worst_edp);
+            let ai = engines.iter().position(|e| e.arch == ae.arch).unwrap();
+            if imp > max_improvement[ai] {
+                max_improvement[ai] = imp;
+            }
+            println!(
+                "{}",
+                tsv_row([
+                    ae.arch.label().to_owned(),
+                    scheme.label().to_owned(),
+                    worst_mapping,
+                    format!("{imp:.1}"),
+                ])
+            );
+        }
+    }
+    println!();
+    println!("# Maximum improvement per architecture (paper: 96/94/91/80 %)");
+    for (ae, imp) in engines.iter().zip(&max_improvement) {
+        println!(
+            "{}",
+            tsv_row([ae.arch.label().to_owned(), format!("{imp:.1}")])
+        );
+    }
+
+    // KO-1..3 checks on adaptive scheduling.
+    println!();
+    println!("# Key Observations 1-3 — adaptive-reuse totals per mapping");
+    println!(
+        "{}",
+        tsv_row(["arch", "mapping", "EDP_Js"].map(String::from))
+    );
+    for ae in &engines {
+        let totals = network_totals(&ae.engine, &network, ReuseScheme::AdaptiveReuse, &mappings)?;
+        for (m, edp) in &totals {
+            println!(
+                "{}",
+                tsv_row([ae.arch.label().to_owned(), m.name(), format!("{edp:.4e}"),])
+            );
+        }
+        let best = totals
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!(
+            "#   -> lowest on {}: {} (DRMap is Mapping-3)",
+            ae.arch,
+            best.0.name()
+        );
+    }
+
+    // KO-4: SALP vs DDR3 per mapping, adaptive.
+    println!();
+    println!("# Key Observation 4 — EDP improvement of SALP archs vs DDR3 (adaptive-reuse)");
+    println!(
+        "{}",
+        tsv_row(["mapping", "SALP-1_%", "SALP-2_%", "SALP-MASA_%"].map(String::from))
+    );
+    let ddr3_totals = network_totals(
+        &engines[0].engine,
+        &network,
+        ReuseScheme::AdaptiveReuse,
+        &mappings,
+    )?;
+    let salp_totals: Vec<_> = engines[1..]
+        .iter()
+        .map(|ae| network_totals(&ae.engine, &network, ReuseScheme::AdaptiveReuse, &mappings))
+        .collect::<Result<_, _>>()?;
+    for (mi, mapping) in mappings.iter().enumerate() {
+        let base = ddr3_totals[mi].1;
+        let row: Vec<String> = std::iter::once(mapping.name())
+            .chain(
+                salp_totals
+                    .iter()
+                    .map(|t| format!("{:.2}", improvement_pct(t[mi].1, base))),
+            )
+            .collect();
+        println!("{}", tsv_row(row));
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Regenerates the abstract's claim: the DSE identifies **pareto-optimal
+//! design choices** in the (energy, latency) plane.
+//!
+//! For AlexNet CONV2 on each architecture, prints the full design-point
+//! cloud size and the Pareto front (configurations no other configuration
+//! beats in both energy and latency).
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin pareto_front`
+
+use drmap_bench::{build_engines, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::dse::{DseConfig, DseEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let conv2 = &network.layers()[1];
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+
+    for ae in &engines {
+        let engine = DseEngine::new(
+            ae.engine.model().clone(),
+            DseConfig {
+                keep_points: true,
+                ..DseConfig::default()
+            },
+        );
+        let result = engine.explore_layer(conv2)?;
+        println!(
+            "# Pareto front — AlexNet {} on {} ({} points evaluated)",
+            conv2.name, ae.arch, result.evaluations
+        );
+        println!(
+            "{}",
+            tsv_row(["energy_J", "latency_s", "EDP_Js", "configuration"].map(String::from))
+        );
+        for p in &result.pareto {
+            println!(
+                "{}",
+                tsv_row([
+                    format!("{:.4e}", p.estimate.energy),
+                    format!("{:.4e}", p.estimate.seconds()),
+                    format!("{:.4e}", p.estimate.edp()),
+                    p.label.clone(),
+                ])
+            );
+        }
+        let drmap_on_front = result
+            .pareto
+            .iter()
+            .filter(|p| p.label.contains("DRMap"))
+            .count();
+        println!(
+            "#   front size {} of which DRMap configurations: {}",
+            result.pareto.len(),
+            drmap_on_front
+        );
+        println!();
+    }
+    Ok(())
+}

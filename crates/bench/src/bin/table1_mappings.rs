@@ -1,0 +1,40 @@
+//! Regenerates **Table I** of the paper: the six DRAM mapping policies
+//! explored by the DSE (inner-most to outer-most loop order), and — as an
+//! extension — the 18 permutations the paper's row-outermost narrowing
+//! rule excludes.
+//!
+//! Run with: `cargo run -p drmap-bench --bin table1_mappings`
+
+use drmap_bench::tsv_row;
+use drmap_core::mapping::MappingPolicy;
+use drmap_dram::geometry::Level;
+
+fn order_string(order: &[Level; 4]) -> String {
+    order
+        .iter()
+        .map(|l| l.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    println!("# Table I — DRAM mapping policies for the DSE");
+    println!(
+        "{}",
+        tsv_row(["mapping", "inner-most to outer-most loops"].map(String::from))
+    );
+    for policy in MappingPolicy::table_i() {
+        println!("{}", tsv_row([policy.name(), order_string(policy.order())]));
+    }
+
+    println!();
+    println!("# Excluded permutations (row not outermost — most expensive transitions)");
+    for policy in MappingPolicy::all_permutations() {
+        if policy.index() == 0 {
+            println!(
+                "{}",
+                tsv_row(["excluded".to_owned(), order_string(policy.order())])
+            );
+        }
+    }
+}

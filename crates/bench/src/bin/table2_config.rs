@@ -1,0 +1,48 @@
+//! Regenerates **Table II** of the paper: the CNN accelerator and DRAM
+//! configuration used throughout the evaluation.
+//!
+//! Run with: `cargo run -p drmap-bench --bin table2_config`
+
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_dram::controller::ControllerConfig;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::timing::{DramArch, TimingParams};
+
+fn main() {
+    let acc = AcceleratorConfig::table_ii();
+    let ddr3 = Geometry::ddr3_2gb_x8();
+    let salp = Geometry::salp_2gb_x8();
+    let t = TimingParams::ddr3_1600k();
+    let mc = ControllerConfig::new(DramArch::Ddr3);
+
+    println!("# Table II — configuration of the CNN accelerator");
+    println!(
+        "CNN Processing Array : {}x{} MACs",
+        acc.mac_rows, acc.mac_cols
+    );
+    println!(
+        "On-chip Buffers      : iB {}KB, wB {}KB, oB {}KB ({})",
+        acc.ifms_buffer / 1024,
+        acc.wghs_buffer / 1024,
+        acc.ofms_buffer / 1024,
+        acc.precision
+    );
+    println!(
+        "Memory Controller    : policy = {:?} row, scheduler = {:?}",
+        mc.row_policy, mc.scheduler
+    );
+    println!(
+        "DDR3-1600            : {} ({} Mb/chip)",
+        ddr3,
+        ddr3.capacity_bytes() * 8 / (1024 * 1024)
+    );
+    println!(
+        "SALP                 : {} ({} Mb/chip)",
+        salp,
+        salp.capacity_bytes() * 8 / (1024 * 1024)
+    );
+    println!(
+        "Timing (cycles)      : CL={} tRCD={} tRP={} tRAS={} tRC={} tCK={}ns",
+        t.cl, t.t_rcd, t.t_rp, t.t_ras, t.t_rc, t.t_ck_ns
+    );
+}

@@ -1,0 +1,52 @@
+//! Simulator-backed validation of the DSE winners (the trust-but-verify
+//! step): replays each AlexNet layer's winning configuration through the
+//! cycle-level DRAM simulator and reports analytical-vs-simulated
+//! agreement.
+//!
+//! Run with: `cargo run --release -p drmap-bench --bin validation_report`
+
+use drmap_bench::{build_engines, tsv_row};
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::validate::Validator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let engines = build_engines(AcceleratorConfig::table_ii())?;
+
+    println!("# Simulator validation of DSE winners (AlexNet)");
+    println!(
+        "{}",
+        tsv_row(
+            [
+                "arch",
+                "layer",
+                "mapping",
+                "cycle_ratio",
+                "energy_ratio",
+                "sim_hit_rate"
+            ]
+            .map(String::from)
+        )
+    );
+    for ae in &engines {
+        let validator = Validator::table_ii(ae.arch)?;
+        for layer in network.layers() {
+            let result = ae.engine.explore_layer(layer)?;
+            let report = validator.validate(ae.engine.model(), layer, &result.best)?;
+            println!(
+                "{}",
+                tsv_row([
+                    ae.arch.label().to_owned(),
+                    layer.name.clone(),
+                    result.best.mapping.name(),
+                    format!("{:.2}", report.cycle_ratio()),
+                    format!("{:.2}", report.energy_ratio()),
+                    format!("{:.2}", report.hit_rate),
+                ])
+            );
+        }
+    }
+    println!("# ratio = analytical / simulated; 1.00 is perfect agreement");
+    Ok(())
+}

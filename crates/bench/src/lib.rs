@@ -1,0 +1,220 @@
+//! # drmap-bench
+//!
+//! Shared harness for the DRMap reproduction benchmarks: builds profiled
+//! DSE engines for all four DRAM architectures and provides the
+//! tab-separated report formatting used by every figure/table binary.
+//!
+//! Binaries (one per paper artefact — see DESIGN.md's experiment index):
+//!
+//! * `fig1_access_profile` — Fig. 1 per-access cycles and energy,
+//! * `table1_mappings` / `table2_config` — the configuration tables,
+//! * `fig9_edp_sweep` — Fig. 9(a)–(d) EDP sweeps on AlexNet,
+//! * `key_observations` — the paper's headline improvement percentages,
+//! * `pareto_front` — the abstract's Pareto-optimal design points,
+//! * `ablation_*` and `extension_networks` — beyond-paper studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::network::Network;
+use drmap_core::dse::{DseConfig, DseEngine};
+use drmap_core::edp::EdpModel;
+use drmap_core::error::DseError;
+use drmap_core::mapping::MappingPolicy;
+use drmap_core::schedule::ReuseScheme;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::profiler::Profiler;
+use drmap_dram::timing::DramArch;
+
+/// A profiled DSE engine for one DRAM architecture.
+#[derive(Debug, Clone)]
+pub struct ArchEngine {
+    /// The architecture.
+    pub arch: DramArch,
+    /// DSE engine backed by this architecture's profiled cost table.
+    pub engine: DseEngine,
+}
+
+/// Build profiled engines for all four architectures of the paper
+/// (Table II geometry, default accelerator).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the profiler (none for the
+/// built-in configuration).
+pub fn build_engines(acc: AcceleratorConfig) -> Result<Vec<ArchEngine>, DseError> {
+    build_engines_with(acc, Geometry::salp_2gb_x8())
+}
+
+/// Build profiled engines on a custom geometry.
+///
+/// # Errors
+///
+/// Propagates profiler configuration errors (e.g. too few subarrays).
+pub fn build_engines_with(
+    acc: AcceleratorConfig,
+    geometry: Geometry,
+) -> Result<Vec<ArchEngine>, DseError> {
+    let profiler = Profiler::new(
+        geometry,
+        drmap_dram::timing::TimingParams::ddr3_1600k(),
+        drmap_dram::energy::EnergyParams::micron_2gb_x8(),
+    )?;
+    Ok(DramArch::ALL
+        .iter()
+        .map(|&arch| {
+            let table = profiler.cost_table(arch);
+            let model = EdpModel::new(geometry, table, acc);
+            ArchEngine {
+                arch,
+                engine: DseEngine::new(model, DseConfig::default()),
+            }
+        })
+        .collect())
+}
+
+/// EDP of one `(layer, scheme, mapping)` cell of Fig. 9: minimum over all
+/// feasible tilings.
+///
+/// # Errors
+///
+/// Propagates [`DseEngine::best_over_tilings`] failures.
+pub fn fig9_cell(
+    engine: &DseEngine,
+    layer: &drmap_cnn::layer::Layer,
+    scheme: ReuseScheme,
+    mapping: &MappingPolicy,
+) -> Result<f64, DseError> {
+    Ok(engine
+        .best_over_tilings(layer, scheme, mapping)?
+        .estimate
+        .edp())
+}
+
+/// Per-mapping total EDP over a network for one scheme.
+///
+/// # Errors
+///
+/// Propagates per-layer failures.
+pub fn network_totals(
+    engine: &DseEngine,
+    network: &Network,
+    scheme: ReuseScheme,
+    mappings: &[MappingPolicy],
+) -> Result<Vec<(MappingPolicy, f64)>, DseError> {
+    let mut out = Vec::with_capacity(mappings.len());
+    for mapping in mappings {
+        let mut total = 0.0;
+        for layer in network.layers() {
+            total += fig9_cell(engine, layer, scheme, mapping)?;
+        }
+        out.push((*mapping, total));
+    }
+    Ok(out)
+}
+
+/// Percentage improvement of `better` over `worse` (positive when
+/// `better < worse`), the paper's "improves EDP by X%" metric.
+pub fn improvement_pct(better: f64, worse: f64) -> f64 {
+    if worse == 0.0 {
+        0.0
+    } else {
+        (1.0 - better / worse) * 100.0
+    }
+}
+
+/// Render a TSV row.
+pub fn tsv_row<I: IntoIterator<Item = String>>(cells: I) -> String {
+    cells.into_iter().collect::<Vec<_>>().join("\t")
+}
+
+/// Format an EDP in scientific notation for figure output.
+pub fn fmt_edp(edp: f64) -> String {
+    format!("{edp:.4e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_pct_basics() {
+        assert_eq!(improvement_pct(50.0, 100.0), 50.0);
+        assert_eq!(improvement_pct(100.0, 100.0), 0.0);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+        assert!(improvement_pct(110.0, 100.0) < 0.0);
+    }
+
+    #[test]
+    fn tsv_row_joins_with_tabs() {
+        let row = tsv_row(["a".to_owned(), "b".to_owned()]);
+        assert_eq!(row, "a\tb");
+    }
+
+    #[test]
+    fn fmt_edp_scientific() {
+        assert_eq!(fmt_edp(0.000123), "1.2300e-4");
+    }
+
+    #[test]
+    fn engines_cover_all_archs() {
+        let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+        assert_eq!(engines.len(), 4);
+        assert_eq!(engines[0].arch, DramArch::Ddr3);
+        assert_eq!(engines[3].arch, DramArch::SalpMasa);
+    }
+
+    #[test]
+    fn fig9_cell_is_positive() {
+        let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+        let net = Network::tiny();
+        let edp = fig9_cell(
+            &engines[0].engine,
+            &net.layers()[0],
+            ReuseScheme::OfmsReuse,
+            &MappingPolicy::drmap(),
+        )
+        .unwrap();
+        assert!(edp > 0.0);
+    }
+
+    #[test]
+    fn network_totals_preserve_mapping_order() {
+        let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+        let net = Network::tiny();
+        let totals = network_totals(
+            &engines[0].engine,
+            &net,
+            ReuseScheme::AdaptiveReuse,
+            &MappingPolicy::table_i(),
+        )
+        .unwrap();
+        assert_eq!(totals.len(), 6);
+        for (i, (mapping, edp)) in totals.iter().enumerate() {
+            assert_eq!(mapping.index(), i + 1);
+            assert!(*edp > 0.0);
+        }
+        // DRMap (index 2) is the minimum on DDR3.
+        let min = totals
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(min.0.is_drmap());
+    }
+
+    #[test]
+    fn salp_engines_never_worse_than_ddr3_for_drmap() {
+        let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+        let net = Network::tiny();
+        let drmap = [MappingPolicy::drmap()];
+        let ddr3 = network_totals(&engines[0].engine, &net, ReuseScheme::AdaptiveReuse, &drmap)
+            .unwrap()[0]
+            .1;
+        for ae in &engines[1..] {
+            let salp =
+                network_totals(&ae.engine, &net, ReuseScheme::AdaptiveReuse, &drmap).unwrap()[0].1;
+            assert!(salp <= ddr3 * 1.001, "{}: {salp} vs {ddr3}", ae.arch);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the CNN models.
+
+use core::fmt;
+
+/// An invalid layer, network, or accelerator description.
+///
+/// # Examples
+///
+/// ```
+/// use drmap_cnn::layer::Layer;
+///
+/// let mut layer = Layer::conv("c", 4, 4, 8, 2, 3, 3, 1);
+/// layer.stride = 0;
+/// assert!(layer.validate().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    message: String,
+}
+
+impl ModelError {
+    /// Create a model error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ModelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_invalid_model() {
+        let e = ModelError::new("layer x: j must be non-zero");
+        assert!(e.to_string().starts_with("invalid model"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

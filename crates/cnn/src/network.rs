@@ -1,0 +1,305 @@
+//! Network presets: AlexNet (the paper's workload) plus VGG-16 and a tiny
+//! test network as extensions.
+
+use core::fmt;
+
+use crate::error::ModelError;
+use crate::layer::Layer;
+
+/// An ordered list of layers processed one at a time on the accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use drmap_cnn::network::Network;
+///
+/// let alexnet = Network::alexnet();
+/// assert_eq!(alexnet.layers().len(), 8);
+/// assert_eq!(alexnet.layers()[0].name, "CONV1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Build a network from explicit layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the network is empty or any layer fails
+    /// validation.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::new(format!("network {name} has no layers")));
+        }
+        for layer in &layers {
+            layer.validate()?;
+        }
+        Ok(Network {
+            name: name.to_owned(),
+            layers,
+        })
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in processing order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total MAC operations per image.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// AlexNet (Krizhevsky et al., NIPS 2012) — the paper's evaluation
+    /// workload: CONV1–CONV5 and FC6–FC8 with the standard merged-tower
+    /// dimensions on 227×227×3 ImageNet inputs.
+    pub fn alexnet() -> Self {
+        Network::new(
+            "AlexNet",
+            vec![
+                Layer::conv("CONV1", 55, 55, 96, 3, 11, 11, 4),
+                Layer::conv("CONV2", 27, 27, 256, 96, 5, 5, 1),
+                Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 1),
+                Layer::conv("CONV4", 13, 13, 384, 384, 3, 3, 1),
+                Layer::conv("CONV5", 13, 13, 256, 384, 3, 3, 1),
+                Layer::fully_connected("FC6", 9216, 4096),
+                Layer::fully_connected("FC7", 4096, 4096),
+                Layer::fully_connected("FC8", 4096, 1000),
+            ],
+        )
+        .expect("AlexNet preset is valid")
+    }
+
+    /// VGG-16 (Simonyan & Zisserman, 2015) — an extension workload with
+    /// much larger feature maps than AlexNet.
+    pub fn vgg16() -> Self {
+        Network::new(
+            "VGG-16",
+            vec![
+                Layer::conv("CONV1_1", 224, 224, 64, 3, 3, 3, 1),
+                Layer::conv("CONV1_2", 224, 224, 64, 64, 3, 3, 1),
+                Layer::conv("CONV2_1", 112, 112, 128, 64, 3, 3, 1),
+                Layer::conv("CONV2_2", 112, 112, 128, 128, 3, 3, 1),
+                Layer::conv("CONV3_1", 56, 56, 256, 128, 3, 3, 1),
+                Layer::conv("CONV3_2", 56, 56, 256, 256, 3, 3, 1),
+                Layer::conv("CONV3_3", 56, 56, 256, 256, 3, 3, 1),
+                Layer::conv("CONV4_1", 28, 28, 512, 256, 3, 3, 1),
+                Layer::conv("CONV4_2", 28, 28, 512, 512, 3, 3, 1),
+                Layer::conv("CONV4_3", 28, 28, 512, 512, 3, 3, 1),
+                Layer::conv("CONV5_1", 14, 14, 512, 512, 3, 3, 1),
+                Layer::conv("CONV5_2", 14, 14, 512, 512, 3, 3, 1),
+                Layer::conv("CONV5_3", 14, 14, 512, 512, 3, 3, 1),
+                Layer::fully_connected("FC6", 25088, 4096),
+                Layer::fully_connected("FC7", 4096, 4096),
+                Layer::fully_connected("FC8", 4096, 1000),
+            ],
+        )
+        .expect("VGG-16 preset is valid")
+    }
+
+    /// AlexNet with the **original two-tower grouping** (CONV2, CONV4 and
+    /// CONV5 split across the two GTX 580s in the 2012 paper): halves
+    /// those layers' weight volumes and MACs relative to
+    /// [`Network::alexnet`].
+    pub fn alexnet_grouped() -> Self {
+        Network::new(
+            "AlexNet-grouped",
+            vec![
+                Layer::conv("CONV1", 55, 55, 96, 3, 11, 11, 4),
+                Layer::conv_grouped("CONV2", 27, 27, 256, 96, 5, 5, 1, 2),
+                Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 1),
+                Layer::conv_grouped("CONV4", 13, 13, 384, 384, 3, 3, 1, 2),
+                Layer::conv_grouped("CONV5", 13, 13, 256, 384, 3, 3, 1, 2),
+                Layer::fully_connected("FC6", 9216, 4096),
+                Layer::fully_connected("FC7", 4096, 4096),
+                Layer::fully_connected("FC8", 4096, 1000),
+            ],
+        )
+        .expect("grouped AlexNet preset is valid")
+    }
+
+    /// ResNet-18 (He et al., 2016) with plain layer shapes: the residual
+    /// additions do not change DRAM tile traffic, so only the conv/FC
+    /// shapes are modelled. The stride-2 1×1 downsample projections are
+    /// included as their own layers.
+    pub fn resnet18() -> Self {
+        let mut layers = vec![Layer::conv("CONV1", 112, 112, 64, 3, 7, 7, 2)];
+        let stages: [(usize, usize, usize); 4] =
+            [(56, 64, 64), (28, 128, 64), (14, 256, 128), (7, 512, 256)];
+        for (si, &(hw, ch, in_ch)) in stages.iter().enumerate() {
+            let stage = si + 1;
+            let stride = if stage == 1 { 1 } else { 2 };
+            layers.push(Layer::conv(
+                &format!("S{stage}B1_CONV1"),
+                hw,
+                hw,
+                ch,
+                in_ch,
+                3,
+                3,
+                stride,
+            ));
+            layers.push(Layer::conv(
+                &format!("S{stage}B1_CONV2"),
+                hw,
+                hw,
+                ch,
+                ch,
+                3,
+                3,
+                1,
+            ));
+            if stage > 1 {
+                layers.push(Layer::conv(
+                    &format!("S{stage}B1_PROJ"),
+                    hw,
+                    hw,
+                    ch,
+                    in_ch,
+                    1,
+                    1,
+                    stride,
+                ));
+            }
+            layers.push(Layer::conv(
+                &format!("S{stage}B2_CONV1"),
+                hw,
+                hw,
+                ch,
+                ch,
+                3,
+                3,
+                1,
+            ));
+            layers.push(Layer::conv(
+                &format!("S{stage}B2_CONV2"),
+                hw,
+                hw,
+                ch,
+                ch,
+                3,
+                3,
+                1,
+            ));
+        }
+        layers.push(Layer::fully_connected("FC", 512, 1000));
+        Network::new("ResNet-18", layers).expect("ResNet-18 preset is valid")
+    }
+
+    /// A tiny three-layer network for fast tests and examples.
+    pub fn tiny() -> Self {
+        Network::new(
+            "TinyNet",
+            vec![
+                Layer::conv("CONV1", 16, 16, 16, 3, 3, 3, 1),
+                Layer::conv("CONV2", 8, 8, 32, 16, 3, 3, 2),
+                Layer::fully_connected("FC3", 2048, 10),
+            ],
+        )
+        .expect("TinyNet preset is valid")
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} layers)", self.name, self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DataKind;
+
+    #[test]
+    fn alexnet_layer_dims_match_paper() {
+        let net = Network::alexnet();
+        let l = net.layers();
+        assert_eq!(l[0].ifm_h(), 227);
+        assert_eq!(l[1].j, 256);
+        assert_eq!(l[4].name, "CONV5");
+        assert_eq!(l[4].j, 256);
+        // FC6 weights: 9216 * 4096 ≈ 37.7M.
+        assert_eq!(l[5].wghs_elems(), 37_748_736);
+        assert_eq!(l[7].j, 1000);
+    }
+
+    #[test]
+    fn alexnet_macs_are_about_1_1g() {
+        // Merged-tower AlexNet (no grouped convolutions) is ~1.13 GMACs;
+        // the often-quoted 724M figure assumes the original 2-GPU grouping.
+        let net = Network::alexnet();
+        let total = net.total_macs();
+        assert!(total > 1_000_000_000, "{total}");
+        assert!(total < 1_250_000_000, "{total}");
+    }
+
+    #[test]
+    fn vgg16_is_much_bigger_than_alexnet() {
+        let vgg = Network::vgg16();
+        let alex = Network::alexnet();
+        assert!(vgg.total_macs() > 10 * alex.total_macs());
+        assert_eq!(vgg.layers().len(), 16);
+    }
+
+    #[test]
+    fn tiny_network_is_small() {
+        let t = Network::tiny();
+        assert!(t.total_macs() < 3_000_000);
+        // FC3 input matches CONV2 output volume: 8*8*32 = 2048.
+        assert_eq!(
+            t.layers()[1].elems(DataKind::Ofms),
+            t.layers()[2].elems(DataKind::Ifms)
+        );
+    }
+
+    #[test]
+    fn grouped_alexnet_matches_the_724m_figure() {
+        let g = Network::alexnet_grouped();
+        let macs = g.total_macs();
+        // The canonical grouped-AlexNet figure is ~724 M MACs.
+        assert!(macs > 650_000_000 && macs < 800_000_000, "{macs}");
+        assert!(macs < Network::alexnet().total_macs());
+        // CONV2 weights halve under grouping: 5*5*48*256.
+        assert_eq!(g.layers()[1].wghs_elems(), 5 * 5 * 48 * 256);
+    }
+
+    #[test]
+    fn resnet18_has_expected_structure() {
+        let r = Network::resnet18();
+        // 1 stem + 4 stages * 4 convs + 3 projections + 1 FC = 21 layers.
+        assert_eq!(r.layers().len(), 21);
+        assert_eq!(r.layers()[0].name, "CONV1");
+        assert!(r.layers().iter().any(|l| l.name == "S4B2_CONV2"));
+        assert!(r.layers().iter().any(|l| l.name == "S2B1_PROJ"));
+        // ~1.8 GMACs is the canonical figure.
+        let macs = r.total_macs();
+        assert!(macs > 1_500_000_000 && macs < 2_100_000_000, "{macs}");
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(Network::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn invalid_layer_rejected() {
+        let mut bad = Layer::conv("c", 4, 4, 8, 2, 3, 3, 1);
+        bad.i = 0;
+        assert!(Network::new("bad", vec![bad]).is_err());
+    }
+
+    #[test]
+    fn display_shows_name_and_count() {
+        assert_eq!(Network::alexnet().to_string(), "AlexNet (8 layers)");
+    }
+}

@@ -1,0 +1,476 @@
+//! The design-space exploration engine: Algorithm 1 of the paper.
+//!
+//! For each layer, the DSE sweeps every feasible layer partitioning
+//! (tiling), every scheduling scheme, and every DRAM mapping policy,
+//! evaluates the analytical EDP model, and keeps the minimum-EDP
+//! configuration. Layers are independent and explored in parallel.
+
+use core::fmt;
+
+use drmap_cnn::layer::Layer;
+use drmap_cnn::network::Network;
+
+use crate::edp::{EdpEstimate, EdpModel};
+use crate::error::DseError;
+use crate::mapping::MappingPolicy;
+use crate::pareto::{pareto_front, DesignPoint};
+use crate::schedule::ReuseScheme;
+use crate::tiling::{enumerate_tilings, Tiling};
+
+/// Optimization objective for the exploration.
+///
+/// The paper minimizes EDP (Eq. 1); the alternatives let a deployment
+/// weigh energy or latency differently without touching the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Objective {
+    /// Energy × delay (the paper's Eq. 1).
+    #[default]
+    Edp,
+    /// Energy only (battery-bound edge devices).
+    Energy,
+    /// Delay only (latency-bound inference).
+    Delay,
+    /// Energy × delay² (throughput-leaning metric).
+    Ed2p,
+}
+
+impl Objective {
+    /// Scalar score of an estimate under this objective (lower is better).
+    pub fn score(self, estimate: &EdpEstimate) -> f64 {
+        match self {
+            Objective::Edp => estimate.edp(),
+            Objective::Energy => estimate.energy,
+            Objective::Delay => estimate.seconds(),
+            Objective::Ed2p => estimate.energy * estimate.seconds() * estimate.seconds(),
+        }
+    }
+}
+
+/// Which schemes and mappings the DSE sweeps.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Scheduling schemes to consider (default: all four of the paper).
+    pub schemes: Vec<ReuseScheme>,
+    /// Mapping policies to consider (default: Table I's six).
+    pub mappings: Vec<MappingPolicy>,
+    /// Keep the full (energy, latency) point cloud for Pareto analysis.
+    pub keep_points: bool,
+    /// Optimization objective (default: EDP, the paper's Eq. 1).
+    pub objective: Objective,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            schemes: ReuseScheme::ALL.to_vec(),
+            mappings: MappingPolicy::table_i().to_vec(),
+            keep_points: false,
+            objective: Objective::Edp,
+        }
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DseCandidate {
+    /// The mapping policy.
+    pub mapping: MappingPolicy,
+    /// The tiling.
+    pub tiling: Tiling,
+    /// The (possibly adaptive) scheduling scheme requested.
+    pub scheme: ReuseScheme,
+    /// The analytical estimate.
+    pub estimate: EdpEstimate,
+}
+
+impl fmt::Display for DseCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} -> {}",
+            self.mapping, self.scheme, self.tiling, self.estimate
+        )
+    }
+}
+
+/// DSE output for one layer.
+#[derive(Debug, Clone)]
+pub struct LayerDseResult {
+    /// Layer name.
+    pub layer_name: String,
+    /// The minimum-EDP configuration (Algorithm 1's `map`, `minEDP`).
+    pub best: DseCandidate,
+    /// Number of configurations evaluated.
+    pub evaluations: usize,
+    /// Pareto front over (energy, latency), if `keep_points` was set.
+    pub pareto: Vec<DesignPoint>,
+}
+
+/// DSE output for a whole network.
+#[derive(Debug, Clone)]
+pub struct NetworkDseResult {
+    /// Per-layer results, in network order.
+    pub layers: Vec<LayerDseResult>,
+    /// Sum of the per-layer best estimates (minimum total EDP components).
+    pub total: EdpEstimate,
+}
+
+impl NetworkDseResult {
+    /// Total EDP of the per-layer best configurations.
+    pub fn total_edp(&self) -> f64 {
+        self.total.edp()
+    }
+}
+
+/// The exploration engine: an [`EdpModel`] plus a sweep configuration.
+///
+/// # Examples
+///
+/// ```no_run
+/// use drmap_core::dse::{DseConfig, DseEngine};
+/// use drmap_core::edp::EdpModel;
+/// use drmap_cnn::prelude::*;
+/// use drmap_dram::prelude::*;
+///
+/// let profiler = Profiler::table_ii()?;
+/// let table = profiler.cost_table(DramArch::Salp2);
+/// let model = EdpModel::new(Geometry::salp_2gb_x8(), table, AcceleratorConfig::table_ii());
+/// let engine = DseEngine::new(model, DseConfig::default());
+/// let result = engine.explore_network(&Network::alexnet())?;
+/// assert!(result.layers[0].best.mapping.is_drmap());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DseEngine {
+    model: EdpModel,
+    config: DseConfig,
+}
+
+impl DseEngine {
+    /// Create an engine.
+    pub fn new(model: EdpModel, config: DseConfig) -> Self {
+        DseEngine { model, config }
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &EdpModel {
+        &self.model
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &DseConfig {
+        &self.config
+    }
+
+    /// Evaluate one explicit configuration (used by the figure harness).
+    pub fn evaluate(
+        &self,
+        layer: &Layer,
+        tiling: &Tiling,
+        scheme: ReuseScheme,
+        mapping: &MappingPolicy,
+    ) -> EdpEstimate {
+        self.model.layer_estimate(layer, tiling, scheme, mapping)
+    }
+
+    /// Minimum-EDP estimate over all feasible tilings for a fixed
+    /// `(scheme, mapping)` — one bar of Fig. 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] if no tiling fits the buffers.
+    pub fn best_over_tilings(
+        &self,
+        layer: &Layer,
+        scheme: ReuseScheme,
+        mapping: &MappingPolicy,
+    ) -> Result<DseCandidate, DseError> {
+        let acc = *self.model.traffic_model().accelerator();
+        let tilings = enumerate_tilings(layer, &acc)?;
+        let objective = self.config.objective;
+        let mut best: Option<DseCandidate> = None;
+        for tiling in tilings {
+            let estimate = self.evaluate(layer, &tiling, scheme, mapping);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| objective.score(&estimate) < objective.score(&b.estimate));
+            if better {
+                best = Some(DseCandidate {
+                    mapping: *mapping,
+                    tiling,
+                    scheme,
+                    estimate,
+                });
+            }
+        }
+        best.ok_or_else(|| DseError::new("no feasible tiling"))
+    }
+
+    /// Algorithm 1 for one layer: sweep tilings × schemes × mappings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] if no tiling fits the buffers or the sweep
+    /// configuration is empty.
+    pub fn explore_layer(&self, layer: &Layer) -> Result<LayerDseResult, DseError> {
+        if self.config.schemes.is_empty() || self.config.mappings.is_empty() {
+            return Err(DseError::new("empty scheme or mapping sweep"));
+        }
+        let acc = *self.model.traffic_model().accelerator();
+        let tilings = enumerate_tilings(layer, &acc)?;
+        let objective = self.config.objective;
+        let mut best: Option<DseCandidate> = None;
+        let mut evaluations = 0usize;
+        let mut points = Vec::new();
+        for tiling in &tilings {
+            for &scheme in &self.config.schemes {
+                for mapping in &self.config.mappings {
+                    let estimate = self.evaluate(layer, tiling, scheme, mapping);
+                    evaluations += 1;
+                    if self.config.keep_points {
+                        points.push(DesignPoint::new(
+                            format!("{} | {} | {}", mapping.name(), scheme, tiling),
+                            estimate,
+                        ));
+                    }
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| objective.score(&estimate) < objective.score(&b.estimate));
+                    if better {
+                        best = Some(DseCandidate {
+                            mapping: *mapping,
+                            tiling: *tiling,
+                            scheme,
+                            estimate,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(LayerDseResult {
+            layer_name: layer.name.clone(),
+            best: best.expect("non-empty sweep produced no candidate"),
+            evaluations,
+            pareto: pareto_front(&points),
+        })
+    }
+
+    /// Algorithm 1 for a whole network, layers explored in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    pub fn explore_network(&self, network: &Network) -> Result<NetworkDseResult, DseError> {
+        let layers = network.layers();
+        let mut results: Vec<Option<Result<LayerDseResult, DseError>>> =
+            (0..layers.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (layer, slot) in layers.iter().zip(results.iter_mut()) {
+                let engine = self;
+                handles.push(scope.spawn(move |_| {
+                    *slot = Some(engine.explore_layer(layer));
+                }));
+            }
+            for h in handles {
+                h.join().expect("DSE worker panicked");
+            }
+        })
+        .expect("DSE scope panicked");
+
+        let mut layers_out = Vec::with_capacity(layers.len());
+        let mut total = EdpEstimate::zero(self.model.table().t_ck_ns);
+        for r in results {
+            let r = r.expect("worker filled its slot")?;
+            total.accumulate(&r.best.estimate);
+            layers_out.push(r);
+        }
+        Ok(NetworkDseResult {
+            layers: layers_out,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drmap_cnn::accelerator::AcceleratorConfig;
+    use drmap_dram::geometry::Geometry;
+    use drmap_dram::profiler::{AccessCost, AccessCostTable};
+    use drmap_dram::timing::DramArch;
+
+    /// A cost table with the qualitative ordering the hardware produces:
+    /// columns cheapest, banks next, subarrays dearer, rows dearest.
+    fn ordered_table() -> AccessCostTable {
+        let mk = |cycles: f64, energy: f64| AccessCost {
+            cycles,
+            energy: energy * 1e-9,
+        };
+        AccessCostTable::from_costs(
+            DramArch::Ddr3,
+            [mk(4.2, 1.2), mk(6.0, 2.0), mk(40.0, 5.5), mk(42.0, 5.8)],
+            [mk(4.2, 1.1), mk(6.5, 2.1), mk(44.0, 5.6), mk(46.0, 5.9)],
+            1.25,
+        )
+    }
+
+    fn engine(config: DseConfig) -> DseEngine {
+        DseEngine::new(
+            EdpModel::new(
+                Geometry::salp_2gb_x8(),
+                ordered_table(),
+                AcceleratorConfig::table_ii(),
+            ),
+            config,
+        )
+    }
+
+    fn conv3() -> Layer {
+        Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 1)
+    }
+
+    #[test]
+    fn explore_layer_finds_drmap_under_ordered_costs() {
+        let e = engine(DseConfig::default());
+        let r = e.explore_layer(&conv3()).unwrap();
+        assert!(
+            r.best.mapping.is_drmap() || r.best.mapping.index() == 1,
+            "expected a column-innermost mapping, got {}",
+            r.best.mapping
+        );
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn best_over_tilings_beats_fixed_tiling() {
+        let e = engine(DseConfig::default());
+        let layer = conv3();
+        let best = e
+            .best_over_tilings(&layer, ReuseScheme::OfmsReuse, &MappingPolicy::drmap())
+            .unwrap();
+        let fixed = Tiling::new(13, 13, 16, 16);
+        let fixed_est = e.evaluate(
+            &layer,
+            &fixed,
+            ReuseScheme::OfmsReuse,
+            &MappingPolicy::drmap(),
+        );
+        assert!(best.estimate.edp() <= fixed_est.edp());
+    }
+
+    #[test]
+    fn explore_network_accumulates_totals() {
+        let e = engine(DseConfig::default());
+        let net = drmap_cnn::network::Network::tiny();
+        let r = e.explore_network(&net).unwrap();
+        assert_eq!(r.layers.len(), net.layers().len());
+        let sum: f64 = r.layers.iter().map(|l| l.best.estimate.energy).sum();
+        assert!((r.total.energy - sum).abs() / sum < 1e-12);
+        assert!(r.total_edp() > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_is_an_error() {
+        let e = engine(DseConfig {
+            schemes: vec![],
+            ..DseConfig::default()
+        });
+        assert!(e.explore_layer(&conv3()).is_err());
+    }
+
+    #[test]
+    fn keep_points_builds_pareto_front() {
+        let e = engine(DseConfig {
+            keep_points: true,
+            ..DseConfig::default()
+        });
+        let r = e.explore_layer(&conv3()).unwrap();
+        assert!(!r.pareto.is_empty());
+        assert!(r.pareto.len() <= r.evaluations);
+        // The best-EDP candidate need not be on the extreme ends, but the
+        // front must contain a point no worse than it in both coordinates.
+        let best = &r.best.estimate;
+        assert!(r
+            .pareto
+            .iter()
+            .any(|p| p.estimate.energy <= best.energy * 1.0001
+                || p.estimate.cycles <= best.cycles * 1.0001));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let e = engine(DseConfig::default());
+        let net = drmap_cnn::network::Network::tiny();
+        let parallel = e.explore_network(&net).unwrap();
+        let mut total = EdpEstimate::zero(1.25);
+        for layer in net.layers() {
+            total.accumulate(&e.explore_layer(layer).unwrap().best.estimate);
+        }
+        assert!((parallel.total.energy - total.energy).abs() / total.energy < 1e-12);
+        assert!((parallel.total.cycles - total.cycles).abs() / total.cycles < 1e-12);
+    }
+
+    #[test]
+    fn objective_scores_are_consistent() {
+        let e = EdpEstimate {
+            cycles: 800.0,
+            energy: 2.0,
+            t_ck_ns: 1.25,
+        };
+        let t = e.seconds();
+        assert_eq!(Objective::Edp.score(&e), 2.0 * t);
+        assert_eq!(Objective::Energy.score(&e), 2.0);
+        assert_eq!(Objective::Delay.score(&e), t);
+        assert_eq!(Objective::Ed2p.score(&e), 2.0 * t * t);
+    }
+
+    #[test]
+    fn objectives_can_change_the_winner() {
+        // Delay-only exploration must find a configuration at least as
+        // fast as the EDP winner; energy-only at least as frugal.
+        let layer = conv3();
+        let edp_best = engine(DseConfig::default())
+            .explore_layer(&layer)
+            .unwrap()
+            .best;
+        let delay_best = engine(DseConfig {
+            objective: Objective::Delay,
+            ..DseConfig::default()
+        })
+        .explore_layer(&layer)
+        .unwrap()
+        .best;
+        let energy_best = engine(DseConfig {
+            objective: Objective::Energy,
+            ..DseConfig::default()
+        })
+        .explore_layer(&layer)
+        .unwrap()
+        .best;
+        assert!(delay_best.estimate.cycles <= edp_best.estimate.cycles * 1.0001);
+        assert!(energy_best.estimate.energy <= edp_best.estimate.energy * 1.0001);
+    }
+
+    #[test]
+    fn mapping2_never_beats_drmap_under_ordered_costs() {
+        let e = engine(DseConfig::default());
+        let layer = conv3();
+        for scheme in ReuseScheme::ALL {
+            let m2 = e
+                .best_over_tilings(&layer, scheme, &MappingPolicy::table_i_policy(2))
+                .unwrap();
+            let m3 = e
+                .best_over_tilings(&layer, scheme, &MappingPolicy::drmap())
+                .unwrap();
+            assert!(
+                m3.estimate.edp() <= m2.estimate.edp(),
+                "{scheme}: DRMap {} vs Mapping-2 {}",
+                m3.estimate.edp(),
+                m2.estimate.edp()
+            );
+        }
+    }
+}

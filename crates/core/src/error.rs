@@ -1,0 +1,61 @@
+//! Error types for the DRMap core.
+
+use core::fmt;
+
+/// An invalid exploration input (tiling, policy, or configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DseError {
+    message: String,
+}
+
+impl DseError {
+    /// Create an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid exploration input: {}", self.message)
+    }
+}
+
+impl std::error::Error for DseError {}
+
+impl From<drmap_dram::error::ConfigError> for DseError {
+    fn from(e: drmap_dram::error::ConfigError) -> Self {
+        DseError::new(e.to_string())
+    }
+}
+
+impl From<drmap_cnn::error::ModelError> for DseError {
+    fn from(e: drmap_cnn::error::ModelError) -> Self {
+        DseError::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_traits() {
+        let e = DseError::new("no tiling fits the buffers");
+        assert!(e.to_string().contains("no tiling"));
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DseError>();
+    }
+
+    #[test]
+    fn converts_from_substrate_errors() {
+        let ce = drmap_dram::error::ConfigError::new("x");
+        let de: DseError = ce.into();
+        assert!(de.to_string().contains("x"));
+        let me = drmap_cnn::error::ModelError::new("y");
+        let de2: DseError = me.into();
+        assert!(de2.to_string().contains("y"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Pareto-front extraction over (energy, latency) design points — the
+//! "pareto-optimal design choices" of the paper's abstract.
+
+use crate::edp::EdpEstimate;
+
+/// A design point with its (energy, latency) coordinates and an opaque
+/// label describing the configuration that produced it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DesignPoint {
+    /// Human-readable configuration description.
+    pub label: String,
+    /// The estimate (energy, cycles) of this configuration.
+    pub estimate: EdpEstimate,
+}
+
+impl DesignPoint {
+    /// Create a design point.
+    pub fn new(label: impl Into<String>, estimate: EdpEstimate) -> Self {
+        DesignPoint {
+            label: label.into(),
+            estimate,
+        }
+    }
+
+    /// True if `self` dominates `other`: no worse in both energy and
+    /// latency, strictly better in at least one.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let (e1, t1) = (self.estimate.energy, self.estimate.cycles);
+        let (e2, t2) = (other.estimate.energy, other.estimate.cycles);
+        (e1 <= e2 && t1 <= t2) && (e1 < e2 || t1 < t2)
+    }
+}
+
+/// Extract the Pareto-optimal subset (minimizing energy and latency),
+/// sorted by ascending latency.
+///
+/// # Examples
+///
+/// ```
+/// use drmap_core::pareto::{pareto_front, DesignPoint};
+/// use drmap_core::edp::EdpEstimate;
+///
+/// let mk = |label: &str, cycles: f64, energy: f64| {
+///     DesignPoint::new(label, EdpEstimate { cycles, energy, t_ck_ns: 1.25 })
+/// };
+/// let points = vec![
+///     mk("fast-hungry", 10.0, 9.0),
+///     mk("slow-frugal", 90.0, 1.0),
+///     mk("dominated", 95.0, 9.5),
+/// ];
+/// let front = pareto_front(&points);
+/// assert_eq!(front.len(), 2);
+/// assert_eq!(front[0].label, "fast-hungry");
+/// ```
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut sorted: Vec<&DesignPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.estimate
+            .cycles
+            .partial_cmp(&b.estimate.cycles)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(
+                a.estimate
+                    .energy
+                    .partial_cmp(&b.estimate.energy)
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
+    });
+    let mut front: Vec<DesignPoint> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for p in sorted {
+        if p.estimate.energy < best_energy {
+            best_energy = p.estimate.energy;
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(label: &str, cycles: f64, energy: f64) -> DesignPoint {
+        DesignPoint::new(
+            label,
+            EdpEstimate {
+                cycles,
+                energy,
+                t_ck_ns: 1.25,
+            },
+        )
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = mk("a", 1.0, 1.0);
+        let b = mk("b", 2.0, 2.0);
+        let c = mk("c", 1.0, 2.0);
+        assert!(a.dominates(&b));
+        assert!(a.dominates(&c));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "no self-domination");
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let points = vec![
+            mk("p1", 10.0, 9.0),
+            mk("p2", 20.0, 5.0),
+            mk("p3", 30.0, 2.0),
+            mk("dominated", 25.0, 6.0),
+        ];
+        let front = pareto_front(&points);
+        let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["p1", "p2", "p3"]);
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn front_of_single_point() {
+        let front = pareto_front(&[mk("only", 1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn equal_points_keep_one() {
+        let front = pareto_front(&[mk("a", 1.0, 1.0), mk("b", 1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn front_sorted_by_latency() {
+        let points = vec![mk("slow", 30.0, 1.0), mk("fast", 5.0, 9.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front[0].label, "fast");
+        assert_eq!(front[1].label, "slow");
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated() {
+        let points: Vec<DesignPoint> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                mk(&format!("p{i}"), x, 100.0 - 2.0 * x + (x * 7.0) % 13.0)
+            })
+            .collect();
+        let front = pareto_front(&points);
+        for p in &points {
+            let on_front = front.iter().any(|f| f.label == p.label);
+            if !on_front {
+                assert!(
+                    front.iter().any(|f| f.dominates(p)),
+                    "{} escaped the front undominated",
+                    p.label
+                );
+            }
+        }
+    }
+}

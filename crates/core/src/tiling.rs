@@ -1,0 +1,277 @@
+//! Layer partitioning: tile-size selection under buffer constraints.
+//!
+//! A [`Tiling`] fixes the step sizes `(Th, Tw, Tj, Ti)` of Fig. 3's outer
+//! loops (with `Tp = P` and `Tq = Q`, per Algorithm 1's initialization).
+//! The resulting `ifms`/`wghs`/`ofms` tiles must fit the corresponding
+//! on-chip buffers — the feasibility condition on line 9 of Algorithm 1.
+
+use core::fmt;
+
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::layer::{DataKind, Layer};
+
+use crate::error::DseError;
+
+/// Tile step sizes for one layer.
+///
+/// # Examples
+///
+/// ```
+/// use drmap_core::tiling::Tiling;
+/// use drmap_cnn::layer::{DataKind, Layer};
+///
+/// let layer = Layer::conv("c", 13, 13, 384, 256, 3, 3, 1);
+/// let tiling = Tiling::new(13, 13, 16, 16);
+/// assert_eq!(tiling.tile_elems(&layer, DataKind::Ofms), 13 * 13 * 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tiling {
+    /// Output-row step `Th`.
+    pub th: usize,
+    /// Output-column step `Tw`.
+    pub tw: usize,
+    /// Output-channel step `Tj`.
+    pub tj: usize,
+    /// Input-channel step `Ti`.
+    pub ti: usize,
+}
+
+impl Tiling {
+    /// Create a tiling with the given steps.
+    pub fn new(th: usize, tw: usize, tj: usize, ti: usize) -> Self {
+        Tiling { th, tw, tj, ti }
+    }
+
+    /// The degenerate tiling that covers the whole layer in one tile.
+    pub fn whole_layer(layer: &Layer) -> Self {
+        Tiling::new(layer.h, layer.w, layer.j, layer.i)
+    }
+
+    /// Clamp the steps to the layer's dimensions.
+    pub fn clamped(self, layer: &Layer) -> Self {
+        Tiling {
+            th: self.th.min(layer.h).max(1),
+            tw: self.tw.min(layer.w).max(1),
+            tj: self.tj.min(layer.j).max(1),
+            ti: self.ti.min(layer.i).max(1),
+        }
+    }
+
+    /// Number of tile steps along each loop: `(n_h, n_w, n_j, n_i)`,
+    /// each `ceil(dim / step)`.
+    pub fn steps(&self, layer: &Layer) -> (usize, usize, usize, usize) {
+        (
+            layer.h.div_ceil(self.th),
+            layer.w.div_ceil(self.tw),
+            layer.j.div_ceil(self.tj),
+            layer.i.div_ceil(self.ti),
+        )
+    }
+
+    /// Elements of one tile of the given data kind (halo-aware for ifms).
+    pub fn tile_elems(&self, layer: &Layer, kind: DataKind) -> u64 {
+        match kind {
+            DataKind::Ifms => {
+                layer.ifm_patch_h(self.th) as u64
+                    * layer.ifm_patch_w(self.tw) as u64
+                    * self.ti as u64
+            }
+            DataKind::Wghs => {
+                // Grouped convolutions store 1/groups of the dense filter
+                // volume (each output channel sees i/groups inputs).
+                (layer.p as u64 * layer.q as u64 * self.ti as u64 * self.tj as u64)
+                    .div_ceil(layer.groups as u64)
+            }
+            DataKind::Ofms => self.th as u64 * self.tw as u64 * self.tj as u64,
+        }
+    }
+
+    /// Bytes of one tile of the given kind at the accelerator's precision.
+    pub fn tile_bytes(&self, layer: &Layer, acc: &AcceleratorConfig, kind: DataKind) -> u64 {
+        acc.bytes_for(self.tile_elems(layer, kind))
+    }
+
+    /// True if every tile fits its buffer (Algorithm 1, line 9).
+    pub fn fits(&self, layer: &Layer, acc: &AcceleratorConfig) -> bool {
+        DataKind::ALL
+            .iter()
+            .all(|&k| self.tile_bytes(layer, acc, k) <= acc.buffer_bytes(k) as u64)
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Th={} Tw={} Tj={} Ti={}",
+            self.th, self.tw, self.tj, self.ti
+        )
+    }
+}
+
+/// Geometric candidate steps for one dimension: the dimension itself and
+/// successive halvings down to 1 (deduplicated, descending).
+///
+/// # Examples
+///
+/// ```
+/// use drmap_core::tiling::candidate_steps;
+///
+/// assert_eq!(candidate_steps(13), vec![13, 7, 4, 2, 1]);
+/// assert_eq!(candidate_steps(1), vec![1]);
+/// ```
+pub fn candidate_steps(dim: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut v = dim.max(1);
+    loop {
+        out.push(v);
+        if v == 1 {
+            break;
+        }
+        v = v.div_ceil(2);
+    }
+    out
+}
+
+/// Enumerate all buffer-feasible tilings of a layer from the geometric
+/// candidate steps of each dimension.
+///
+/// # Errors
+///
+/// Returns [`DseError`] if no candidate fits the buffers (cannot happen
+/// for realistic buffer sizes: the minimal tile is a single `P×Q` patch).
+///
+/// # Examples
+///
+/// ```
+/// use drmap_core::tiling::enumerate_tilings;
+/// use drmap_cnn::prelude::*;
+///
+/// let layer = Layer::conv("c", 13, 13, 384, 256, 3, 3, 1);
+/// let acc = AcceleratorConfig::table_ii();
+/// let tilings = enumerate_tilings(&layer, &acc)?;
+/// assert!(!tilings.is_empty());
+/// assert!(tilings.iter().all(|t| t.fits(&layer, &acc)));
+/// # Ok::<(), drmap_core::error::DseError>(())
+/// ```
+pub fn enumerate_tilings(layer: &Layer, acc: &AcceleratorConfig) -> Result<Vec<Tiling>, DseError> {
+    acc.validate()?;
+    layer.validate()?;
+    let mut out = Vec::new();
+    for &th in &candidate_steps(layer.h) {
+        for &tw in &candidate_steps(layer.w) {
+            for &tj in &candidate_steps(layer.j) {
+                for &ti in &candidate_steps(layer.i) {
+                    let t = Tiling::new(th, tw, tj, ti);
+                    if t.fits(layer, acc) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(DseError::new(format!(
+            "no tiling of layer {} fits the buffers ({})",
+            layer.name, acc
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drmap_cnn::network::Network;
+
+    fn conv3() -> Layer {
+        Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 1)
+    }
+
+    #[test]
+    fn whole_layer_tiling_covers_everything() {
+        let l = conv3();
+        let t = Tiling::whole_layer(&l);
+        assert_eq!(t.steps(&l), (1, 1, 1, 1));
+        assert_eq!(t.tile_elems(&l, DataKind::Ofms), l.ofms_elems());
+        assert_eq!(t.tile_elems(&l, DataKind::Wghs), l.wghs_elems());
+        assert_eq!(t.tile_elems(&l, DataKind::Ifms), l.ifms_elems());
+    }
+
+    #[test]
+    fn steps_use_ceiling_division() {
+        let l = conv3();
+        let t = Tiling::new(5, 5, 100, 100);
+        assert_eq!(t.steps(&l), (3, 3, 4, 3));
+    }
+
+    #[test]
+    fn ifms_tile_includes_halo() {
+        let l = Layer::conv("c", 55, 55, 96, 3, 11, 11, 4);
+        let t = Tiling::new(2, 2, 96, 3);
+        // 2 output rows at stride 4 with an 11-row kernel need 15 rows.
+        assert_eq!(t.tile_elems(&l, DataKind::Ifms), 15 * 15 * 3);
+    }
+
+    #[test]
+    fn fits_checks_every_buffer() {
+        let l = conv3();
+        let acc = AcceleratorConfig::table_ii();
+        // Whole CONV3: wghs = 884736 B >> 64 KB, must not fit.
+        assert!(!Tiling::whole_layer(&l).fits(&l, &acc));
+        let small = Tiling::new(13, 13, 16, 16);
+        assert!(small.fits(&l, &acc));
+    }
+
+    #[test]
+    fn clamped_restricts_to_layer() {
+        let l = conv3();
+        let t = Tiling::new(100, 100, 1000, 1000).clamped(&l);
+        assert_eq!(t, Tiling::whole_layer(&l));
+        let t0 = Tiling::new(0, 1, 1, 1).clamped(&l);
+        assert_eq!(t0.th, 1);
+    }
+
+    #[test]
+    fn candidate_steps_halve_down_to_one() {
+        assert_eq!(candidate_steps(8), vec![8, 4, 2, 1]);
+        assert_eq!(candidate_steps(55), vec![55, 28, 14, 7, 4, 2, 1]);
+        assert_eq!(candidate_steps(0), vec![1]);
+    }
+
+    #[test]
+    fn enumerate_finds_feasible_tilings_for_alexnet() {
+        let acc = AcceleratorConfig::table_ii();
+        for layer in Network::alexnet().layers() {
+            let tilings = enumerate_tilings(layer, &acc).unwrap();
+            assert!(!tilings.is_empty(), "layer {}", layer.name);
+            assert!(tilings.iter().all(|t| t.fits(layer, &acc)));
+        }
+    }
+
+    #[test]
+    fn enumerate_excludes_oversized() {
+        let l = conv3();
+        let acc = AcceleratorConfig::table_ii();
+        let tilings = enumerate_tilings(&l, &acc).unwrap();
+        assert!(!tilings.contains(&Tiling::whole_layer(&l)));
+    }
+
+    #[test]
+    fn enumeration_is_deduplicated_by_construction() {
+        let l = Layer::fully_connected("fc", 4096, 1000);
+        let acc = AcceleratorConfig::table_ii();
+        let tilings = enumerate_tilings(&l, &acc).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for t in &tilings {
+            assert!(seen.insert(*t), "duplicate tiling {t}");
+        }
+    }
+
+    #[test]
+    fn display_shows_steps() {
+        let t = Tiling::new(1, 2, 3, 4);
+        assert_eq!(t.to_string(), "Th=1 Tw=2 Tj=3 Ti=4");
+    }
+}

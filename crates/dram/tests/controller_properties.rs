@@ -1,0 +1,197 @@
+//! Property-based tests of the DRAM controller: timing and accounting
+//! invariants must hold for arbitrary request streams on arbitrary
+//! architectures, not just the structured patterns the profiler uses.
+
+use drmap_dram::prelude::*;
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = DramArch> {
+    prop_oneof![
+        Just(DramArch::Ddr3),
+        Just(DramArch::Salp1),
+        Just(DramArch::Salp2),
+        Just(DramArch::SalpMasa),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0usize..8,   // bank
+        0usize..8,   // subarray
+        0usize..64,  // row (small window to provoke conflicts)
+        0usize..128, // column
+        prop::bool::ANY,
+    )
+        .prop_map(|(bank, subarray, row, column, write)| {
+            let address = PhysicalAddress {
+                channel: 0,
+                rank: 0,
+                bank,
+                subarray,
+                row,
+                column,
+            };
+            if write {
+                Request::write(address)
+            } else {
+                Request::read(address)
+            }
+        })
+}
+
+fn mode_strategy() -> impl Strategy<Value = DriveMode> {
+    prop_oneof![
+        Just(DriveMode::Streamed),
+        Just(DriveMode::Dependent),
+        (1u64..64).prop_map(DriveMode::Spaced),
+    ]
+}
+
+fn run(
+    arch: DramArch,
+    requests: &[Request],
+    mode: DriveMode,
+) -> (SimStats, Vec<drmap_dram::controller::ServiceRecord>) {
+    let mut sim = DramSimulator::new(
+        Geometry::salp_2gb_x8(),
+        TimingParams::ddr3_1600k(),
+        ControllerConfig::new(arch),
+        EnergyParams::micron_2gb_x8(),
+    )
+    .expect("valid config");
+    sim.set_keep_records(true);
+    let stats = sim.run(requests, mode);
+    let records = sim.records().to_vec();
+    (stats, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request completes no earlier than the fastest possible
+    /// access (a row-buffer hit) and no later than a bounded worst case.
+    #[test]
+    fn latency_bounds(
+        arch in arch_strategy(),
+        requests in prop::collection::vec(request_strategy(), 1..80),
+        mode in mode_strategy(),
+    ) {
+        let t = TimingParams::ddr3_1600k();
+        let n = requests.len() as u64;
+        let (_, records) = run(arch, &requests, mode);
+        prop_assert_eq!(records.len() as u64, n);
+        let min_read = t.cl + t.t_burst;
+        let min_write = t.cwl + t.t_burst;
+        // Worst case: every earlier request serialized at tRC plus own
+        // conflict service (loose bound).
+        let worst = (n + 1) * (t.t_rc + t.t_rp + t.t_rcd + t.cl + t.t_burst + t.t_wr + 64);
+        for r in &records {
+            let floor = match r.kind {
+                RequestKind::Read => min_read,
+                RequestKind::Write => min_write,
+            };
+            prop_assert!(r.latency() >= floor, "latency {} below floor {}", r.latency(), floor);
+            prop_assert!(r.latency() <= worst, "latency {} above bound {}", r.latency(), worst);
+        }
+    }
+
+    /// Counter consistency: outcomes sum to requests; reads+writes match;
+    /// command counts cover the outcome requirements (every non-hit needs
+    /// an ACT, every RD/WR request issues exactly one column command).
+    #[test]
+    fn counter_consistency(
+        arch in arch_strategy(),
+        requests in prop::collection::vec(request_strategy(), 1..80),
+    ) {
+        let n = requests.len() as u64;
+        let reads = requests.iter().filter(|r| r.kind == RequestKind::Read).count() as u64;
+        let mut sim = DramSimulator::new(
+            Geometry::salp_2gb_x8(),
+            TimingParams::ddr3_1600k(),
+            ControllerConfig::new(arch),
+            EnergyParams::micron_2gb_x8(),
+        ).unwrap();
+        let stats = sim.run(&requests, DriveMode::Streamed);
+        prop_assert_eq!(stats.outcome_counts.iter().sum::<u64>(), n);
+        let k = sim.controller().counters();
+        prop_assert_eq!(k.reads, reads);
+        prop_assert_eq!(k.writes, n - reads);
+        prop_assert_eq!(k.command_count(CommandKind::Read), reads);
+        prop_assert_eq!(k.command_count(CommandKind::Write), n - reads);
+        let acts_needed: u64 = RowBufferOutcome::ALL
+            .iter()
+            .filter(|o| o.needs_activate())
+            .map(|&o| k.outcome_count(o))
+            .sum();
+        prop_assert_eq!(k.command_count(CommandKind::Activate), acts_needed);
+        // Precharges never exceed activations (each PRE closes a row some
+        // ACT opened).
+        prop_assert!(
+            k.command_count(CommandKind::Precharge) <= k.command_count(CommandKind::Activate)
+        );
+    }
+
+    /// Dependent mode is never faster than streamed mode (overlap can
+    /// only help), and spaced mode only adds idle time.
+    #[test]
+    fn mode_ordering(
+        arch in arch_strategy(),
+        requests in prop::collection::vec(request_strategy(), 1..60),
+        gap in 1u64..32,
+    ) {
+        let (streamed, _) = run(arch, &requests, DriveMode::Streamed);
+        let (dependent, _) = run(arch, &requests, DriveMode::Dependent);
+        let (spaced, _) = run(arch, &requests, DriveMode::Spaced(gap));
+        prop_assert!(streamed.makespan_cycles <= dependent.makespan_cycles);
+        prop_assert!(dependent.makespan_cycles <= spaced.makespan_cycles);
+    }
+
+    /// Energy is positive, finite, and monotone in trace length when the
+    /// trace is extended (more work can never cost less energy).
+    #[test]
+    fn energy_monotone_in_prefix(
+        arch in arch_strategy(),
+        requests in prop::collection::vec(request_strategy(), 2..60),
+    ) {
+        let half = requests.len() / 2;
+        let (full, _) = run(arch, &requests, DriveMode::Streamed);
+        let (prefix, _) = run(arch, &requests[..half.max(1)], DriveMode::Streamed);
+        prop_assert!(full.energy.total().is_finite());
+        prop_assert!(full.energy.total() > 0.0);
+        prop_assert!(full.energy.total() >= prefix.energy.total() * 0.999);
+    }
+
+    /// Identical requests back-to-back: the second is always a hit (open
+    /// row policy), on every architecture.
+    #[test]
+    fn repeat_access_hits(arch in arch_strategy(), req in request_strategy()) {
+        let requests = vec![req, req];
+        let (stats, records) = run(arch, &requests, DriveMode::Dependent);
+        prop_assert!(records[1].outcome.is_hit(), "second identical access must hit");
+        prop_assert_eq!(stats.requests, 2);
+    }
+
+    /// The FR-FCFS scheduler serves the same multiset of requests (same
+    /// outcome totals for reads/writes) and never increases the makespan
+    /// versus FCFS by more than the reorder-window slack.
+    #[test]
+    fn frfcfs_serves_all_requests(
+        arch in arch_strategy(),
+        requests in prop::collection::vec(request_strategy(), 1..60),
+    ) {
+        let mut sim = DramSimulator::new(
+            Geometry::salp_2gb_x8(),
+            TimingParams::ddr3_1600k(),
+            ControllerConfig {
+                scheduler: SchedulerKind::FrFcfs,
+                ..ControllerConfig::new(arch)
+            },
+            EnergyParams::micron_2gb_x8(),
+        ).unwrap();
+        let stats = sim.run(&requests, DriveMode::Streamed);
+        prop_assert_eq!(stats.requests, requests.len() as u64);
+        let k = sim.controller().counters();
+        let reads = requests.iter().filter(|r| r.kind == RequestKind::Read).count() as u64;
+        prop_assert_eq!(k.reads, reads);
+    }
+}

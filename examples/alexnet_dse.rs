@@ -1,0 +1,54 @@
+//! Full-network DSE on AlexNet: runs Algorithm 1 on every layer for every
+//! DRAM architecture and prints a Fig. 9-style per-layer report of the
+//! winning configuration.
+//!
+//! Run with: `cargo run --release --example alexnet_dse`
+
+use drmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::alexnet();
+    let acc = AcceleratorConfig::table_ii();
+    let geometry = Geometry::salp_2gb_x8();
+    let profiler = Profiler::table_ii()?;
+
+    println!("network: {network}, accelerator: {acc}");
+    println!();
+
+    for arch in DramArch::ALL {
+        let table = profiler.cost_table(arch);
+        let model = EdpModel::new(geometry, table, acc);
+        let engine = DseEngine::new(model, DseConfig::default());
+        let result = engine.explore_network(&network)?;
+
+        println!("=== {arch} ===");
+        for layer in &result.layers {
+            println!(
+                "{:<6} best={:<28} {:<14} {} EDP={:.4e} J*s",
+                layer.layer_name,
+                layer.best.mapping.name(),
+                layer.best.scheme.to_string(),
+                layer.best.tiling,
+                layer.best.estimate.edp()
+            );
+        }
+        println!(
+            "Total  EDP={:.4e} J*s  energy={:.4e} J  latency={:.4e} s",
+            result.total_edp(),
+            result.total.energy,
+            result.total.seconds()
+        );
+        let drmap_wins = result
+            .layers
+            .iter()
+            .filter(|l| l.best.mapping.is_drmap())
+            .count();
+        println!(
+            "DRMap (Mapping-3) is the per-layer winner on {}/{} layers",
+            drmap_wins,
+            result.layers.len()
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! User-defined CNN on a custom DRAM geometry: builds a depthwise-ish
+//! edge network and a 2-channel DRAM with 16 subarrays per bank, then
+//! asks the DSE for the best mapping per layer.
+//!
+//! Run with: `cargo run --release --example custom_network`
+
+use drmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small edge-vision network (not from the paper).
+    let network = Network::new(
+        "EdgeNet",
+        vec![
+            Layer::conv("STEM", 112, 112, 32, 3, 3, 3, 2),
+            Layer::conv("STAGE1", 56, 56, 64, 32, 3, 3, 2),
+            Layer::conv("STAGE2", 28, 28, 128, 64, 3, 3, 2),
+            Layer::conv("HEAD", 14, 14, 256, 128, 1, 1, 2),
+            Layer::fully_connected("CLS", 256 * 7 * 7, 100),
+        ],
+    )?;
+
+    // A custom DRAM: 2 channels, 16 subarrays per bank.
+    let geometry = Geometry::builder().channels(2).subarrays(16).build()?;
+    let timing = TimingParams::ddr3_1600k();
+    let energy = EnergyParams::micron_2gb_x8();
+    let profiler = drmap::dram::profiler::Profiler::new(geometry, timing, energy)?;
+
+    // A larger accelerator than Table II.
+    let acc = AcceleratorConfig {
+        ifms_buffer: 128 * 1024,
+        wghs_buffer: 128 * 1024,
+        ofms_buffer: 64 * 1024,
+        precision: Precision::Int8,
+        ..AcceleratorConfig::table_ii()
+    };
+
+    println!("network : {network}");
+    println!("dram    : {geometry}");
+    println!("accel   : {acc}");
+    println!();
+
+    for arch in [DramArch::Ddr3, DramArch::SalpMasa] {
+        let table = profiler.cost_table(arch);
+        let engine = DseEngine::new(EdpModel::new(geometry, table, acc), DseConfig::default());
+        let result = engine.explore_network(&network)?;
+        println!("=== {arch} ===");
+        for layer in &result.layers {
+            println!(
+                "{:<7} {:<28} {:<14} EDP={:.4e} J*s",
+                layer.layer_name,
+                layer.best.mapping.name(),
+                layer.best.scheme.to_string(),
+                layer.best.estimate.edp()
+            );
+        }
+        println!("Total EDP = {:.4e} J*s", result.total_edp());
+        println!();
+    }
+    Ok(())
+}

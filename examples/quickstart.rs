@@ -1,0 +1,38 @@
+//! Quickstart: profile a DRAM architecture, run the DSE on one AlexNet
+//! layer, and print the minimum-EDP configuration.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use drmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Profile the per-access-condition costs of SALP-2 (Fig. 1 data).
+    let profiler = Profiler::table_ii()?;
+    let table = profiler.cost_table(DramArch::Salp2);
+
+    // 2. Build the analytical EDP model (Eq. 1-3) on top of the profile.
+    let model = EdpModel::new(
+        Geometry::salp_2gb_x8(),
+        table,
+        AcceleratorConfig::table_ii(),
+    );
+
+    // 3. Explore AlexNet CONV2: tilings x schedules x Table I mappings.
+    let engine = DseEngine::new(model, DseConfig::default());
+    let network = Network::alexnet();
+    let conv2 = &network.layers()[1];
+    let result = engine.explore_layer(conv2)?;
+
+    println!("layer     : {conv2}");
+    println!("evaluated : {} configurations", result.evaluations);
+    println!("best      : {}", result.best);
+    println!(
+        "DRMap won?: {}",
+        if result.best.mapping.is_drmap() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    Ok(())
+}
