@@ -1,0 +1,62 @@
+//! Criterion bench for the job-server subsystem: batched multi-worker
+//! throughput vs sequential single-worker execution on the same
+//! workload set, plus the cost of a warm-cache resubmission.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drmap_service::engine::ServiceState;
+use drmap_service::pool::DsePool;
+use drmap_service::prelude::Network;
+use drmap_service::spec::{EngineSpec, JobSpec};
+
+fn batch() -> Vec<JobSpec> {
+    vec![
+        JobSpec::network(1, EngineSpec::default(), Network::tiny()),
+        JobSpec::network(2, EngineSpec::default(), Network::alexnet()),
+        JobSpec::network(3, EngineSpec::default(), Network::squeezenet()),
+    ]
+}
+
+fn bench_service(c: &mut Criterion) {
+    let jobs = batch();
+    let layers: u64 = jobs.iter().map(|j| j.workload.layers().len() as u64).sum();
+
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(layers));
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cold_batch", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // Fresh state per iteration: an empty cache, so every
+                    // layer is computed. 1 worker ≙ sequential execution.
+                    let state = ServiceState::new().unwrap();
+                    let pool = DsePool::new(state, workers);
+                    for result in pool.run_batch(&jobs) {
+                        std::hint::black_box(result.unwrap());
+                    }
+                })
+            },
+        );
+    }
+
+    // Warm cache: every layer is a memo hit.
+    let state = ServiceState::new().unwrap();
+    let pool = DsePool::new(Arc::clone(&state), 4);
+    for result in pool.run_batch(&jobs) {
+        result.unwrap();
+    }
+    group.bench_function("warm_batch/4", |b| {
+        b.iter(|| {
+            for result in pool.run_batch(&jobs) {
+                std::hint::black_box(result.unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

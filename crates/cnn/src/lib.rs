@@ -27,6 +27,7 @@ pub mod accelerator;
 pub mod error;
 pub mod layer;
 pub mod network;
+pub mod spec;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -34,4 +35,5 @@ pub mod prelude {
     pub use crate::error::ModelError;
     pub use crate::layer::{DataKind, Layer, LayerKind};
     pub use crate::network::Network;
+    pub use crate::spec::{parse_network, render_network};
 }

@@ -6,6 +6,9 @@ use core::fmt;
 use crate::error::ModelError;
 use crate::layer::Layer;
 
+/// A model-zoo entry: lookup name plus preset constructor.
+pub type ZooEntry = (&'static str, fn() -> Network);
+
 /// An ordered list of layers processed one at a time on the accelerator.
 ///
 /// # Examples
@@ -195,6 +198,138 @@ impl Network {
         Network::new("ResNet-18", layers).expect("ResNet-18 preset is valid")
     }
 
+    /// MobileNetV1 (Howard et al., 2017) with the standard 224×224
+    /// configuration: a stride-2 stem followed by 13 depthwise-separable
+    /// blocks, each modelled as a grouped 3×3 depthwise convolution
+    /// (`groups == channels`) plus a dense 1×1 pointwise convolution.
+    /// Exercises layer shapes AlexNet/VGG never produce: extreme
+    /// channel-grouping and 1×1 kernels at every spatial scale.
+    pub fn mobilenet_v1() -> Self {
+        let mut layers = vec![Layer::conv("CONV1", 112, 112, 32, 3, 3, 3, 2)];
+        // (output hw, input channels, output channels, depthwise stride);
+        // stride 2 halves the spatial size relative to the previous block.
+        let blocks: [(usize, usize, usize, usize); 13] = [
+            (112, 32, 64, 1),
+            (56, 64, 128, 2),
+            (56, 128, 128, 1),
+            (28, 128, 256, 2),
+            (28, 256, 256, 1),
+            (14, 256, 512, 2),
+            (14, 512, 512, 1),
+            (14, 512, 512, 1),
+            (14, 512, 512, 1),
+            (14, 512, 512, 1),
+            (14, 512, 512, 1),
+            (7, 512, 1024, 2),
+            (7, 1024, 1024, 1),
+        ];
+        for (n, &(hw, in_ch, out_ch, stride)) in blocks.iter().enumerate() {
+            let b = n + 1;
+            layers.push(Layer::conv_grouped(
+                &format!("DW{b}"),
+                hw,
+                hw,
+                in_ch,
+                in_ch,
+                3,
+                3,
+                stride,
+                in_ch,
+            ));
+            layers.push(Layer::conv(
+                &format!("PW{b}"),
+                hw,
+                hw,
+                out_ch,
+                in_ch,
+                1,
+                1,
+                1,
+            ));
+        }
+        layers.push(Layer::fully_connected("FC", 1024, 1000));
+        Network::new("MobileNetV1", layers).expect("MobileNetV1 preset is valid")
+    }
+
+    /// SqueezeNet v1.1 (Iandola et al., 2016): a small stem plus eight
+    /// "fire" modules, each modelled as a 1×1 squeeze convolution and two
+    /// parallel expand convolutions (1×1 and 3×3) over the squeezed
+    /// channels. Pooling layers move no DRAM tile traffic and are
+    /// represented by the spatial-size drops between modules.
+    pub fn squeezenet() -> Self {
+        let mut layers = vec![Layer::conv("CONV1", 113, 113, 64, 3, 3, 3, 2)];
+        // (module, output hw, input channels, squeeze, expand) — expand
+        // applies to both the 1×1 and 3×3 branches; the module outputs
+        // their concatenation (2 × expand channels).
+        let fires: [(usize, usize, usize, usize, usize); 8] = [
+            (2, 56, 64, 16, 64),
+            (3, 56, 128, 16, 64),
+            (4, 28, 128, 32, 128),
+            (5, 28, 256, 32, 128),
+            (6, 14, 256, 48, 192),
+            (7, 14, 384, 48, 192),
+            (8, 14, 384, 64, 256),
+            (9, 14, 512, 64, 256),
+        ];
+        for &(m, hw, in_ch, squeeze, expand) in &fires {
+            layers.push(Layer::conv(
+                &format!("FIRE{m}_SQ"),
+                hw,
+                hw,
+                squeeze,
+                in_ch,
+                1,
+                1,
+                1,
+            ));
+            layers.push(Layer::conv(
+                &format!("FIRE{m}_E1"),
+                hw,
+                hw,
+                expand,
+                squeeze,
+                1,
+                1,
+                1,
+            ));
+            layers.push(Layer::conv(
+                &format!("FIRE{m}_E3"),
+                hw,
+                hw,
+                expand,
+                squeeze,
+                3,
+                3,
+                1,
+            ));
+        }
+        layers.push(Layer::conv("CONV10", 14, 14, 1000, 512, 1, 1, 1));
+        Network::new("SqueezeNet-v1.1", layers).expect("SqueezeNet preset is valid")
+    }
+
+    /// The built-in model zoo: every preset constructor by its lookup
+    /// name, in a stable order.
+    pub fn zoo() -> Vec<ZooEntry> {
+        vec![
+            ("alexnet", Network::alexnet as fn() -> Network),
+            ("alexnet-grouped", Network::alexnet_grouped),
+            ("vgg16", Network::vgg16),
+            ("resnet18", Network::resnet18),
+            ("mobilenet", Network::mobilenet_v1),
+            ("squeezenet", Network::squeezenet),
+            ("tiny", Network::tiny),
+        ]
+    }
+
+    /// Look up a preset network by its zoo name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Network> {
+        let name = name.to_ascii_lowercase();
+        Network::zoo()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, build)| build())
+    }
+
     /// A tiny three-layer network for fast tests and examples.
     pub fn tiny() -> Self {
         Network::new(
@@ -284,6 +419,54 @@ mod tests {
         // ~1.8 GMACs is the canonical figure.
         let macs = r.total_macs();
         assert!(macs > 1_500_000_000 && macs < 2_100_000_000, "{macs}");
+    }
+
+    #[test]
+    fn mobilenet_shapes_and_macs() {
+        let m = Network::mobilenet_v1();
+        // 1 stem + 13 * (depthwise + pointwise) + 1 FC = 28 layers.
+        assert_eq!(m.layers().len(), 28);
+        // Every depthwise layer is fully grouped.
+        for l in m.layers().iter().filter(|l| l.name.starts_with("DW")) {
+            assert_eq!(l.groups, l.i);
+            assert_eq!(l.i, l.j);
+        }
+        // Every pointwise layer is a dense 1×1 convolution.
+        for l in m.layers().iter().filter(|l| l.name.starts_with("PW")) {
+            assert_eq!((l.p, l.q, l.groups), (1, 1, 1));
+        }
+        // The canonical MobileNetV1 figure is ~569 M MACs.
+        let macs = m.total_macs();
+        assert!(macs > 500_000_000 && macs < 640_000_000, "{macs}");
+    }
+
+    #[test]
+    fn squeezenet_shapes_and_macs() {
+        let s = Network::squeezenet();
+        // 1 stem + 8 fire modules * 3 convs + 1 classifier = 26 layers.
+        assert_eq!(s.layers().len(), 26);
+        // Expand branches consume the squeezed channels.
+        let sq = s.layers().iter().find(|l| l.name == "FIRE2_SQ").unwrap();
+        let e3 = s.layers().iter().find(|l| l.name == "FIRE2_E3").unwrap();
+        assert_eq!(e3.i, sq.j);
+        // SqueezeNet v1.1 is ~350 M MACs — far smaller than AlexNet.
+        let macs = s.total_macs();
+        assert!(macs > 200_000_000 && macs < 500_000_000, "{macs}");
+        assert!(macs < Network::alexnet().total_macs());
+    }
+
+    #[test]
+    fn zoo_lookup_finds_every_preset() {
+        for (name, build) in Network::zoo() {
+            let from_name = Network::by_name(name).expect("zoo name resolves");
+            assert_eq!(from_name, build(), "zoo mismatch for {name}");
+        }
+        assert_eq!(
+            Network::by_name("AlexNet").unwrap(),
+            Network::alexnet(),
+            "lookup is case-insensitive"
+        );
+        assert!(Network::by_name("no-such-net").is_none());
     }
 
     #[test]

@@ -36,6 +36,29 @@ pub enum Objective {
 }
 
 impl Objective {
+    /// All objectives.
+    pub const ALL: [Objective; 4] = [
+        Objective::Edp,
+        Objective::Energy,
+        Objective::Delay,
+        Objective::Ed2p,
+    ];
+
+    /// Stable textual label (used in cache keys and wire formats).
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Edp => "edp",
+            Objective::Energy => "energy",
+            Objective::Delay => "delay",
+            Objective::Ed2p => "ed2p",
+        }
+    }
+
+    /// Parse a [`Objective::label`] string.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Objective::ALL.into_iter().find(|o| o.label() == label)
+    }
+
     /// Scalar score of an estimate under this objective (lower is better).
     pub fn score(self, estimate: &EdpEstimate) -> f64 {
         match self {
@@ -49,6 +72,7 @@ impl Objective {
 
 /// Which schemes and mappings the DSE sweeps.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DseConfig {
     /// Scheduling schemes to consider (default: all four of the paper).
     pub schemes: Vec<ReuseScheme>,
@@ -69,6 +93,66 @@ impl Default for DseConfig {
             objective: Objective::Edp,
         }
     }
+}
+
+impl DseConfig {
+    /// Canonical, order-sensitive fingerprint of the sweep configuration.
+    ///
+    /// Two engines with equal fingerprints (and equal models) perform the
+    /// same sweep in the same order, so their results are bit-identical —
+    /// the property memoization caches rely on.
+    pub fn fingerprint(&self) -> String {
+        let schemes: Vec<&str> = self.schemes.iter().map(|s| s.label()).collect();
+        let mappings: Vec<String> = self.mappings.iter().map(|m| m.name()).collect();
+        format!(
+            "obj={};schemes={};mappings={};points={}",
+            self.objective.label(),
+            schemes.join("+"),
+            mappings.join("+"),
+            self.keep_points,
+        )
+    }
+}
+
+/// A thread-safe, shareable handle to a [`DseEngine`].
+///
+/// The engine is immutable after construction and `Send + Sync`, so one
+/// handle can serve any number of worker threads concurrently (the
+/// job-server crate shards a network's layers across workers this way).
+pub type SharedEngine = std::sync::Arc<DseEngine>;
+
+/// Canonical memoization key for a single-layer exploration.
+///
+/// Captures everything that determines [`DseEngine::explore_layer`]'s
+/// output **except the layer's name**: the layer shape, the accelerator
+/// configuration (buffers bound the tiling enumeration; precision scales
+/// traffic), the sweep configuration, and an `engine_tag` identifying the
+/// profiled substrate (DRAM architecture, geometry, timing/energy
+/// parameters). Identically shaped layers — e.g. VGG-16's repeated conv
+/// blocks — therefore share one cache entry.
+pub fn layer_cache_key(
+    engine_tag: &str,
+    layer: &Layer,
+    acc: &drmap_cnn::accelerator::AcceleratorConfig,
+    config: &DseConfig,
+) -> String {
+    format!(
+        "{engine_tag}|h{}w{}j{}i{}p{}q{}s{}g{}|ib{}wb{}ob{}px{}b{}|{}",
+        layer.h,
+        layer.w,
+        layer.j,
+        layer.i,
+        layer.p,
+        layer.q,
+        layer.stride,
+        layer.groups,
+        acc.ifms_buffer,
+        acc.wghs_buffer,
+        acc.ofms_buffer,
+        acc.precision.bytes(),
+        acc.batch,
+        config.fingerprint(),
+    )
 }
 
 /// One evaluated configuration.
@@ -97,6 +181,7 @@ impl fmt::Display for DseCandidate {
 
 /// DSE output for one layer.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerDseResult {
     /// Layer name.
     pub layer_name: String,
@@ -110,6 +195,7 @@ pub struct LayerDseResult {
 
 /// DSE output for a whole network.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkDseResult {
     /// Per-layer results, in network order.
     pub layers: Vec<LayerDseResult>,
@@ -162,6 +248,12 @@ impl DseEngine {
     /// The sweep configuration.
     pub fn config(&self) -> &DseConfig {
         &self.config
+    }
+
+    /// Wrap the engine in a thread-safe shared handle (see
+    /// [`SharedEngine`]).
+    pub fn into_shared(self) -> SharedEngine {
+        std::sync::Arc::new(self)
     }
 
     /// Evaluate one explicit configuration (used by the figure harness).
@@ -264,26 +356,21 @@ impl DseEngine {
     /// Propagates the first per-layer failure.
     pub fn explore_network(&self, network: &Network) -> Result<NetworkDseResult, DseError> {
         let layers = network.layers();
-        let mut results: Vec<Option<Result<LayerDseResult, DseError>>> =
-            (0..layers.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (layer, slot) in layers.iter().zip(results.iter_mut()) {
-                let engine = self;
-                handles.push(scope.spawn(move |_| {
-                    *slot = Some(engine.explore_layer(layer));
-                }));
-            }
-            for h in handles {
-                h.join().expect("DSE worker panicked");
-            }
-        })
-        .expect("DSE scope panicked");
+        let results: Vec<Result<LayerDseResult, DseError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = layers
+                .iter()
+                .map(|layer| scope.spawn(move || self.explore_layer(layer)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DSE worker panicked"))
+                .collect()
+        });
 
         let mut layers_out = Vec::with_capacity(layers.len());
         let mut total = EdpEstimate::zero(self.model.table().t_ck_ns);
         for r in results {
-            let r = r.expect("worker filled its slot")?;
+            let r = r?;
             total.accumulate(&r.best.estimate);
             layers_out.push(r);
         }
@@ -452,6 +539,71 @@ mod tests {
         .best;
         assert!(delay_best.estimate.cycles <= edp_best.estimate.cycles * 1.0001);
         assert!(energy_best.estimate.energy <= edp_best.estimate.energy * 1.0001);
+    }
+
+    #[test]
+    fn engine_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DseEngine>();
+        assert_send_sync::<SharedEngine>();
+        let shared = engine(DseConfig::default()).into_shared();
+        let layer = conv3();
+        let direct = shared.explore_layer(&layer).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                let layer = layer.clone();
+                std::thread::spawn(move || shared.explore_layer(&layer).unwrap())
+            })
+            .collect();
+        for t in threads {
+            let r = t.join().unwrap();
+            assert_eq!(r.best, direct.best);
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_name_but_not_shape_or_config() {
+        let acc = AcceleratorConfig::table_ii();
+        let config = DseConfig::default();
+        let a = layer_cache_key("SALP-2", &conv3(), &acc, &config);
+        let renamed = Layer::conv("OTHER", 13, 13, 384, 256, 3, 3, 1);
+        assert_eq!(a, layer_cache_key("SALP-2", &renamed, &acc, &config));
+
+        let reshaped = Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 2);
+        assert_ne!(a, layer_cache_key("SALP-2", &reshaped, &acc, &config));
+        assert_ne!(a, layer_cache_key("DDR3", &conv3(), &acc, &config));
+
+        let delay = DseConfig {
+            objective: Objective::Delay,
+            ..DseConfig::default()
+        };
+        assert_ne!(a, layer_cache_key("SALP-2", &conv3(), &acc, &delay));
+
+        let mut wide = acc;
+        wide.ifms_buffer *= 2;
+        assert_ne!(a, layer_cache_key("SALP-2", &conv3(), &wide, &config));
+    }
+
+    #[test]
+    fn fingerprint_tracks_sweep_contents() {
+        let d = DseConfig::default();
+        let fp = d.fingerprint();
+        assert!(fp.contains("obj=edp"));
+        assert!(fp.contains("adaptive-reuse"));
+        let reduced = DseConfig {
+            schemes: vec![ReuseScheme::OfmsReuse],
+            ..DseConfig::default()
+        };
+        assert_ne!(fp, reduced.fingerprint());
+    }
+
+    #[test]
+    fn objective_labels_round_trip() {
+        for o in Objective::ALL {
+            assert_eq!(Objective::from_label(o.label()), Some(o));
+        }
+        assert_eq!(Objective::from_label("bogus"), None);
     }
 
     #[test]

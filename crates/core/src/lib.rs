@@ -63,7 +63,8 @@ pub mod prelude {
         bytes_to_bursts, tile_cost, transition_counts, TransitionCounts,
     };
     pub use crate::dse::{
-        DseCandidate, DseConfig, DseEngine, LayerDseResult, NetworkDseResult, Objective,
+        layer_cache_key, DseCandidate, DseConfig, DseEngine, LayerDseResult, NetworkDseResult,
+        Objective, SharedEngine,
     };
     pub use crate::edp::{CostComponent, EdpEstimate, EdpModel, LayerBreakdown};
     pub use crate::error::DseError;

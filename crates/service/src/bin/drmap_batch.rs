@@ -1,0 +1,244 @@
+//! `drmap-batch` — run a batch of DSE jobs and print a throughput and
+//! cache report.
+//!
+//! ```text
+//! drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] [--objective OBJ]
+//!             [--workers N] [--repeat R] [--compare]
+//! ```
+//!
+//! `SPEC_FILE` holds one JSON job per line (the server's request
+//! format; blank lines and `#` comments ignored). Without a file,
+//! `--models` (default `alexnet,squeezenet,tiny`) builds one job per
+//! zoo network. `--repeat R` submits the whole batch `R` times —
+//! repeats hit the memo cache. `--compare` also times the same batch on
+//! a fresh single-worker pool and reports the multi-worker speedup.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drmap_service::engine::{default_workers, ServiceState};
+use drmap_service::error::ServiceError;
+use drmap_service::json::Json;
+use drmap_service::pool::DsePool;
+use drmap_service::prelude::Network;
+use drmap_service::spec::{EngineSpec, JobResult, JobSpec};
+
+struct Args {
+    spec_file: Option<String>,
+    models: Vec<String>,
+    engine: EngineSpec,
+    workers: usize,
+    repeat: usize,
+    compare: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec_file: None,
+        models: vec!["alexnet".into(), "squeezenet".into(), "tiny".into()],
+        engine: EngineSpec::default(),
+        workers: default_workers(),
+        repeat: 1,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--arch" => {
+                let label = value("--arch")?;
+                let engine_json = Json::obj([("arch", Json::str(label))]);
+                args.engine.arch = EngineSpec::from_json(&engine_json)
+                    .map_err(|e| e.to_string())?
+                    .arch;
+            }
+            "--objective" => {
+                let label = value("--objective")?;
+                let engine_json = Json::obj([("objective", Json::str(label))]);
+                args.engine.objective = EngineSpec::from_json(&engine_json)
+                    .map_err(|e| e.to_string())?
+                    .objective;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+            }
+            "--repeat" => {
+                let v = value("--repeat")?;
+                args.repeat = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("invalid repeat count {v:?}"))?;
+            }
+            "--compare" => args.compare = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
+                     [--objective OBJ] [--workers N] [--repeat R] [--compare]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.spec_file.is_none() => {
+                args.spec_file = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_specs(args: &Args) -> Result<Vec<JobSpec>, String> {
+    if let Some(path) = &args.spec_file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let mut specs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parsed = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            specs.push(JobSpec::from_json(&parsed).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+        }
+        if specs.is_empty() {
+            return Err(format!("{path:?} contains no job specs"));
+        }
+        return Ok(specs);
+    }
+    args.models
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            Network::by_name(name)
+                .map(|net| JobSpec::network(i as u64 + 1, args.engine, net))
+                .ok_or_else(|| format!("unknown model {name:?}"))
+        })
+        .collect()
+}
+
+/// The full batch: every spec, `repeat` times over.
+fn batch_of(specs: &[JobSpec], repeat: usize) -> Vec<JobSpec> {
+    let mut batch = Vec::with_capacity(specs.len() * repeat);
+    for round in 0..repeat {
+        for spec in specs {
+            let mut spec = spec.clone();
+            spec.id += (round * specs.len()) as u64;
+            batch.push(spec);
+        }
+    }
+    batch
+}
+
+fn run_timed(
+    workers: usize,
+    batch: &[JobSpec],
+) -> Result<(Vec<JobResult>, Duration, Arc<ServiceState>), ServiceError> {
+    let state = ServiceState::new()?;
+    let pool = DsePool::new(Arc::clone(&state), workers);
+    let start = Instant::now();
+    let results = pool
+        .run_batch(batch)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((results, start.elapsed(), state))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("drmap-batch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let specs = load_specs(&args)?;
+    let batch = batch_of(&specs, args.repeat);
+    let (results, elapsed, state) = run_timed(args.workers, &batch).map_err(|e| e.to_string())?;
+
+    println!("job  workload            layers  cached  total-EDP (J*s)");
+    for result in &results {
+        println!(
+            "{:<4} {:<20} {:>5} {:>7}  {:.4e}",
+            result.id,
+            result.workload,
+            result.layers.len(),
+            result.cache_hits(),
+            result.total.edp(),
+        );
+    }
+
+    let layers: usize = results.iter().map(|r| r.layers.len()).sum();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let stats = state.cache().stats();
+    println!();
+    println!(
+        "{} jobs ({} layers) on {} workers in {:.3}s  ->  {:.2} jobs/s, {:.1} layers/s",
+        results.len(),
+        layers,
+        args.workers,
+        secs,
+        results.len() as f64 / secs,
+        layers as f64 / secs,
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+    );
+
+    if args.compare {
+        let (_, sequential, _) = run_timed(1, &batch).map_err(|e| e.to_string())?;
+        let seq_secs = sequential.as_secs_f64().max(1e-9);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!(
+            "compare: 1 worker {:.3}s vs {} workers {:.3}s  ->  {:.2}x speedup \
+             ({} cores available{})",
+            seq_secs,
+            args.workers,
+            secs,
+            seq_secs / secs,
+            cores,
+            if cores == 1 {
+                "; multi-worker speedup needs >1 core"
+            } else {
+                ""
+            },
+        );
+
+        // Cache effect, independent of core count: resubmit the whole
+        // batch on the already-warm pool state.
+        let warm_pool = DsePool::new(Arc::clone(&state), args.workers);
+        let start = Instant::now();
+        let warm: Result<Vec<_>, _> = warm_pool.run_batch(&batch).into_iter().collect();
+        let warm = warm.map_err(|e| e.to_string())?;
+        let warm_secs = start.elapsed().as_secs_f64().max(1e-9);
+        let warm_hits: usize = warm.iter().map(JobResult::cache_hits).sum();
+        println!(
+            "warm resubmission: {:.3}s ({:.1} layers/s, {warm_hits}/{layers} layers cached) \
+             ->  {:.2}x vs cold",
+            warm_secs,
+            layers as f64 / warm_secs,
+            secs / warm_secs,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! `drmap-serve` — the DSE job server.
+//!
+//! ```text
+//! drmap-serve [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Speaks newline-delimited JSON over TCP; see the `drmap_service`
+//! crate docs for the protocol. Try it with netcat:
+//!
+//! ```text
+//! $ drmap-serve --addr 127.0.0.1:7878 &
+//! $ echo '{"id":1,"network":{"model":"alexnet"}}' | nc 127.0.0.1 7878
+//! ```
+
+use std::process::ExitCode;
+
+use drmap_service::engine::default_workers;
+use drmap_service::server::JobServer;
+
+struct Args {
+    addr: String,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_owned(),
+        workers: default_workers(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--workers" => {
+                let value = it.next().ok_or("--workers needs a count")?;
+                args.workers = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("invalid worker count {value:?}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: drmap-serve [--addr HOST:PORT] [--workers N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("drmap-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match JobServer::bind(&args.addr, args.workers) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("drmap-serve: failed to start on {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!(
+            "drmap-serve: listening on {addr} with {} workers",
+            args.workers
+        ),
+        Err(e) => eprintln!("drmap-serve: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("drmap-serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("drmap-serve: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,168 @@
+//! The shared per-layer memoization cache.
+//!
+//! Keys come from [`drmap_core::dse::layer_cache_key`]: a canonical
+//! string over the layer *shape*, accelerator configuration, sweep
+//! configuration, and the profiled substrate. Because the key ignores
+//! layer names, repeated shapes hit the cache whether they recur within
+//! one network (VGG-16's duplicated conv blocks), across jobs, or on
+//! resubmission of a whole batch. Values are full
+//! [`LayerDseResult`]s, cloned out on hit, so a cached answer is
+//! bit-identical to the original computation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use drmap_core::dse::LayerDseResult;
+
+/// Hit/miss counters and current size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memoization cache for single-layer DSE results.
+#[derive(Debug, Default)]
+pub struct DseCache {
+    map: Mutex<HashMap<String, LayerDseResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DseCache::default()
+    }
+
+    /// Look up a key, counting the outcome. The stored result's
+    /// `layer_name` is whatever layer populated the entry first; callers
+    /// overwrite it with the requesting layer's name.
+    pub fn get(&self, key: &str) -> Option<LayerDseResult> {
+        let map = self.map.lock().expect("cache mutex poisoned");
+        match map.get(key) {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a result. Concurrent computations of the same key may both
+    /// insert; they computed identical values, so last-write-wins is
+    /// deterministic.
+    pub fn insert(&self, key: String, result: LayerDseResult) {
+        self.map
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(key, result);
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache mutex poisoned").len(),
+        }
+    }
+
+    /// Drop every entry and zero the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache mutex poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drmap_core::dse::DseCandidate;
+    use drmap_core::edp::EdpEstimate;
+    use drmap_core::mapping::MappingPolicy;
+    use drmap_core::schedule::ReuseScheme;
+    use drmap_core::tiling::Tiling;
+
+    fn result(name: &str) -> LayerDseResult {
+        LayerDseResult {
+            layer_name: name.to_owned(),
+            best: DseCandidate {
+                mapping: MappingPolicy::drmap(),
+                tiling: Tiling::new(1, 1, 1, 1),
+                scheme: ReuseScheme::OfmsReuse,
+                estimate: EdpEstimate {
+                    cycles: 1.0,
+                    energy: 2.0,
+                    t_ck_ns: 1.25,
+                },
+            },
+            evaluations: 7,
+            pareto: vec![],
+        }
+    }
+
+    #[test]
+    fn counts_hits_misses_and_entries() {
+        let cache = DseCache::new();
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), result("a"));
+        let hit = cache.get("k").unwrap();
+        assert_eq!(hit.evaluations, 7);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = DseCache::new();
+        cache.insert("k".into(), result("a"));
+        cache.get("k");
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn is_shareable_across_threads() {
+        let cache = std::sync::Arc::new(DseCache::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let key = format!("k{}", i % 2);
+                    cache.insert(key.clone(), result("x"));
+                    cache.get(&key).expect("just inserted")
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 8);
+    }
+}

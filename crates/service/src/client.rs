@@ -1,0 +1,136 @@
+//! A small blocking client for the NDJSON-over-TCP protocol.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::spec::{JobResult, JobSpec};
+
+/// Cache/pool statistics as reported by a server's `stats` command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Cache lookups served from memory.
+    pub hits: u64,
+    /// Cache lookups that required computation.
+    pub misses: u64,
+    /// Distinct cached layer results.
+    pub entries: usize,
+    /// `hits / (hits + misses)`, 0 before any lookup.
+    pub hit_rate: f64,
+    /// Worker threads in the server's pool.
+    pub workers: usize,
+}
+
+/// A connected client; one request/response exchange at a time.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running [`JobServer`](crate::server::JobServer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request line and read one response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, unparsable responses, or a closed server.
+    pub fn request(&mut self, payload: &Json) -> Result<Json, ServiceError> {
+        self.writer.write_all(payload.render().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServiceError::protocol("server closed the connection"));
+        }
+        Ok(Json::parse(line.trim_end())?)
+    }
+
+    /// Check that a response has `"ok": true`, surfacing its error.
+    fn expect_ok(response: Json) -> Result<Json, ServiceError> {
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("server reported failure without an error message");
+            Err(ServiceError::protocol(message))
+        }
+    }
+
+    /// Submit a job and wait for its result.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces server-side job failures as protocol errors.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JobResult, ServiceError> {
+        let response = Self::expect_ok(self.request(&spec.to_json())?)?;
+        let result = response
+            .get("result")
+            .ok_or_else(|| ServiceError::protocol("response missing \"result\""))?;
+        JobResult::from_json(result)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable or answers incorrectly.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        let response = Self::expect_ok(self.request(&Json::obj([("cmd", Json::str("ping"))]))?)?;
+        match response.get("pong").and_then(Json::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err(ServiceError::protocol("ping got no pong")),
+        }
+    }
+
+    /// Fetch the server's cache/pool statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses.
+    pub fn stats(&mut self) -> Result<ServerStats, ServiceError> {
+        let response = Self::expect_ok(self.request(&Json::obj([("cmd", Json::str("stats"))]))?)?;
+        let stats = response
+            .get("stats")
+            .ok_or_else(|| ServiceError::protocol("response missing \"stats\""))?;
+        let int = |name: &str| {
+            stats
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::protocol(format!("stats missing {name:?}")))
+        };
+        Ok(ServerStats {
+            hits: int("hits")?,
+            misses: int("misses")?,
+            entries: int("entries")? as usize,
+            hit_rate: stats.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
+            workers: int("workers")? as usize,
+        })
+    }
+
+    /// Ask the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server rejects the command.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        Self::expect_ok(self.request(&Json::obj([("cmd", Json::str("shutdown"))]))?)?;
+        Ok(())
+    }
+}

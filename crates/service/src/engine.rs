@@ -1,0 +1,278 @@
+//! Engine construction and the cached single-layer execution path.
+//!
+//! Profiling an architecture's access-cost table is the expensive part
+//! of engine construction (it runs the cycle-level simulator), so
+//! [`EngineFactory`] profiles once per [`DramArch`] and memoizes the
+//! table; building a [`DseEngine`] from a memoized table is cheap enough
+//! to do per job. [`ServiceState`] bundles the factory with the shared
+//! layer cache — one `Arc<ServiceState>` is the whole service's shared
+//! state, handed to every worker, connection handler, and front-end.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::layer::Layer;
+use drmap_core::dse::{layer_cache_key, DseConfig, DseEngine, LayerDseResult};
+use drmap_core::edp::EdpModel;
+use drmap_core::error::DseError;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::profiler::{AccessCostTable, Profiler};
+use drmap_dram::timing::DramArch;
+
+use crate::cache::DseCache;
+use crate::error::ServiceError;
+use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome};
+
+/// Builds [`DseEngine`]s on demand, memoizing the profiled cost tables.
+#[derive(Debug)]
+pub struct EngineFactory {
+    geometry: Geometry,
+    acc: AcceleratorConfig,
+    profiler: Profiler,
+    substrate: &'static str,
+    tables: Mutex<HashMap<DramArch, AccessCostTable>>,
+}
+
+impl EngineFactory {
+    /// The paper's substrate: Table II geometry and accelerator, DDR3-1600K
+    /// timing, Micron 2Gb x8 energy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiler configuration errors (none for the built-in
+    /// configuration).
+    pub fn table_ii() -> Result<Self, ServiceError> {
+        Ok(EngineFactory {
+            geometry: Geometry::salp_2gb_x8(),
+            acc: AcceleratorConfig::table_ii(),
+            profiler: Profiler::table_ii()?,
+            substrate: "salp_2gb_x8/ddr3_1600k/micron_2gb_x8/table_ii",
+            tables: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The accelerator configuration every engine uses.
+    pub fn accelerator(&self) -> &AcceleratorConfig {
+        &self.acc
+    }
+
+    /// Cache-key tag identifying the profiled substrate for `spec`:
+    /// everything that determines an engine's model besides the sweep
+    /// configuration (which [`layer_cache_key`] covers separately).
+    pub fn engine_tag(&self, spec: &EngineSpec) -> String {
+        format!("{}@{}", spec.arch.label(), self.substrate)
+    }
+
+    /// Build an engine for `spec`, profiling the architecture on first
+    /// use and reusing the memoized cost table afterwards.
+    pub fn engine(&self, spec: &EngineSpec) -> DseEngine {
+        // Profile *outside* the lock: the cycle-level profiler is the
+        // expensive part, and holding the map mutex across it would
+        // stall every concurrent engine construction — including ones
+        // whose tables are already memoized. Two threads racing on a
+        // cold architecture may both profile; the results are
+        // identical, so last-write-wins is deterministic.
+        let memoized = self
+            .tables
+            .lock()
+            .expect("table mutex poisoned")
+            .get(&spec.arch)
+            .cloned();
+        let table = match memoized {
+            Some(table) => table,
+            None => {
+                let table = self.profiler.cost_table(spec.arch);
+                self.tables
+                    .lock()
+                    .expect("table mutex poisoned")
+                    .insert(spec.arch, table.clone());
+                table
+            }
+        };
+        let config = DseConfig {
+            objective: spec.objective,
+            ..DseConfig::default()
+        };
+        DseEngine::new(EdpModel::new(self.geometry, table, self.acc), config)
+    }
+}
+
+/// The service's shared state: engine factory plus layer memo cache.
+#[derive(Debug)]
+pub struct ServiceState {
+    factory: EngineFactory,
+    cache: DseCache,
+}
+
+impl ServiceState {
+    /// Shared state over the paper's Table II substrate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineFactory::table_ii`] failures.
+    pub fn new() -> Result<Arc<Self>, ServiceError> {
+        Ok(Arc::new(ServiceState {
+            factory: EngineFactory::table_ii()?,
+            cache: DseCache::new(),
+        }))
+    }
+
+    /// The engine factory.
+    pub fn factory(&self) -> &EngineFactory {
+        &self.factory
+    }
+
+    /// The shared layer cache.
+    pub fn cache(&self) -> &DseCache {
+        &self.cache
+    }
+
+    /// Explore one layer through the cache: returns the result plus
+    /// whether it was served from cache. Cached results are re-labelled
+    /// with the requesting layer's name (keys ignore names).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DseEngine::explore_layer`] failures. Failures are
+    /// not cached.
+    pub fn explore_layer_cached(
+        &self,
+        engine: &DseEngine,
+        tag: &str,
+        layer: &Layer,
+    ) -> Result<(LayerDseResult, bool), DseError> {
+        let acc = engine.model().traffic_model().accelerator();
+        let key = layer_cache_key(tag, layer, acc, engine.config());
+        if let Some(mut hit) = self.cache.get(&key) {
+            hit.layer_name.clone_from(&layer.name);
+            return Ok((hit, true));
+        }
+        let result = engine.explore_layer(layer)?;
+        self.cache.insert(key, result.clone());
+        Ok((result, false))
+    }
+
+    /// Run a whole job sequentially on the calling thread (the reference
+    /// path; the worker pool produces bit-identical results in parallel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    pub fn run_job(&self, spec: &JobSpec) -> Result<JobResult, ServiceError> {
+        let engine = self.factory.engine(&spec.engine);
+        let tag = self.factory.engine_tag(&spec.engine);
+        let mut outcomes = Vec::with_capacity(spec.workload.layers().len());
+        let mut total = drmap_core::edp::EdpEstimate::zero(engine.model().table().t_ck_ns);
+        for layer in spec.workload.layers() {
+            let (result, cached) = self.explore_layer_cached(&engine, &tag, layer)?;
+            total.accumulate(&result.best.estimate);
+            outcomes.push(outcome_from_result(result, cached));
+        }
+        Ok(JobResult {
+            id: spec.id,
+            workload: spec.workload.name().to_owned(),
+            total,
+            layers: outcomes,
+        })
+    }
+}
+
+/// Convert a core-layer result into the service's wire outcome.
+pub(crate) fn outcome_from_result(result: LayerDseResult, cached: bool) -> LayerOutcome {
+    LayerOutcome {
+        name: result.layer_name,
+        mapping: result.best.mapping.name(),
+        scheme: result.best.scheme.label().to_owned(),
+        tiling: result.best.tiling,
+        estimate: result.best.estimate,
+        evaluations: result.evaluations as u64,
+        cached,
+    }
+}
+
+/// Number of workers to use when the caller does not specify one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drmap_cnn::network::Network;
+
+    #[test]
+    fn factory_profiles_each_arch_once_and_engines_agree() {
+        let state = ServiceState::new().unwrap();
+        let spec = EngineSpec::default();
+        let e1 = state.factory().engine(&spec);
+        let e2 = state.factory().engine(&spec);
+        let tiny = Network::tiny();
+        let layer = &tiny.layers()[0];
+        let r1 = e1.explore_layer(layer).unwrap();
+        let r2 = e2.explore_layer(layer).unwrap();
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(
+            r1.best.estimate.energy.to_bits(),
+            r2.best.estimate.energy.to_bits()
+        );
+    }
+
+    #[test]
+    fn engine_tags_distinguish_archs() {
+        let state = ServiceState::new().unwrap();
+        let tags: std::collections::HashSet<String> = DramArch::ALL
+            .into_iter()
+            .map(|arch| state.factory().engine_tag(&EngineSpec::for_arch(arch)))
+            .collect();
+        assert_eq!(tags.len(), DramArch::ALL.len());
+    }
+
+    #[test]
+    fn cached_layer_results_are_bit_identical_and_renamed() {
+        let state = ServiceState::new().unwrap();
+        let spec = EngineSpec::default();
+        let engine = state.factory().engine(&spec);
+        let tag = state.factory().engine_tag(&spec);
+        let layer = Layer::conv("FIRST", 8, 8, 16, 8, 3, 3, 1);
+        let (fresh, cached) = state.explore_layer_cached(&engine, &tag, &layer).unwrap();
+        assert!(!cached);
+        let renamed = Layer::conv("SECOND", 8, 8, 16, 8, 3, 3, 1);
+        let (hit, cached) = state.explore_layer_cached(&engine, &tag, &renamed).unwrap();
+        assert!(cached);
+        assert_eq!(hit.layer_name, "SECOND");
+        assert_eq!(hit.best, fresh.best);
+        assert_eq!(
+            hit.best.estimate.energy.to_bits(),
+            fresh.best.estimate.energy.to_bits()
+        );
+        assert_eq!(state.cache().stats().entries, 1);
+    }
+
+    #[test]
+    fn run_job_matches_direct_explore_network() {
+        let state = ServiceState::new().unwrap();
+        let spec = JobSpec::network(1, EngineSpec::default(), Network::tiny());
+        let served = state.run_job(&spec).unwrap();
+        let engine = state.factory().engine(&spec.engine);
+        let direct = engine.explore_network(&Network::tiny()).unwrap();
+        assert_eq!(served.layers.len(), direct.layers.len());
+        for (s, d) in served.layers.iter().zip(&direct.layers) {
+            assert_eq!(s.name, d.layer_name);
+            assert_eq!(s.mapping, d.best.mapping.name());
+            assert_eq!(s.tiling, d.best.tiling);
+            assert_eq!(
+                s.estimate.energy.to_bits(),
+                d.best.estimate.energy.to_bits()
+            );
+            assert_eq!(
+                s.estimate.cycles.to_bits(),
+                d.best.estimate.cycles.to_bits()
+            );
+        }
+        assert_eq!(served.total.energy.to_bits(), direct.total.energy.to_bits());
+        assert_eq!(served.total.cycles.to_bits(), direct.total.cycles.to_bits());
+    }
+}

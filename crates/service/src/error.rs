@@ -1,0 +1,92 @@
+//! The service's error type: protocol, exploration, and I/O failures.
+
+use core::fmt;
+
+use drmap_core::error::DseError;
+
+use crate::json::JsonError;
+
+/// Anything that can go wrong serving a job.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Malformed request or response (bad JSON, missing fields).
+    Protocol(String),
+    /// The exploration itself failed (e.g. no feasible tiling).
+    Dse(DseError),
+    /// Socket or file I/O failed.
+    Io(std::io::Error),
+}
+
+impl ServiceError {
+    /// A protocol error with the given message.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        ServiceError::Protocol(message.into())
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Dse(e) => write!(f, "exploration failed: {e}"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Dse(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<DseError> for ServiceError {
+    fn from(e: DseError) -> Self {
+        ServiceError::Dse(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<JsonError> for ServiceError {
+    fn from(e: JsonError) -> Self {
+        ServiceError::Protocol(e.to_string())
+    }
+}
+
+impl From<drmap_cnn::error::ModelError> for ServiceError {
+    fn from(e: drmap_cnn::error::ModelError) -> Self {
+        ServiceError::Protocol(e.to_string())
+    }
+}
+
+impl From<drmap_dram::error::ConfigError> for ServiceError {
+    fn from(e: drmap_dram::error::ConfigError) -> Self {
+        ServiceError::Protocol(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_each_variant() {
+        assert!(ServiceError::protocol("bad field")
+            .to_string()
+            .contains("bad field"));
+        assert!(ServiceError::from(DseError::new("no tiling"))
+            .to_string()
+            .contains("no tiling"));
+        let io = std::io::Error::other("boom");
+        assert!(ServiceError::from(io).to_string().contains("boom"));
+    }
+}

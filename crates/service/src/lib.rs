@@ -1,0 +1,83 @@
+//! # drmap-service
+//!
+//! A batched, cached DSE job server over the DRMap reproduction.
+//!
+//! The core crates answer one question at a time — "what is the best
+//! DRAM mapping for this layer/network?". This crate turns that into a
+//! *service*: many jobs, from many clients, answered concurrently from
+//! a shared worker pool with a memoization cache over per-layer results.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  drmap-serve (TCP, NDJSON)      drmap-batch (CLI)
+//!            \                      /
+//!             v                    v
+//!        JobSpec ──► DsePool (N workers, one shared layer queue)
+//!                        │ per-layer tasks
+//!                        v
+//!        ServiceState ── EngineFactory (cost table per DramArch)
+//!                   └─── DseCache (canonical shape-keyed memo)
+//! ```
+//!
+//! * [`spec`] — typed [`JobSpec`](spec::JobSpec)/[`JobResult`](spec::JobResult)
+//!   covering network- and layer-level jobs across every
+//!   [`DramArch`](drmap_dram::timing::DramArch) and
+//!   [`Objective`](drmap_core::dse::Objective);
+//! * [`pool`] — the worker-pool engine: every job is sharded into
+//!   per-layer tasks on one queue, so batches saturate all workers;
+//! * [`cache`] — the shared memo cache keyed by
+//!   [`layer_cache_key`](drmap_core::dse::layer_cache_key) (layer
+//!   *shape* + accelerator + substrate + sweep config), with hit/miss
+//!   counters;
+//! * [`server`]/[`client`] — a hand-rolled, std-only
+//!   newline-delimited-JSON-over-TCP front-end;
+//! * [`json`] — the dependency-free JSON layer (floats round-trip
+//!   bit-exactly).
+//!
+//! Results are **bit-identical** across every path — direct
+//! [`DseEngine`](drmap_core::dse::DseEngine) call, sequential
+//! [`ServiceState::run_job`](engine::ServiceState::run_job), pooled
+//! execution, cache hit, or a TCP round trip.
+//!
+//! ## Example
+//!
+//! ```
+//! use drmap_service::prelude::*;
+//!
+//! let state = ServiceState::new()?;
+//! let pool = DsePool::new(state, 2);
+//! let job = JobSpec::network(1, EngineSpec::default(), Network::tiny());
+//! let result = pool.submit(&job).wait()?;
+//! assert_eq!(result.layers.len(), 3);
+//! // Resubmission is answered from the memo cache, bit-identically.
+//! let again = pool.submit(&job).wait()?;
+//! assert_eq!(again.cache_hits(), 3);
+//! assert_eq!(again.total.energy.to_bits(), result.total.energy.to_bits());
+//! # Ok::<(), drmap_service::error::ServiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod pool;
+pub mod server;
+pub mod spec;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, DseCache};
+    pub use crate::client::{Client, ServerStats};
+    pub use crate::engine::{default_workers, EngineFactory, ServiceState};
+    pub use crate::error::ServiceError;
+    pub use crate::json::Json;
+    pub use crate::pool::{DsePool, PendingJob};
+    pub use crate::server::JobServer;
+    pub use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome, Workload};
+    pub use drmap_cnn::network::Network;
+}

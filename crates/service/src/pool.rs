@@ -1,0 +1,272 @@
+//! The worker-pool execution engine.
+//!
+//! Layer-wise DSE is embarrassingly parallel: a network job decomposes
+//! into independent per-layer explorations. The pool exploits that by
+//! sharding every submitted job into layer tasks on one shared queue,
+//! so a batch of jobs keeps all workers busy end-to-end — small jobs
+//! don't wait for big ones and a single straggler layer cannot idle the
+//! rest of the pool (contrast with
+//! [`DseEngine::explore_network`](drmap_core::dse::DseEngine::explore_network),
+//! which spawns one short-lived thread per layer of one network).
+//!
+//! Determinism: workers may *compute* layers in any order, but results
+//! are reassembled in layer order and totals are accumulated exactly as
+//! the direct engine does, so a job's [`JobResult`] is bit-identical to
+//! a sequential run — cached, pooled, or direct.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use drmap_cnn::layer::Layer;
+use drmap_core::dse::{LayerDseResult, SharedEngine};
+use drmap_core::edp::EdpEstimate;
+use drmap_core::error::DseError;
+
+use crate::engine::{outcome_from_result, ServiceState};
+use crate::error::ServiceError;
+use crate::spec::{JobResult, JobSpec};
+
+type LayerReply = (usize, Result<(LayerDseResult, bool), DseError>);
+
+struct LayerTask {
+    state: Arc<ServiceState>,
+    engine: SharedEngine,
+    tag: Arc<str>,
+    layer: Layer,
+    index: usize,
+    reply: Sender<LayerReply>,
+}
+
+/// A multi-threaded DSE job pool over shared [`ServiceState`].
+#[derive(Debug)]
+pub struct DsePool {
+    state: Arc<ServiceState>,
+    workers: usize,
+    queue: Option<Sender<LayerTask>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl DsePool {
+    /// Spawn `workers` worker threads over the shared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(state: Arc<ServiceState>, workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let (queue, rx) = channel::<LayerTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        DsePool {
+            state,
+            workers,
+            queue: Some(queue),
+            handles,
+        }
+    }
+
+    /// The shared state this pool executes against.
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueue a job's layers and return a handle to await the result.
+    /// Submission never blocks on exploration work.
+    pub fn submit(&self, spec: &JobSpec) -> PendingJob {
+        let engine = self.state.factory().engine(&spec.engine).into_shared();
+        let tag: Arc<str> = self.state.factory().engine_tag(&spec.engine).into();
+        let t_ck_ns = engine.model().table().t_ck_ns;
+        let layers = spec.workload.layers();
+        let (reply, results) = channel();
+        for (index, layer) in layers.iter().enumerate() {
+            let task = LayerTask {
+                state: Arc::clone(&self.state),
+                engine: Arc::clone(&engine),
+                tag: Arc::clone(&tag),
+                layer: layer.clone(),
+                index,
+                reply: reply.clone(),
+            };
+            self.queue
+                .as_ref()
+                .expect("queue lives as long as the pool")
+                .send(task)
+                .expect("workers outlive the pool");
+        }
+        PendingJob {
+            id: spec.id,
+            workload: spec.workload.name().to_owned(),
+            expected: layers.len(),
+            t_ck_ns,
+            results,
+        }
+    }
+
+    /// Submit every job, then await every result: jobs and their layers
+    /// execute concurrently across the pool, results come back in
+    /// submission order.
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Vec<Result<JobResult, ServiceError>> {
+        let pending: Vec<PendingJob> = specs.iter().map(|s| self.submit(s)).collect();
+        pending.into_iter().map(PendingJob::wait).collect()
+    }
+}
+
+impl Drop for DsePool {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop.
+        self.queue.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<LayerTask>>) {
+    loop {
+        // Hold the lock only while waiting for the next task; execution
+        // happens with the queue free for other workers.
+        let task = match rx.lock().expect("queue mutex poisoned").recv() {
+            Ok(task) => task,
+            Err(_) => return, // pool dropped, queue closed
+        };
+        let result = task
+            .state
+            .explore_layer_cached(&task.engine, &task.tag, &task.layer);
+        // A dropped PendingJob just discards the reply.
+        let _ = task.reply.send((task.index, result));
+    }
+}
+
+/// A submitted job whose layers are in flight.
+#[derive(Debug)]
+pub struct PendingJob {
+    id: u64,
+    workload: String,
+    expected: usize,
+    t_ck_ns: f64,
+    results: Receiver<LayerReply>,
+}
+
+impl PendingJob {
+    /// Block until every layer finishes and assemble the result in
+    /// layer order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed layer failure, or a protocol error if
+    /// a worker died mid-job.
+    pub fn wait(self) -> Result<JobResult, ServiceError> {
+        let mut slots: Vec<Option<Result<(LayerDseResult, bool), DseError>>> =
+            (0..self.expected).map(|_| None).collect();
+        for _ in 0..self.expected {
+            let (index, result) = self
+                .results
+                .recv()
+                .map_err(|_| ServiceError::protocol("worker pool shut down mid-job"))?;
+            slots[index] = Some(result);
+        }
+        let mut total = EdpEstimate::zero(self.t_ck_ns);
+        let mut outcomes = Vec::with_capacity(self.expected);
+        for slot in slots {
+            let (result, cached) = slot.expect("every layer index replied")?;
+            total.accumulate(&result.best.estimate);
+            outcomes.push(outcome_from_result(result, cached));
+        }
+        Ok(JobResult {
+            id: self.id,
+            workload: self.workload,
+            total,
+            layers: outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EngineSpec;
+    use drmap_cnn::network::Network;
+
+    #[test]
+    fn pool_matches_sequential_path_bit_exactly() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::new(Arc::clone(&state), 4);
+        let spec = JobSpec::network(7, EngineSpec::default(), Network::tiny());
+        let pooled = pool.submit(&spec).wait().unwrap();
+
+        let fresh = ServiceState::new().unwrap();
+        let sequential = fresh.run_job(&spec).unwrap();
+        assert_eq!(pooled.id, 7);
+        assert_eq!(pooled.layers.len(), sequential.layers.len());
+        assert_eq!(
+            pooled.total.energy.to_bits(),
+            sequential.total.energy.to_bits()
+        );
+        assert_eq!(
+            pooled.total.cycles.to_bits(),
+            sequential.total.cycles.to_bits()
+        );
+        for (p, s) in pooled.layers.iter().zip(&sequential.layers) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.mapping, s.mapping);
+            assert_eq!(p.scheme, s.scheme);
+            assert_eq!(p.tiling, s.tiling);
+            assert_eq!(p.estimate.energy.to_bits(), s.estimate.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_layer_jobs_and_errors_propagate() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::new(state, 2);
+        let layer = drmap_cnn::layer::Layer::conv("C", 8, 8, 16, 8, 3, 3, 1);
+        let job = JobSpec::layer(3, EngineSpec::default(), layer.clone());
+        let result = pool.submit(&job).wait().unwrap();
+        assert_eq!(result.layers.len(), 1);
+        assert_eq!(result.layers[0].name, "C");
+
+        // A layer whose smallest tile cannot fit the buffers fails.
+        let huge = drmap_cnn::layer::Layer::conv("HUGE", 1, 1, 1, 1, 4096, 4096, 1);
+        let bad = JobSpec::layer(4, EngineSpec::default(), huge);
+        assert!(matches!(
+            pool.submit(&bad).wait(),
+            Err(ServiceError::Dse(_))
+        ));
+    }
+
+    #[test]
+    fn resubmission_is_served_from_cache() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::new(Arc::clone(&state), 4);
+        let spec = JobSpec::network(1, EngineSpec::default(), Network::tiny());
+        // Waiting between submissions guarantees the cache is warm for
+        // the resubmission (a concurrent batch may interleave misses).
+        let first = pool.submit(&spec).wait().unwrap();
+        let second = pool.submit(&spec).wait().unwrap();
+        assert_eq!(first.cache_hits(), 0);
+        assert_eq!(second.cache_hits(), second.layers.len());
+        assert!(state.cache().stats().hits >= second.layers.len() as u64);
+        for (a, b) in first.layers.iter().zip(&second.layers) {
+            assert_eq!(a.estimate.energy.to_bits(), b.estimate.energy.to_bits());
+            assert_eq!(a.tiling, b.tiling);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let state = ServiceState::new().unwrap();
+        let _ = DsePool::new(state, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The newline-delimited-JSON-over-TCP front-end.
+//!
+//! One request per line, one response per line, std-only. Each accepted
+//! connection gets its own handler thread; job execution itself happens
+//! on the shared [`DsePool`], so many light connections share the same
+//! workers and memo cache.
+//!
+//! ## Protocol
+//!
+//! Job request — a [`JobSpec`](crate::spec::JobSpec) object:
+//!
+//! ```text
+//! {"id": 1, "engine": {"arch": "SALP-2", "objective": "edp"}, "network": {"model": "alexnet"}}
+//! ```
+//!
+//! → `{"ok": true, "result": {<JobResult>}}`
+//!
+//! Control requests:
+//!
+//! ```text
+//! {"cmd": "ping"}      -> {"ok": true, "pong": true}
+//! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "entries": …, "hit_rate": …, "workers": …}}
+//! {"cmd": "shutdown"}  -> {"ok": true, "shutdown": true}   (server stops accepting)
+//! ```
+//!
+//! Any failure → `{"ok": false, "id": <echoed if present>, "error": "…"}`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::pool::DsePool;
+use crate::spec::JobSpec;
+
+/// A running job server bound to a TCP address.
+#[derive(Debug)]
+pub struct JobServer {
+    listener: TcpListener,
+    pool: Arc<DsePool>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl JobServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) with a fresh
+    /// pool of `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and engine-construction failures.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> Result<Self, ServiceError> {
+        let state = crate::engine::ServiceState::new()?;
+        let pool = Arc::new(DsePool::new(state, workers));
+        Self::with_pool(addr, pool)
+    }
+
+    /// Bind to `addr`, serving jobs on an existing pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn with_pool(addr: impl ToSocketAddrs, pool: Arc<DsePool>) -> Result<Self, ServiceError> {
+        Ok(JobServer {
+            listener: TcpListener::bind(addr)?,
+            pool,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServiceError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The pool serving this server's jobs.
+    pub fn pool(&self) -> &Arc<DsePool> {
+        &self.pool
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives.
+    /// Each connection is handled on its own detached thread: an idle
+    /// client that never disconnects must not be able to stall shutdown,
+    /// so `run` returns as soon as the accept loop stops; in-flight
+    /// handlers finish (or die with the process) in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (per-connection I/O errors only end
+    /// that connection).
+    pub fn run(self) -> Result<(), ServiceError> {
+        let local_addr = self.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let pool = Arc::clone(&self.pool);
+            let shutdown = Arc::new(ConnectionShutdown {
+                flag: Arc::clone(&self.shutdown),
+                addr: local_addr,
+            });
+            std::thread::spawn(move || {
+                // Connection errors (client hung up mid-line) are not
+                // server errors.
+                let _ = serve_connection(stream, &pool, &shutdown);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lets a connection handler stop the accept loop: sets the flag, then
+/// pokes the listener with a throwaway connection to unblock `accept`.
+#[derive(Debug)]
+struct ConnectionShutdown {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ConnectionShutdown {
+    fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // A wildcard bind address (0.0.0.0 / ::) is not connectable on
+        // every platform; poke the listener via loopback instead.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            addr.set_ip(loopback);
+        }
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    pool: &DsePool,
+    shutdown: &ConnectionShutdown,
+) -> Result<(), ServiceError> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = handle_request(pool, &line);
+        writer.write_all(response.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shutdown.trigger();
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn error_response(id: Option<u64>, message: String) -> Json {
+    let mut pairs = vec![("ok".to_owned(), Json::Bool(false))];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::num_u64(id)));
+    }
+    pairs.push(("error".to_owned(), Json::Str(message)));
+    Json::Obj(pairs)
+}
+
+/// Dispatch one request line to a response. The boolean asks the caller
+/// to shut the server down after responding. Exposed for direct testing
+/// and reused by both front-ends.
+pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(None, e.to_string()), false),
+    };
+    let id = parsed.get("id").and_then(Json::as_u64);
+    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "ping" => (
+                Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+                false,
+            ),
+            "stats" => {
+                let stats = pool.state().cache().stats();
+                (
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        (
+                            "stats",
+                            Json::obj([
+                                ("hits", Json::num_u64(stats.hits)),
+                                ("misses", Json::num_u64(stats.misses)),
+                                ("entries", Json::num_usize(stats.entries)),
+                                ("hit_rate", Json::Num(stats.hit_rate())),
+                                ("workers", Json::num_usize(pool.workers())),
+                            ]),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+            "shutdown" => (
+                Json::obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
+                true,
+            ),
+            other => (
+                error_response(id, format!("unknown command {other:?}")),
+                false,
+            ),
+        };
+    }
+    let job = match JobSpec::from_json(&parsed) {
+        Ok(job) => job,
+        Err(e) => return (error_response(id, e.to_string()), false),
+    };
+    match pool.submit(&job).wait() {
+        Ok(result) => (
+            Json::obj([("ok", Json::Bool(true)), ("result", result.to_json())]),
+            false,
+        ),
+        Err(e) => (error_response(Some(job.id), e.to_string()), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceState;
+
+    fn test_pool() -> Arc<DsePool> {
+        Arc::new(DsePool::new(ServiceState::new().unwrap(), 2))
+    }
+
+    #[test]
+    fn dispatches_control_commands() {
+        let pool = test_pool();
+        let (pong, stop) = handle_request(&pool, r#"{"cmd": "ping"}"#);
+        assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+        assert!(!stop);
+
+        let (stats, _) = handle_request(&pool, r#"{"cmd": "stats"}"#);
+        let workers = stats.get("stats").unwrap().get("workers").unwrap();
+        assert_eq!(workers.as_usize(), Some(2));
+
+        let (down, stop) = handle_request(&pool, r#"{"cmd": "shutdown"}"#);
+        assert_eq!(down.get("ok"), Some(&Json::Bool(true)));
+        assert!(stop);
+
+        let (unknown, stop) = handle_request(&pool, r#"{"cmd": "reboot"}"#);
+        assert_eq!(unknown.get("ok"), Some(&Json::Bool(false)));
+        assert!(!stop);
+    }
+
+    #[test]
+    fn runs_jobs_and_reports_errors() {
+        let pool = test_pool();
+        let (response, _) = handle_request(&pool, r#"{"id": 5, "network": {"model": "tiny"}}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let result = response.get("result").unwrap();
+        assert_eq!(result.get("id").and_then(Json::as_u64), Some(5));
+        assert_eq!(result.get("layers").unwrap().as_array().unwrap().len(), 3);
+
+        let (bad_json, _) = handle_request(&pool, "{nope");
+        assert_eq!(bad_json.get("ok"), Some(&Json::Bool(false)));
+
+        let (bad_model, _) = handle_request(&pool, r#"{"id": 6, "network": {"model": "no-such"}}"#);
+        assert_eq!(bad_model.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(bad_model.get("id").and_then(Json::as_u64), Some(6));
+        assert!(bad_model
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("no-such"));
+    }
+}

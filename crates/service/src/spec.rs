@@ -1,0 +1,599 @@
+//! Typed job requests and results, with their JSON wire representation.
+//!
+//! A [`JobSpec`] names a workload (a zoo network, an inline layer list, a
+//! `drmap-cnn` text spec, or a single layer) and the engine to explore it
+//! on (DRAM architecture × optimization objective). A [`JobResult`]
+//! carries the per-layer minimum-objective configurations plus the
+//! accumulated totals — bit-identical to what a direct
+//! [`DseEngine::explore_network`](drmap_core::dse::DseEngine::explore_network)
+//! call returns, whether the layers were computed or served from cache.
+
+use drmap_cnn::layer::{Layer, LayerKind};
+use drmap_cnn::network::Network;
+use drmap_core::dse::Objective;
+use drmap_core::edp::EdpEstimate;
+use drmap_core::tiling::Tiling;
+use drmap_dram::timing::DramArch;
+
+use crate::error::ServiceError;
+use crate::json::Json;
+
+/// Which profiled engine a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// DRAM architecture to profile against.
+    pub arch: DramArch,
+    /// Optimization objective (Algorithm 1 minimizes this).
+    pub objective: Objective,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineSpec {
+            arch: DramArch::Salp2,
+            objective: Objective::Edp,
+        }
+    }
+}
+
+impl EngineSpec {
+    /// An engine spec for the given architecture, EDP objective.
+    pub fn for_arch(arch: DramArch) -> Self {
+        EngineSpec {
+            arch,
+            ..EngineSpec::default()
+        }
+    }
+
+    /// Wire representation: `{"arch": "SALP-2", "objective": "edp"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("arch", Json::str(self.arch.label())),
+            ("objective", Json::str(self.objective.label())),
+        ])
+    }
+
+    /// Parse the wire representation; both fields are optional and
+    /// default to SALP-2 / EDP. A field that is *present* must be a
+    /// string with a known label — silently substituting a default for
+    /// a malformed field would return results for the wrong engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for non-string fields or
+    /// unknown labels.
+    pub fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        let mut spec = EngineSpec::default();
+        if let Some(field) = v.get("arch") {
+            let label = field
+                .as_str()
+                .ok_or_else(|| ServiceError::protocol("\"arch\" must be a string"))?;
+            spec.arch = DramArch::ALL
+                .into_iter()
+                .find(|a| a.label().eq_ignore_ascii_case(label))
+                .ok_or_else(|| {
+                    ServiceError::protocol(format!(
+                        "unknown arch {label:?} (expected one of DDR3/SALP-1/SALP-2/SALP-MASA)"
+                    ))
+                })?;
+        }
+        if let Some(field) = v.get("objective") {
+            let label = field
+                .as_str()
+                .ok_or_else(|| ServiceError::protocol("\"objective\" must be a string"))?;
+            spec.objective =
+                Objective::from_label(&label.to_ascii_lowercase()).ok_or_else(|| {
+                    ServiceError::protocol(format!(
+                        "unknown objective {label:?} (expected edp/energy/delay/ed2p)"
+                    ))
+                })?;
+        }
+        Ok(spec)
+    }
+}
+
+/// What a job explores: a whole network or a single layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Explore every layer of a network.
+    Network(Network),
+    /// Explore one layer.
+    Layer(Layer),
+}
+
+impl Workload {
+    /// Display name (network name or layer name).
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Network(n) => n.name(),
+            Workload::Layer(l) => &l.name,
+        }
+    }
+
+    /// The layers to explore, in order.
+    pub fn layers(&self) -> &[Layer] {
+        match self {
+            Workload::Network(n) => n.layers(),
+            Workload::Layer(l) => std::slice::from_ref(l),
+        }
+    }
+}
+
+fn layer_to_json(layer: &Layer) -> Json {
+    Json::obj([
+        ("name", Json::str(&layer.name)),
+        (
+            "kind",
+            Json::str(match layer.kind {
+                LayerKind::Conv => "conv",
+                LayerKind::FullyConnected => "fc",
+            }),
+        ),
+        ("h", Json::num_usize(layer.h)),
+        ("w", Json::num_usize(layer.w)),
+        ("j", Json::num_usize(layer.j)),
+        ("i", Json::num_usize(layer.i)),
+        ("p", Json::num_usize(layer.p)),
+        ("q", Json::num_usize(layer.q)),
+        ("stride", Json::num_usize(layer.stride)),
+        ("groups", Json::num_usize(layer.groups)),
+    ])
+}
+
+fn dim(v: &Json, field: &str, default: Option<usize>) -> Result<usize, ServiceError> {
+    match v.get(field) {
+        Some(n) => n.as_usize().ok_or_else(|| {
+            ServiceError::protocol(format!(
+                "layer field {field:?} must be a non-negative integer"
+            ))
+        }),
+        None => default
+            .ok_or_else(|| ServiceError::protocol(format!("layer is missing field {field:?}"))),
+    }
+}
+
+fn layer_from_json(v: &Json) -> Result<Layer, ServiceError> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::protocol("layer is missing \"name\""))?;
+    let kind = v.get("kind").and_then(Json::as_str).unwrap_or("conv");
+    let layer = match kind {
+        "fc" => Layer::fully_connected(name, dim(v, "i", None)?, dim(v, "j", None)?),
+        "conv" => {
+            let mut layer = Layer::conv(
+                name,
+                dim(v, "h", None)?,
+                dim(v, "w", None)?,
+                dim(v, "j", None)?,
+                dim(v, "i", None)?,
+                dim(v, "p", None)?,
+                dim(v, "q", None)?,
+                dim(v, "stride", Some(1))?,
+            );
+            layer.groups = dim(v, "groups", Some(1))?;
+            layer
+        }
+        other => {
+            return Err(ServiceError::protocol(format!(
+                "unknown layer kind {other:?} (expected conv/fc)"
+            )))
+        }
+    };
+    layer.validate()?;
+    Ok(layer)
+}
+
+fn network_from_json(v: &Json) -> Result<Network, ServiceError> {
+    if let Some(model) = v.get("model").and_then(Json::as_str) {
+        return Network::by_name(model).ok_or_else(|| {
+            let known: Vec<&str> = Network::zoo().into_iter().map(|(n, _)| n).collect();
+            ServiceError::protocol(format!(
+                "unknown model {model:?} (known: {})",
+                known.join(", ")
+            ))
+        });
+    }
+    if let Some(text) = v.get("spec").and_then(Json::as_str) {
+        return Ok(drmap_cnn::spec::parse_network(text)?);
+    }
+    if let Some(layers) = v.get("layers").and_then(Json::as_array) {
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("custom");
+        let layers = layers
+            .iter()
+            .map(layer_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Network::new(name, layers)?);
+    }
+    Err(ServiceError::protocol(
+        "network needs \"model\", \"spec\", or \"layers\"",
+    ))
+}
+
+/// One job: a workload plus the engine to run it on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen id, echoed in the result.
+    pub id: u64,
+    /// Engine selection.
+    pub engine: EngineSpec,
+    /// What to explore.
+    pub workload: Workload,
+}
+
+impl JobSpec {
+    /// A network-exploration job.
+    pub fn network(id: u64, engine: EngineSpec, network: Network) -> Self {
+        JobSpec {
+            id,
+            engine,
+            workload: Workload::Network(network),
+        }
+    }
+
+    /// A single-layer job.
+    pub fn layer(id: u64, engine: EngineSpec, layer: Layer) -> Self {
+        JobSpec {
+            id,
+            engine,
+            workload: Workload::Layer(layer),
+        }
+    }
+
+    /// Wire representation (see crate docs for the schema).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_owned(), Json::num_u64(self.id)),
+            ("engine".to_owned(), self.engine.to_json()),
+        ];
+        match &self.workload {
+            Workload::Network(n) => {
+                // Prefer the compact zoo reference when the network is a
+                // preset; otherwise ship the full layer list.
+                let zoo_name = Network::zoo()
+                    .into_iter()
+                    .find(|(_, build)| &build() == n)
+                    .map(|(name, _)| name);
+                let net_json = match zoo_name {
+                    Some(name) => Json::obj([("model", Json::str(name))]),
+                    None => Json::obj([
+                        ("name", Json::str(n.name())),
+                        (
+                            "layers",
+                            Json::Arr(n.layers().iter().map(layer_to_json).collect()),
+                        ),
+                    ]),
+                };
+                pairs.push(("network".to_owned(), net_json));
+            }
+            Workload::Layer(l) => pairs.push(("layer".to_owned(), layer_to_json(l))),
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parse the wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for missing/unknown fields.
+    pub fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        // A present-but-malformed id must not silently become 0: the id
+        // is the client's request/response correlation key.
+        let id = match v.get("id") {
+            Some(field) => field
+                .as_u64()
+                .ok_or_else(|| ServiceError::protocol("\"id\" must be a non-negative integer"))?,
+            None => 0,
+        };
+        let engine = match v.get("engine") {
+            Some(e) => EngineSpec::from_json(e)?,
+            None => EngineSpec::default(),
+        };
+        let workload = match (v.get("network"), v.get("layer")) {
+            (Some(n), None) => Workload::Network(network_from_json(n)?),
+            (None, Some(l)) => Workload::Layer(layer_from_json(l)?),
+            (Some(_), Some(_)) => {
+                return Err(ServiceError::protocol(
+                    "job has both \"network\" and \"layer\"",
+                ))
+            }
+            (None, None) => {
+                return Err(ServiceError::protocol(
+                    "job needs a \"network\" or \"layer\" workload",
+                ))
+            }
+        };
+        Ok(JobSpec {
+            id,
+            engine,
+            workload,
+        })
+    }
+}
+
+fn estimate_to_json(e: &EdpEstimate) -> Json {
+    Json::obj([
+        ("cycles", Json::Num(e.cycles)),
+        ("energy", Json::Num(e.energy)),
+        ("t_ck_ns", Json::Num(e.t_ck_ns)),
+        // Derived, for human readers; ignored when parsing.
+        ("edp", Json::Num(e.edp())),
+    ])
+}
+
+fn estimate_from_json(v: &Json) -> Result<EdpEstimate, ServiceError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ServiceError::protocol(format!("estimate is missing {name:?}")))
+    };
+    Ok(EdpEstimate {
+        cycles: field("cycles")?,
+        energy: field("energy")?,
+        t_ck_ns: field("t_ck_ns")?,
+    })
+}
+
+/// The winning configuration for one layer of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerOutcome {
+    /// Layer name, as submitted.
+    pub name: String,
+    /// Winning mapping policy (Table I name).
+    pub mapping: String,
+    /// Winning scheduling scheme label.
+    pub scheme: String,
+    /// Winning tiling.
+    pub tiling: Tiling,
+    /// The winning configuration's estimate.
+    pub estimate: EdpEstimate,
+    /// Configurations evaluated by the sweep that produced this result
+    /// (a cached result retains the original sweep's count).
+    pub evaluations: u64,
+    /// True if this layer was served from the memo cache.
+    pub cached: bool,
+}
+
+impl LayerOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("mapping", Json::str(&self.mapping)),
+            ("scheme", Json::str(&self.scheme)),
+            (
+                "tiling",
+                Json::obj([
+                    ("th", Json::num_usize(self.tiling.th)),
+                    ("tw", Json::num_usize(self.tiling.tw)),
+                    ("tj", Json::num_usize(self.tiling.tj)),
+                    ("ti", Json::num_usize(self.tiling.ti)),
+                ]),
+            ),
+            ("estimate", estimate_to_json(&self.estimate)),
+            ("evaluations", Json::num_u64(self.evaluations)),
+            ("cached", Json::Bool(self.cached)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        let text = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ServiceError::protocol(format!("layer outcome missing {name:?}")))
+        };
+        let t = v
+            .get("tiling")
+            .ok_or_else(|| ServiceError::protocol("layer outcome missing \"tiling\""))?;
+        let step = |name: &str| {
+            t.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ServiceError::protocol(format!("tiling missing {name:?}")))
+        };
+        Ok(LayerOutcome {
+            name: text("name")?,
+            mapping: text("mapping")?,
+            scheme: text("scheme")?,
+            tiling: Tiling::new(step("th")?, step("tw")?, step("tj")?, step("ti")?),
+            estimate: estimate_from_json(
+                v.get("estimate")
+                    .ok_or_else(|| ServiceError::protocol("layer outcome missing \"estimate\""))?,
+            )?,
+            evaluations: v.get("evaluations").and_then(Json::as_u64).unwrap_or(0),
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// The result of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Echoed job id.
+    pub id: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Sum of the per-layer winning estimates, in layer order.
+    pub total: EdpEstimate,
+    /// Per-layer winners, in workload order.
+    pub layers: Vec<LayerOutcome>,
+}
+
+impl JobResult {
+    /// Layers served from the memo cache.
+    pub fn cache_hits(&self) -> usize {
+        self.layers.iter().filter(|l| l.cached).count()
+    }
+
+    /// Wire representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::num_u64(self.id)),
+            ("workload", Json::str(&self.workload)),
+            ("total", estimate_to_json(&self.total)),
+            (
+                "layers",
+                Json::Arr(self.layers.iter().map(LayerOutcome::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse the wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for missing fields.
+    pub fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        Ok(JobResult {
+            id: v.get("id").and_then(Json::as_u64).unwrap_or(0),
+            workload: v
+                .get("workload")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            total: estimate_from_json(
+                v.get("total")
+                    .ok_or_else(|| ServiceError::protocol("result missing \"total\""))?,
+            )?,
+            layers: v
+                .get("layers")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ServiceError::protocol("result missing \"layers\""))?
+                .iter()
+                .map(LayerOutcome::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_spec_round_trips_every_arch_and_objective() {
+        for arch in DramArch::ALL {
+            for objective in Objective::ALL {
+                let spec = EngineSpec { arch, objective };
+                let parsed = EngineSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(parsed, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_spec_defaults_and_rejects_unknowns() {
+        let spec = EngineSpec::from_json(&Json::obj([])).unwrap();
+        assert_eq!(spec, EngineSpec::default());
+        let bad = Json::obj([("arch", Json::str("HBM3"))]);
+        assert!(EngineSpec::from_json(&bad).is_err());
+        let bad = Json::obj([("objective", Json::str("speed"))]);
+        assert!(EngineSpec::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn present_but_mistyped_fields_are_errors_not_defaults() {
+        // A numeric arch must not silently fall back to SALP-2.
+        let bad = Json::obj([("arch", Json::num_u64(5))]);
+        assert!(EngineSpec::from_json(&bad).is_err());
+        let bad = Json::obj([("objective", Json::Bool(true))]);
+        assert!(EngineSpec::from_json(&bad).is_err());
+        // A string id must not silently become 0 (it is the client's
+        // request/response correlation key).
+        let v = Json::parse(r#"{"id": "42", "network": {"model": "tiny"}}"#).unwrap();
+        let err = JobSpec::from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("id"), "{err}");
+        // An absent id still defaults to 0.
+        let v = Json::parse(r#"{"network": {"model": "tiny"}}"#).unwrap();
+        assert_eq!(JobSpec::from_json(&v).unwrap().id, 0);
+    }
+
+    #[test]
+    fn job_spec_round_trips_zoo_and_custom_networks() {
+        let zoo = JobSpec::network(3, EngineSpec::default(), Network::alexnet());
+        let rendered = zoo.to_json().render();
+        assert!(rendered.contains("\"model\":\"alexnet\""), "{rendered}");
+        assert_eq!(JobSpec::from_json(&zoo.to_json()).unwrap(), zoo);
+
+        let custom = JobSpec::network(
+            4,
+            EngineSpec::for_arch(DramArch::Ddr3),
+            Network::new(
+                "custom",
+                vec![
+                    Layer::conv("C1", 8, 8, 16, 3, 3, 3, 1),
+                    Layer::conv_grouped("DW", 8, 8, 16, 16, 3, 3, 1, 16),
+                    Layer::fully_connected("F", 1024, 10),
+                ],
+            )
+            .unwrap(),
+        );
+        assert_eq!(JobSpec::from_json(&custom.to_json()).unwrap(), custom);
+    }
+
+    #[test]
+    fn job_spec_accepts_text_specs_and_single_layers() {
+        let v =
+            Json::parse(r#"{"id": 9, "network": {"spec": "network t\nconv C 8 8 16 3 3 3 1\n"}}"#)
+                .unwrap();
+        let job = JobSpec::from_json(&v).unwrap();
+        assert_eq!(job.workload.name(), "t");
+        assert_eq!(job.workload.layers().len(), 1);
+
+        let layer = JobSpec::layer(
+            1,
+            EngineSpec::default(),
+            Layer::conv("CONV3", 13, 13, 384, 256, 3, 3, 1),
+        );
+        assert_eq!(JobSpec::from_json(&layer.to_json()).unwrap(), layer);
+    }
+
+    #[test]
+    fn job_spec_rejects_malformed_workloads() {
+        for bad in [
+            r#"{"id": 1}"#,
+            r#"{"network": {"model": "no-such"}}"#,
+            r#"{"network": {}}"#,
+            r#"{"layer": {"name": "x", "kind": "pool"}}"#,
+            r#"{"layer": {"kind": "fc", "i": 4, "j": 2}}"#,
+            r#"{"layer": {"name": "x", "kind": "fc", "i": 0, "j": 2}}"#,
+            r#"{"network": {"model": "tiny"}, "layer": {"name": "x", "kind": "fc", "i": 1, "j": 1}}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn job_result_round_trips_bit_exactly() {
+        let result = JobResult {
+            id: 11,
+            workload: "TinyNet".into(),
+            total: EdpEstimate {
+                cycles: 123456.75,
+                energy: 1.2345e-7,
+                t_ck_ns: 1.25,
+            },
+            layers: vec![LayerOutcome {
+                name: "CONV1".into(),
+                mapping: "Mapping-3 (DRMap)".into(),
+                scheme: "adaptive-reuse".into(),
+                tiling: Tiling::new(13, 13, 16, 16),
+                estimate: EdpEstimate {
+                    cycles: 0.1 + 0.2,
+                    energy: 3.3e-9,
+                    t_ck_ns: 1.25,
+                },
+                evaluations: 4242,
+                cached: true,
+            }],
+        };
+        let rendered = result.to_json().render();
+        let reparsed = JobResult::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(reparsed, result);
+        assert_eq!(
+            reparsed.layers[0].estimate.cycles.to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        assert_eq!(reparsed.cache_hits(), 1);
+    }
+}

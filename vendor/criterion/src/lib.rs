@@ -1,0 +1,191 @@
+//! A minimal, std-only stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness so the workspace builds and benches run **fully
+//! offline**.
+//!
+//! It implements the subset of criterion's API the `drmap-bench` targets
+//! use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple warm-up + timed-batch measurement loop. There is no
+//! statistical analysis, outlier detection, or HTML report; each
+//! benchmark prints one line: mean wall-clock time per iteration and, if
+//! a throughput was declared, elements or bytes per second.
+//!
+//! Swap this crate for the real criterion in `[workspace.dependencies]`
+//! when a registry is reachable; no bench source needs to change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How long the timed measurement phase aims to run per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Upper bound on timed iterations, to keep very fast functions bounded.
+const MAX_ITERS: u64 = 100_000;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Create an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    /// Mean time per iteration measured by the last `iter` call.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`: one warm-up call, then enough timed iterations to
+    /// fill the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (TARGET_MEASURE.as_nanos() / estimate.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{name:<50} {mean:>12.2?}/iter  {:>12.0} elem/s", per_sec(n))
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{name:<50} {mean:>12.2?}/iter  {:>12.0} B/s", per_sec(n))
+        }
+        None => println!("{name:<50} {mean:>12.2?}/iter"),
+    }
+}
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.mean, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed by one iteration of each benchmark.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.mean, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), b.mean, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

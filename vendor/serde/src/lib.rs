@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! The workspace's types carry `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))]` attributes. This stub
+//! lets those attributes resolve and compile without network access: the
+//! re-exported derives expand to nothing, so no impls are generated and
+//! no serde-based (de)serialization actually works. The service crate's
+//! wire format is hand-rolled JSON and does not depend on serde.
+//!
+//! Swap `vendor/serde` and `vendor/serde_derive` for the real crates in
+//! `[workspace.dependencies]` to get working serde support; no source
+//! using the attributes needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; see crate docs).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; see crate docs).
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros so `--features serde`
+//! compiles **offline**. The derives expand to nothing: the annotated
+//! types gain no `Serialize`/`Deserialize` impls, but every
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
+//! attribute in the workspace resolves and type-checks. Swap
+//! `vendor/serde*` for the real crates in `[workspace.dependencies]`
+//! to get working serde support.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
