@@ -1,13 +1,22 @@
 //! Criterion bench for the job-server subsystem: batched multi-worker
 //! throughput vs sequential single-worker execution on the same
-//! workload set, plus the cost of a warm-cache resubmission.
+//! workload set, the cost of a warm-cache resubmission (bounded and
+//! unbounded), and pipelined-vs-blocking TCP submission. Besides the
+//! per-benchmark report lines, the run writes `BENCH_service.json` to
+//! the working directory so the service's perf trajectory can be
+//! tracked across PRs.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use drmap_service::cache::CacheConfig;
+use drmap_service::client::Client;
 use drmap_service::engine::ServiceState;
+use drmap_service::json::Json;
 use drmap_service::pool::DsePool;
 use drmap_service::prelude::Network;
+use drmap_service::server::JobServer;
 use drmap_service::spec::{EngineSpec, JobSpec};
 
 fn batch() -> Vec<JobSpec> {
@@ -17,6 +26,10 @@ fn batch() -> Vec<JobSpec> {
         JobSpec::network(3, EngineSpec::default(), Network::squeezenet()),
     ]
 }
+
+/// A tight entry bound relative to the batch's distinct shapes, so the
+/// bounded benchmarks actually evict.
+const BOUNDED_ENTRIES: usize = 4;
 
 fn bench_service(c: &mut Criterion) {
     let jobs = batch();
@@ -55,8 +68,164 @@ fn bench_service(c: &mut Criterion) {
             }
         })
     });
+
+    // Warm but *bounded* cache: the bound is tighter than the batch's
+    // distinct-shape count, so resubmissions keep missing on evicted
+    // shapes — the price of a capped footprint.
+    let bounded_state =
+        ServiceState::with_cache_config(CacheConfig::unbounded().with_max_entries(BOUNDED_ENTRIES))
+            .unwrap();
+    let bounded_pool = DsePool::new(Arc::clone(&bounded_state), 4);
+    for result in bounded_pool.run_batch(&jobs) {
+        result.unwrap();
+    }
+    group.bench_function("warm_batch_bounded/4", |b| {
+        b.iter(|| {
+            for result in bounded_pool.run_batch(&jobs) {
+                std::hint::black_box(result.unwrap());
+            }
+        })
+    });
     group.finish();
 }
 
+/// Time one closure once.
+fn time_once<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed(), result)
+}
+
+/// A cold 4-worker server plus a connected client.
+fn fresh_server() -> (Client, std::thread::JoinHandle<()>) {
+    let server = JobServer::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (Client::connect(addr).unwrap(), handle)
+}
+
+/// One-shot comparisons that don't fit the criterion loop (they need a
+/// fresh server or fresh cache per measurement), recorded into
+/// `BENCH_service.json`.
+fn emit_bench_json() {
+    let jobs = batch();
+    let layers: u64 = jobs.iter().map(|j| j.workload.layers().len() as u64).sum();
+
+    // Cold and warm in-process batches.
+    let (cold_1w, _) = time_once(|| {
+        let pool = DsePool::new(ServiceState::new().unwrap(), 1);
+        pool.run_batch(&jobs).into_iter().for_each(|r| {
+            std::hint::black_box(r.unwrap());
+        })
+    });
+    let (cold_4w, _) = time_once(|| {
+        let pool = DsePool::new(ServiceState::new().unwrap(), 4);
+        pool.run_batch(&jobs).into_iter().for_each(|r| {
+            std::hint::black_box(r.unwrap());
+        })
+    });
+    let state = ServiceState::new().unwrap();
+    let pool = DsePool::new(Arc::clone(&state), 4);
+    pool.run_batch(&jobs).into_iter().for_each(|r| {
+        r.unwrap();
+    });
+    let (warm_4w, _) = time_once(|| {
+        pool.run_batch(&jobs).into_iter().for_each(|r| {
+            std::hint::black_box(r.unwrap());
+        })
+    });
+
+    // Bounded warm batch: the cap forces recomputation of evicted
+    // shapes on every resubmission.
+    let bounded_state =
+        ServiceState::with_cache_config(CacheConfig::unbounded().with_max_entries(BOUNDED_ENTRIES))
+            .unwrap();
+    let bounded_pool = DsePool::new(Arc::clone(&bounded_state), 4);
+    bounded_pool.run_batch(&jobs).into_iter().for_each(|r| {
+        r.unwrap();
+    });
+    let (warm_bounded, _) = time_once(|| {
+        bounded_pool.run_batch(&jobs).into_iter().for_each(|r| {
+            std::hint::black_box(r.unwrap());
+        })
+    });
+    let bounded_stats = bounded_state.cache().stats();
+
+    // Blocking vs pipelined submission of the same cold batch over TCP.
+    let (mut blocking_client, blocking_server) = fresh_server();
+    let (tcp_blocking, _) = time_once(|| {
+        for job in &jobs {
+            std::hint::black_box(blocking_client.submit(job).unwrap());
+        }
+    });
+    blocking_client.shutdown().unwrap();
+    blocking_server.join().unwrap();
+
+    let (mut pipelined_client, pipelined_server) = fresh_server();
+    let (tcp_pipelined, results) = time_once(|| pipelined_client.submit_batch(&jobs).unwrap());
+    results.into_iter().for_each(|r| {
+        r.unwrap();
+    });
+    pipelined_client.shutdown().unwrap();
+    pipelined_server.join().unwrap();
+
+    let secs = |d: Duration| Json::Num(d.as_secs_f64());
+    let report = Json::obj([
+        ("bench", Json::str("service_throughput")),
+        ("layers_per_batch", Json::num_u64(layers)),
+        (
+            "cold_batch_s",
+            Json::obj([("workers_1", secs(cold_1w)), ("workers_4", secs(cold_4w))]),
+        ),
+        (
+            "warm_batch_s",
+            Json::obj([
+                ("unbounded", secs(warm_4w)),
+                ("bounded", secs(warm_bounded)),
+            ]),
+        ),
+        (
+            "bounded_cache",
+            Json::obj([
+                ("max_entries", Json::num_usize(BOUNDED_ENTRIES)),
+                ("entries", Json::num_usize(bounded_stats.entries)),
+                ("evictions", Json::num_u64(bounded_stats.evictions)),
+                ("hit_rate", Json::Num(bounded_stats.hit_rate())),
+            ]),
+        ),
+        (
+            "tcp_cold_batch_s",
+            Json::obj([
+                ("blocking", secs(tcp_blocking)),
+                ("pipelined", secs(tcp_pipelined)),
+                (
+                    "pipelining_speedup",
+                    Json::Num(tcp_blocking.as_secs_f64() / tcp_pipelined.as_secs_f64().max(1e-9)),
+                ),
+            ]),
+        ),
+    ]);
+    // Write at the workspace root (two levels up from this crate), so
+    // the artifact lands in a stable place regardless of the bench
+    // binary's working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    match std::fs::write(path, report.render() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_service);
-criterion_main!(benches);
+
+fn main() {
+    // Harness introspection flags (`cargo bench -- --list`, `--test`)
+    // expect a fast exit: skip both the measurement groups and the
+    // one-shot JSON suite, and don't clobber a previous run's artifact.
+    let introspecting = std::env::args().any(|a| a == "--list" || a == "--test");
+    if introspecting {
+        println!("service_throughput: benchmark");
+        return;
+    }
+    benches();
+    emit_bench_json();
+}

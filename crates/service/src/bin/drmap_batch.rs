@@ -4,19 +4,32 @@
 //! ```text
 //! drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] [--objective OBJ]
 //!             [--workers N] [--repeat R] [--compare]
+//!             [--cache-entries N] [--cache-bytes BYTES]
+//!             [--connect HOST:PORT] [--binary]
 //! ```
 //!
 //! `SPEC_FILE` holds one JSON job per line (the server's request
 //! format; blank lines and `#` comments ignored). Without a file,
 //! `--models` (default `alexnet,squeezenet,tiny`) builds one job per
 //! zoo network. `--repeat R` submits the whole batch `R` times —
-//! repeats hit the memo cache. `--compare` also times the same batch on
+//! repeats hit the memo cache (and concurrent duplicates coalesce onto
+//! one in-flight computation). `--compare` also times the same batch on
 //! a fresh single-worker pool and reports the multi-worker speedup.
+//!
+//! By default jobs run on an in-process pool; `--cache-entries` /
+//! `--cache-bytes` bound its memo cache (LRU). With `--connect` the
+//! batch is instead **pipelined over TCP** to a running `drmap-serve`:
+//! every job goes on the wire up front, responses return out of order
+//! as they complete, and `--binary` ships requests as length-prefixed
+//! binary frames (useful for large inline networks).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use drmap_service::cache::CacheConfig;
+use drmap_service::cli::parse_positive as positive;
+use drmap_service::client::Client;
 use drmap_service::engine::{default_workers, ServiceState};
 use drmap_service::error::ServiceError;
 use drmap_service::json::Json;
@@ -31,6 +44,9 @@ struct Args {
     workers: usize,
     repeat: usize,
     compare: bool,
+    cache: CacheConfig,
+    connect: Option<String>,
+    binary: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,7 +57,13 @@ fn parse_args() -> Result<Args, String> {
         workers: default_workers(),
         repeat: 1,
         compare: false,
+        cache: CacheConfig::unbounded(),
+        connect: None,
+        binary: false,
     };
+    // Flags that only apply to the in-process pool; rejected with
+    // --connect rather than silently ignored.
+    let mut local_only: Vec<&'static str> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -68,26 +90,31 @@ fn parse_args() -> Result<Args, String> {
                     .objective;
             }
             "--workers" => {
-                let v = value("--workers")?;
-                args.workers = v
-                    .parse()
-                    .ok()
-                    .filter(|&n: &usize| n > 0)
-                    .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+                args.workers = positive("--workers", &value("--workers")?)?;
+                local_only.push("--workers");
             }
-            "--repeat" => {
-                let v = value("--repeat")?;
-                args.repeat = v
-                    .parse()
-                    .ok()
-                    .filter(|&n: &usize| n > 0)
-                    .ok_or_else(|| format!("invalid repeat count {v:?}"))?;
+            "--repeat" => args.repeat = positive("--repeat", &value("--repeat")?)?,
+            "--compare" => {
+                args.compare = true;
+                local_only.push("--compare");
             }
-            "--compare" => args.compare = true,
+            "--cache-entries" => {
+                args.cache.max_entries =
+                    Some(positive("--cache-entries", &value("--cache-entries")?)?);
+                local_only.push("--cache-entries");
+            }
+            "--cache-bytes" => {
+                args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
+                local_only.push("--cache-bytes");
+            }
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--binary" => args.binary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
-                     [--objective OBJ] [--workers N] [--repeat R] [--compare]"
+                     [--objective OBJ] [--workers N] [--repeat R] [--compare] \
+                     [--cache-entries N] [--cache-bytes BYTES] \
+                     [--connect HOST:PORT] [--binary]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +123,17 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
+    }
+    if args.binary && args.connect.is_none() {
+        return Err("--binary only applies with --connect".to_owned());
+    }
+    if args.connect.is_some() && !local_only.is_empty() {
+        return Err(format!(
+            "{} appl{} only to the in-process pool; with --connect the server's \
+             workers and cache settings are in charge",
+            local_only.join(", "),
+            if local_only.len() == 1 { "ies" } else { "y" },
+        ));
     }
     Ok(args)
 }
@@ -129,13 +167,18 @@ fn load_specs(args: &Args) -> Result<Vec<JobSpec>, String> {
         .collect()
 }
 
-/// The full batch: every spec, `repeat` times over.
+/// The full batch: every spec, `repeat` times over. Rounds are offset
+/// by the batch's maximum id plus one (not its length — spec files may
+/// use sparse ids, and an id of 0 must still move), so repeats of
+/// distinct-id specs stay distinct: the pipelined path needs unique
+/// ids as its correlation keys.
 fn batch_of(specs: &[JobSpec], repeat: usize) -> Vec<JobSpec> {
+    let stride = specs.iter().map(|s| s.id).max().unwrap_or(0) + 1;
     let mut batch = Vec::with_capacity(specs.len() * repeat);
     for round in 0..repeat {
         for spec in specs {
             let mut spec = spec.clone();
-            spec.id += (round * specs.len()) as u64;
+            spec.id += round as u64 * stride;
             batch.push(spec);
         }
     }
@@ -144,9 +187,10 @@ fn batch_of(specs: &[JobSpec], repeat: usize) -> Vec<JobSpec> {
 
 fn run_timed(
     workers: usize,
+    cache: CacheConfig,
     batch: &[JobSpec],
 ) -> Result<(Vec<JobResult>, Duration, Arc<ServiceState>), ServiceError> {
-    let state = ServiceState::new()?;
+    let state = ServiceState::with_cache_config(cache)?;
     let pool = DsePool::new(Arc::clone(&state), workers);
     let start = Instant::now();
     let results = pool
@@ -166,23 +210,88 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let specs = load_specs(&args)?;
-    let batch = batch_of(&specs, args.repeat);
-    let (results, elapsed, state) = run_timed(args.workers, &batch).map_err(|e| e.to_string())?;
-
-    println!("job  workload            layers  cached  total-EDP (J*s)");
-    for result in &results {
+fn print_results(results: &[JobResult]) {
+    println!("job  workload            layers  cached  coalesced  total-EDP (J*s)");
+    for result in results {
         println!(
-            "{:<4} {:<20} {:>5} {:>7}  {:.4e}",
+            "{:<4} {:<20} {:>5} {:>7} {:>9}  {:.4e}",
             result.id,
             result.workload,
             result.layers.len(),
             result.cache_hits(),
+            result.coalesced_hits(),
             result.total.edp(),
         );
     }
+}
+
+/// Pipeline the batch to a running server: every job on the wire up
+/// front, responses collected as they complete.
+fn run_connected(args: &Args, batch: &[JobSpec]) -> Result<(), String> {
+    let addr = args.connect.as_deref().expect("caller checked --connect");
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    client.set_binary(args.binary);
+    let start = Instant::now();
+    let outcomes = client.submit_batch(batch).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failures = 0usize;
+    for (spec, outcome) in batch.iter().zip(outcomes) {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(e) => {
+                failures += 1;
+                eprintln!("drmap-batch: job {} failed: {e}", spec.id);
+            }
+        }
+    }
+    print_results(&results);
+    let layers: usize = results.iter().map(|r| r.layers.len()).sum();
+    println!();
+    println!(
+        "{} jobs ({} layers, {} failed) pipelined to {} ({}) in {:.3}s  ->  \
+         {:.2} jobs/s, {:.1} layers/s",
+        results.len(),
+        layers,
+        failures,
+        addr,
+        if args.binary { "binary frames" } else { "text" },
+        elapsed,
+        results.len() as f64 / elapsed,
+        layers as f64 / elapsed,
+    );
+    if let Ok(stats) = client.stats() {
+        println!(
+            "server cache: {} hits / {} misses / {} coalesced ({:.1}% hit rate), \
+             {} entries, {} bytes, {} evictions, {} workers",
+            stats.hits,
+            stats.misses,
+            stats.coalesced,
+            stats.hit_rate * 100.0,
+            stats.entries,
+            stats.bytes,
+            stats.evictions,
+            stats.workers,
+        );
+    }
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let specs = load_specs(&args)?;
+    let batch = batch_of(&specs, args.repeat);
+    if args.connect.is_some() {
+        return run_connected(&args, &batch);
+    }
+
+    let (results, elapsed, state) =
+        run_timed(args.workers, args.cache, &batch).map_err(|e| e.to_string())?;
+    print_results(&results);
 
     let layers: usize = results.iter().map(|r| r.layers.len()).sum();
     let secs = elapsed.as_secs_f64().max(1e-9);
@@ -198,15 +307,19 @@ fn run() -> Result<(), String> {
         layers as f64 / secs,
     );
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+        "cache: {} hits / {} misses / {} coalesced ({:.1}% hit rate), \
+         {} entries, {} bytes, {} evictions",
         stats.hits,
         stats.misses,
+        stats.coalesced,
         stats.hit_rate() * 100.0,
         stats.entries,
+        stats.bytes,
+        stats.evictions,
     );
 
     if args.compare {
-        let (_, sequential, _) = run_timed(1, &batch).map_err(|e| e.to_string())?;
+        let (_, sequential, _) = run_timed(1, args.cache, &batch).map_err(|e| e.to_string())?;
         let seq_secs = sequential.as_secs_f64().max(1e-9);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!(

@@ -2,47 +2,58 @@
 //!
 //! ```text
 //! drmap-serve [--addr HOST:PORT] [--workers N]
+//!             [--cache-entries N] [--cache-bytes BYTES]
 //! ```
 //!
-//! Speaks newline-delimited JSON over TCP; see the `drmap_service`
-//! crate docs for the protocol. Try it with netcat:
+//! Speaks pipelined JSON over TCP (newline-delimited text or binary
+//! frames); see the `drmap_service` crate docs for the protocol. The
+//! cache flags bound the layer memo cache (LRU eviction); without them
+//! the cache is unbounded. Try it with netcat:
 //!
 //! ```text
-//! $ drmap-serve --addr 127.0.0.1:7878 &
+//! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 &
 //! $ echo '{"id":1,"network":{"model":"alexnet"}}' | nc 127.0.0.1 7878
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use drmap_service::engine::default_workers;
+use drmap_service::cache::CacheConfig;
+use drmap_service::cli::parse_positive as positive;
+use drmap_service::engine::{default_workers, ServiceState};
+use drmap_service::pool::DsePool;
 use drmap_service::server::JobServer;
 
 struct Args {
     addr: String,
     workers: usize,
+    cache: CacheConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_owned(),
         workers: default_workers(),
+        cache: CacheConfig::unbounded(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
-            "--addr" => {
-                args.addr = it.next().ok_or("--addr needs a HOST:PORT value")?;
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = positive("--workers", &value("--workers")?)?,
+            "--cache-entries" => {
+                args.cache.max_entries =
+                    Some(positive("--cache-entries", &value("--cache-entries")?)?);
             }
-            "--workers" => {
-                let value = it.next().ok_or("--workers needs a count")?;
-                args.workers = value
-                    .parse()
-                    .ok()
-                    .filter(|&n: &usize| n > 0)
-                    .ok_or_else(|| format!("invalid worker count {value:?}"))?;
+            "--cache-bytes" => {
+                args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
             }
             "--help" | "-h" => {
-                println!("usage: drmap-serve [--addr HOST:PORT] [--workers N]");
+                println!(
+                    "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
+                     [--cache-entries N] [--cache-bytes BYTES]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -59,7 +70,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = match JobServer::bind(&args.addr, args.workers) {
+    let server = ServiceState::with_cache_config(args.cache)
+        .map(|state| Arc::new(DsePool::new(state, args.workers)))
+        .and_then(|pool| JobServer::with_pool(&args.addr, pool));
+    let server = match server {
         Ok(server) => server,
         Err(e) => {
             eprintln!("drmap-serve: failed to start on {}: {e}", args.addr);
@@ -67,10 +81,19 @@ fn main() -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!(
-            "drmap-serve: listening on {addr} with {} workers",
-            args.workers
-        ),
+        Ok(addr) => {
+            let bound = |b: Option<usize>| match b {
+                Some(n) => n.to_string(),
+                None => "unbounded".to_owned(),
+            };
+            println!(
+                "drmap-serve: listening on {addr} with {} workers \
+                 (cache: {} entries, {} bytes)",
+                args.workers,
+                bound(args.cache.max_entries),
+                bound(args.cache.max_bytes),
+            );
+        }
         Err(e) => eprintln!("drmap-serve: {e}"),
     }
     if let Err(e) = server.run() {

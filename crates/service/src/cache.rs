@@ -1,4 +1,4 @@
-//! The shared per-layer memoization cache.
+//! The shared per-layer memoization cache: a bounded, single-flight LRU.
 //!
 //! Keys come from [`drmap_core::dse::layer_cache_key`]: a canonical
 //! string over the layer *shape*, accelerator configuration, sweep
@@ -8,92 +8,483 @@
 //! resubmission of a whole batch. Values are full
 //! [`LayerDseResult`]s, cloned out on hit, so a cached answer is
 //! bit-identical to the original computation.
+//!
+//! Three properties make the cache safe for long-running service use:
+//!
+//! * **Bounded.** [`CacheConfig`] caps the entry count and/or the
+//!   approximate resident bytes; the least-recently-used entry is
+//!   evicted first and every eviction is counted in
+//!   [`CacheStats::evictions`]. An unbounded cache (the default) never
+//!   evicts.
+//! * **Single-flight.** [`DseCache::get_or_compute`] coalesces
+//!   concurrent lookups of the same key: one caller (the *leader*)
+//!   computes while the rest block on its result instead of missing and
+//!   recomputing. Coalesced lookups are counted separately from plain
+//!   hits.
+//! * **Panic-safe.** A leader whose computation panics wakes every
+//!   waiter with an error instead of leaving them blocked forever, and
+//!   a panic while any lock is held never cascades: poisoned mutexes
+//!   are recovered (the guarded state is a memo cache plus counters,
+//!   which every code path leaves structurally valid).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use drmap_core::dse::LayerDseResult;
+use drmap_core::error::DseError;
 
-/// Hit/miss counters and current size.
+use crate::error::panic_message;
+
+/// Capacity bounds for a [`DseCache`]. `None` means unbounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of resident entries.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate resident bytes (keys + values).
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheConfig {
+    /// An unbounded cache (the default).
+    pub fn unbounded() -> Self {
+        CacheConfig::default()
+    }
+
+    /// Bound the entry count.
+    pub fn with_max_entries(mut self, n: usize) -> Self {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// Bound the approximate resident bytes.
+    pub fn with_max_bytes(mut self, n: usize) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+}
+
+/// How a [`DseCache::get_or_compute`] lookup was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a resident entry.
+    Hit,
+    /// Served by blocking on another caller's in-flight computation.
+    Coalesced,
+    /// This caller computed the value (and populated the cache).
+    Miss,
+}
+
+/// Counters and current size, captured in one consistent snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from a resident entry.
     pub hits: u64,
     /// Lookups that fell through to computation.
     pub misses: u64,
+    /// Lookups answered by waiting on an in-flight computation.
+    pub coalesced: u64,
+    /// Entries evicted to satisfy the capacity bounds.
+    pub evictions: u64,
     /// Distinct entries currently stored.
     pub entries: usize,
+    /// Approximate bytes currently resident (keys + values).
+    pub bytes: usize,
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from cache (0 when no lookups yet).
+    /// Fraction of lookups served without a fresh computation
+    /// (0 when no lookups yet). Coalesced lookups count as served.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.coalesced;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.coalesced) as f64 / total as f64
         }
     }
 }
 
-/// A thread-safe memoization cache for single-layer DSE results.
+/// Sentinel index for "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One resident entry: the value plus its LRU-list links.
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    value: LayerDseResult,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A slab slot: occupied by an entry or a link in the free list.
+#[derive(Debug)]
+enum Slot {
+    Occupied(Entry),
+    Free { next_free: usize },
+}
+
+/// The state a leader publishes to its waiters.
+#[derive(Debug)]
+struct Flight {
+    done: Mutex<Option<Result<LayerDseResult, DseError>>>,
+    cv: Condvar,
+}
+
+/// Everything guarded by the cache's one mutex. Keeping the counters
+/// here (not in separate atomics) makes [`DseCache::stats`] a single
+/// consistent snapshot: it can never report, say, resident entries with
+/// zero recorded misses.
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → slab index of the resident entry.
+    map: HashMap<String, usize>,
+    /// Entry storage; freed slots are chained into a free list.
+    slab: Vec<Slot>,
+    /// Most-recently-used entry (head of the intrusive list).
+    head: usize,
+    /// Least-recently-used entry (tail of the intrusive list).
+    tail: usize,
+    /// Head of the slab free list.
+    free: usize,
+    /// Approximate resident bytes.
+    bytes: usize,
+    /// key → in-flight computation for single-flight coalescing.
+    inflight: HashMap<String, Arc<Flight>>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            ..Inner::default()
+        }
+    }
+
+    fn entry(&self, index: usize) -> &Entry {
+        match &self.slab[index] {
+            Slot::Occupied(e) => e,
+            Slot::Free { .. } => unreachable!("LRU list points at a free slot"),
+        }
+    }
+
+    fn entry_mut(&mut self, index: usize) -> &mut Entry {
+        match &mut self.slab[index] {
+            Slot::Occupied(e) => e,
+            Slot::Free { .. } => unreachable!("LRU list points at a free slot"),
+        }
+    }
+
+    /// Detach `index` from the LRU list (it must be linked).
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = {
+            let e = self.entry(index);
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entry_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entry_mut(next).prev = prev;
+        }
+    }
+
+    /// Link `index` at the head (most recently used).
+    fn push_front(&mut self, index: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(index);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    /// Move an already-resident entry to the head.
+    fn touch(&mut self, index: usize) {
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+    }
+
+    /// Remove the entry at `index` entirely, returning its slot to the
+    /// free list and its bytes to the budget.
+    fn remove(&mut self, index: usize) {
+        self.unlink(index);
+        let free = self.free;
+        let slot = std::mem::replace(&mut self.slab[index], Slot::Free { next_free: free });
+        self.free = index;
+        match slot {
+            Slot::Occupied(e) => {
+                self.bytes -= e.bytes;
+                self.map.remove(&e.key);
+            }
+            Slot::Free { .. } => unreachable!("removed a free slot"),
+        }
+    }
+
+    /// Store `value` under `key` as the most-recently-used entry, then
+    /// evict least-recently-used entries until the bounds hold. If the
+    /// new entry alone exceeds the byte bound it is evicted too — the
+    /// cache never exceeds its configured limits.
+    fn insert(&mut self, key: String, value: LayerDseResult, config: &CacheConfig) {
+        if let Some(&index) = self.map.get(&key) {
+            let bytes = approx_entry_bytes(&key, &value);
+            let e = self.entry_mut(index);
+            let old_bytes = e.bytes;
+            e.value = value;
+            e.bytes = bytes;
+            self.bytes = self.bytes - old_bytes + bytes;
+            self.touch(index);
+        } else {
+            let bytes = approx_entry_bytes(&key, &value);
+            let entry = Entry {
+                key: key.clone(),
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            let index = if self.free != NIL {
+                let index = self.free;
+                match self.slab[index] {
+                    Slot::Free { next_free } => self.free = next_free,
+                    Slot::Occupied(_) => unreachable!("free list points at an occupied slot"),
+                }
+                self.slab[index] = Slot::Occupied(entry);
+                index
+            } else {
+                self.slab.push(Slot::Occupied(entry));
+                self.slab.len() - 1
+            };
+            self.map.insert(key, index);
+            self.bytes += bytes;
+            self.push_front(index);
+        }
+        self.enforce_bounds(config);
+    }
+
+    fn over_bounds(&self, config: &CacheConfig) -> bool {
+        config.max_entries.is_some_and(|n| self.map.len() > n)
+            || config.max_bytes.is_some_and(|n| self.bytes > n)
+    }
+
+    fn enforce_bounds(&mut self, config: &CacheConfig) {
+        while self.over_bounds(config) && self.tail != NIL {
+            let victim = self.tail;
+            self.remove(victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// A thread-safe, capacity-bounded, single-flight memoization cache for
+/// single-layer DSE results.
 #[derive(Debug, Default)]
 pub struct DseCache {
-    map: Mutex<HashMap<String, LayerDseResult>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Mutex<Inner>,
+    config: CacheConfig,
+}
+
+/// Lock a cache mutex, recovering from poisoning: the guarded state is
+/// a memo cache plus counters, which every code path leaves
+/// structurally valid, so a panic elsewhere must not cascade into an
+/// abort of every thread that touches the cache.
+fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl DseCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        DseCache::default()
+        Self::with_config(CacheConfig::unbounded())
     }
 
-    /// Look up a key, counting the outcome. The stored result's
-    /// `layer_name` is whatever layer populated the entry first; callers
-    /// overwrite it with the requesting layer's name.
+    /// An empty cache with the given capacity bounds.
+    pub fn with_config(config: CacheConfig) -> Self {
+        DseCache {
+            inner: Mutex::new(Inner::new()),
+            config,
+        }
+    }
+
+    /// The configured capacity bounds.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Look up a key, counting the outcome and refreshing its recency.
+    /// The stored result's `layer_name` is whatever layer populated the
+    /// entry first; callers overwrite it with the requesting layer's
+    /// name.
     pub fn get(&self, key: &str) -> Option<LayerDseResult> {
-        let map = self.map.lock().expect("cache mutex poisoned");
-        match map.get(key) {
-            Some(result) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(result.clone())
+        let mut inner = lock_recovered(&self.inner);
+        match inner.map.get(key).copied() {
+            Some(index) => {
+                inner.hits += 1;
+                inner.touch(index);
+                Some(inner.entry(index).value.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Store a result. Concurrent computations of the same key may both
-    /// insert; they computed identical values, so last-write-wins is
-    /// deterministic.
+    /// Store a result, evicting least-recently-used entries as needed
+    /// to keep the cache within its bounds. Concurrent computations of
+    /// the same key may both insert; they computed identical values, so
+    /// last-write-wins is deterministic.
     pub fn insert(&self, key: String, result: LayerDseResult) {
-        self.map
-            .lock()
-            .expect("cache mutex poisoned")
-            .insert(key, result);
+        lock_recovered(&self.inner).insert(key, result, &self.config);
     }
 
-    /// Current counters and size.
+    /// Look up `key`; on a miss, compute it exactly once across all
+    /// concurrent callers. The first caller to miss (the leader) runs
+    /// `compute` with no cache lock held; callers that arrive while the
+    /// computation is in flight block until it finishes and share its
+    /// result (or its error). A leader that *panics* wakes every waiter
+    /// with an error — waiters never hang — and the panic is converted
+    /// into a [`DseError`] for the leader's caller as well, so a single
+    /// poisoned computation cannot take down a worker thread.
+    ///
+    /// Errors are not cached: the next lookup after a failure computes
+    /// afresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` failures (to the leader and every waiter
+    /// coalesced onto it).
+    pub fn get_or_compute<F>(
+        &self,
+        key: &str,
+        compute: F,
+    ) -> Result<(LayerDseResult, CacheOutcome), DseError>
+    where
+        F: FnOnce() -> Result<LayerDseResult, DseError>,
+    {
+        let (flight, is_leader) = {
+            let mut inner = lock_recovered(&self.inner);
+            if let Some(index) = inner.map.get(key).copied() {
+                inner.hits += 1;
+                inner.touch(index);
+                return Ok((inner.entry(index).value.clone(), CacheOutcome::Hit));
+            }
+            if let Some(flight) = inner.inflight.get(key).map(Arc::clone) {
+                inner.coalesced += 1;
+                (flight, false)
+            } else {
+                inner.misses += 1;
+                let flight = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                inner.inflight.insert(key.to_owned(), Arc::clone(&flight));
+                (flight, true)
+            }
+        };
+
+        if !is_leader {
+            // Waiter: block (without the cache lock) until the leader
+            // publishes a result or an error.
+            let mut done = lock_recovered(&flight.done);
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+            return done
+                .clone()
+                .expect("loop exits only when done is set")
+                .map(|value| (value, CacheOutcome::Coalesced));
+        }
+
+        // Leader: compute with no lock held, converting a panic into an
+        // error so waiters are woken and the calling worker survives.
+        let computed = match std::panic::catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(result) => result,
+            Err(payload) => Err(DseError::new(format!(
+                "layer exploration panicked: {}",
+                panic_message(payload.as_ref())
+            ))),
+        };
+        {
+            let mut inner = lock_recovered(&self.inner);
+            if let Ok(value) = &computed {
+                inner.insert(key.to_owned(), value.clone(), &self.config);
+            }
+            inner.inflight.remove(key);
+        }
+        // Publish to waiters after the cache is updated: a thread that
+        // misses the in-flight entry now finds the resident one.
+        let mut done = lock_recovered(&flight.done);
+        *done = Some(computed.clone());
+        drop(done);
+        flight.cv.notify_all();
+        computed.map(|value| (value, CacheOutcome::Miss))
+    }
+
+    /// Current counters and size, captured atomically under one lock.
     pub fn stats(&self) -> CacheStats {
+        let inner = lock_recovered(&self.inner);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache mutex poisoned").len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
         }
     }
 
-    /// Drop every entry and zero the counters.
+    /// Drop every resident entry and zero the counters. In-flight
+    /// computations are unaffected: they complete, wake their waiters,
+    /// and repopulate the (now empty) cache.
     pub fn clear(&self) {
-        self.map.lock().expect("cache mutex poisoned").clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        let mut inner = lock_recovered(&self.inner);
+        inner.map.clear();
+        inner.slab.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.free = NIL;
+        inner.bytes = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.coalesced = 0;
+        inner.evictions = 0;
     }
+}
+
+/// Approximate resident footprint of one entry: both copies of the key
+/// (map key + reverse-lookup copy in the entry), the fixed-size parts,
+/// and every heap allocation hanging off the value.
+fn approx_entry_bytes(key: &str, value: &LayerDseResult) -> usize {
+    let fixed = std::mem::size_of::<Entry>()
+        + std::mem::size_of::<usize>() // map slot for the index
+        + key.len() * 2;
+    let pareto: usize = value
+        .pareto
+        .iter()
+        .map(|p| std::mem::size_of_val(p) + p.label.len())
+        .sum();
+    fixed + value.layer_name.len() + pareto
 }
 
 #[cfg(test)]
@@ -133,6 +524,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(stats.bytes > 0, "insertions are byte-accounted");
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -142,8 +535,11 @@ mod tests {
         cache.get("k");
         cache.clear();
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats, CacheStats::default());
         assert_eq!(stats.hit_rate(), 0.0);
+        // The cache still works after a clear.
+        cache.insert("k".into(), result("b"));
+        assert_eq!(cache.get("k").unwrap().layer_name, "b");
     }
 
     #[test]
@@ -164,5 +560,110 @@ mod tests {
         }
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().hits, 8);
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recently_used_first() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_entries(2));
+        cache.insert("k1".into(), result("a"));
+        cache.insert("k2".into(), result("b"));
+        // Touch k1 so k2 becomes the LRU entry.
+        assert!(cache.get("k1").is_some());
+        cache.insert("k3".into(), result("c"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get("k2").is_none(), "LRU entry was evicted");
+        assert!(cache.get("k1").is_some(), "recently used entry survives");
+        assert!(cache.get("k3").is_some(), "new entry survives");
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_in_place_without_eviction() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_entries(2));
+        cache.insert("k1".into(), result("a"));
+        cache.insert("k2".into(), result("b"));
+        cache.insert("k1".into(), result("a2"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.get("k1").unwrap().layer_name, "a2");
+    }
+
+    #[test]
+    fn byte_bound_is_never_exceeded() {
+        let one_entry = approx_entry_bytes("k00", &result("x"));
+        // Room for two entries but not three.
+        let cache =
+            DseCache::with_config(CacheConfig::unbounded().with_max_bytes(one_entry * 2 + 1));
+        for i in 0..16 {
+            cache.insert(format!("k{i:02}"), result("x"));
+            let stats = cache.stats();
+            assert!(
+                stats.bytes <= one_entry * 2 + 1,
+                "byte bound exceeded: {stats:?}"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 14);
+    }
+
+    #[test]
+    fn an_oversized_entry_is_evicted_rather_than_kept() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_bytes(8));
+        cache.insert("way-too-big".into(), result("x"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn zero_entry_bound_keeps_nothing_but_still_serves() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_entries(0));
+        let (value, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(value.layer_name, "x");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn get_or_compute_hits_after_a_miss() {
+        let cache = DseCache::new();
+        let (_, first) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        let (again, second) = cache
+            .get_or_compute("k", || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(again.layer_name, "x");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = DseCache::new();
+        let err = cache
+            .get_or_compute("k", || Err(DseError::new("no feasible tiling")))
+            .unwrap_err();
+        assert!(err.to_string().contains("no feasible tiling"));
+        // The failed key computes afresh on the next lookup.
+        let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn a_panicking_computation_becomes_an_error() {
+        let cache = DseCache::new();
+        let err = cache
+            .get_or_compute("k", || panic!("exploration bug"))
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert!(err.to_string().contains("exploration bug"), "{err}");
+        // The cache is still fully usable afterwards (no poisoning).
+        let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(cache.stats().entries, 1);
     }
 }

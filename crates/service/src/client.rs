@@ -1,32 +1,59 @@
-//! A small blocking client for the NDJSON-over-TCP protocol.
+//! A blocking client for the pipelined JSON-over-TCP protocol.
+//!
+//! Two usage styles:
+//!
+//! * **One at a time** — [`Client::submit`], [`Client::ping`],
+//!   [`Client::stats`]: send a request, block for its response.
+//! * **Pipelined** — [`Client::submit_batch`] (or the lower-level
+//!   [`Client::send`]/[`Client::recv`] pair): put many jobs on the wire
+//!   without waiting, then collect responses **in completion order**,
+//!   matching them back to jobs by `id`. The server executes the whole
+//!   window concurrently on its worker pool, so a pipelined batch
+//!   finishes in roughly the time of its slowest job rather than the
+//!   sum of all of them.
+//!
+//! [`Client::set_binary`] switches outgoing requests to the
+//! length-prefixed binary frame encoding (see [`crate::wire`]), which
+//! avoids line-scanning for jobs carrying large inline networks;
+//! responses self-describe, so both encodings are always accepted.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::spec::{JobResult, JobSpec};
+use crate::wire;
 
 /// Cache/pool statistics as reported by a server's `stats` command.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
-    /// Cache lookups served from memory.
+    /// Cache lookups served from a resident entry.
     pub hits: u64,
     /// Cache lookups that required computation.
     pub misses: u64,
+    /// Cache lookups coalesced onto an in-flight computation.
+    pub coalesced: u64,
+    /// Entries evicted to satisfy the cache capacity bounds.
+    pub evictions: u64,
     /// Distinct cached layer results.
     pub entries: usize,
-    /// `hits / (hits + misses)`, 0 before any lookup.
+    /// Approximate bytes resident in the cache.
+    pub bytes: usize,
+    /// Fraction of lookups served without a fresh computation.
     pub hit_rate: f64,
     /// Worker threads in the server's pool.
     pub workers: usize,
 }
 
-/// A connected client; one request/response exchange at a time.
+/// A connected client. Supports both blocking request/response and
+/// pipelined submission; see the module docs.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    binary: bool,
 }
 
 impl Client {
@@ -40,24 +67,49 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            binary: false,
         })
     }
 
-    /// Send one request line and read one response line.
+    /// Send subsequent requests as length-prefixed binary frames
+    /// (`true`) or newline-delimited text (`false`, the default).
+    /// Incoming responses self-describe and are always accepted in
+    /// either encoding.
+    pub fn set_binary(&mut self, binary: bool) {
+        self.binary = binary;
+    }
+
+    /// Write one request to the wire (in the current encoding) without
+    /// waiting for any response — the pipelining primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send(&mut self, payload: &Json) -> Result<(), ServiceError> {
+        wire::write_message(&mut self.writer, &payload.render(), self.binary)
+    }
+
+    /// Read the next response from the wire, whichever request it
+    /// answers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, unparsable responses, or a closed server.
+    pub fn recv(&mut self) -> Result<Json, ServiceError> {
+        match wire::read_message(&mut self.reader)? {
+            Some((payload, _)) => Ok(Json::parse(&payload)?),
+            None => Err(ServiceError::protocol("server closed the connection")),
+        }
+    }
+
+    /// Send one request and read one response (no pipelining).
     ///
     /// # Errors
     ///
     /// Fails on I/O errors, unparsable responses, or a closed server.
     pub fn request(&mut self, payload: &Json) -> Result<Json, ServiceError> {
-        self.writer.write_all(payload.render().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let read = self.reader.read_line(&mut line)?;
-        if read == 0 {
-            return Err(ServiceError::protocol("server closed the connection"));
-        }
-        Ok(Json::parse(line.trim_end())?)
+        self.send(payload)?;
+        self.recv()
     }
 
     /// Check that a response has `"ok": true`, surfacing its error.
@@ -73,17 +125,90 @@ impl Client {
         }
     }
 
+    /// Extract the `result` payload of a job response.
+    fn job_result(response: Json) -> Result<JobResult, ServiceError> {
+        let response = Self::expect_ok(response)?;
+        let result = response
+            .get("result")
+            .ok_or_else(|| ServiceError::protocol("response missing \"result\""))?;
+        JobResult::from_json(result)
+    }
+
     /// Submit a job and wait for its result.
     ///
     /// # Errors
     ///
     /// Surfaces server-side job failures as protocol errors.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobResult, ServiceError> {
-        let response = Self::expect_ok(self.request(&spec.to_json())?)?;
-        let result = response
-            .get("result")
-            .ok_or_else(|| ServiceError::protocol("response missing \"result\""))?;
-        JobResult::from_json(result)
+        Self::job_result(self.request(&spec.to_json())?)
+    }
+
+    /// How many jobs this client keeps on the wire at once in
+    /// [`Client::submit_batch`]. Deliberately below the server's
+    /// per-connection in-flight cap (128): the server releases a slot
+    /// only once a response is *written*, so a client that sent more
+    /// than the cap without reading could fill both sockets' buffers
+    /// and deadlock — sender blocked on a full socket, server blocked
+    /// waiting for the client to read.
+    pub const PIPELINE_WINDOW: usize = 64;
+
+    /// Submit jobs without waiting for responses — up to
+    /// [`Client::PIPELINE_WINDOW`] on the wire at a time — collecting
+    /// responses as they complete (possibly out of submission order)
+    /// and returning them matched back into `specs` order. Per-job
+    /// failures occupy their job's slot without aborting the rest of
+    /// the batch.
+    ///
+    /// A full window is in flight at once, so a batch takes roughly as
+    /// long as its slowest window rather than the sum of its jobs.
+    ///
+    /// # Errors
+    ///
+    /// Fails wholesale on I/O errors, duplicate job ids (the
+    /// correlation key must be unique within a pipelined batch), or
+    /// responses that match no submitted id.
+    pub fn submit_batch(
+        &mut self,
+        specs: &[JobSpec],
+    ) -> Result<Vec<Result<JobResult, ServiceError>>, ServiceError> {
+        let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(specs.len());
+        for (slot, spec) in specs.iter().enumerate() {
+            if slot_of.insert(spec.id, slot).is_some() {
+                return Err(ServiceError::protocol(format!(
+                    "duplicate job id {} in pipelined batch",
+                    spec.id
+                )));
+            }
+        }
+        let mut results: Vec<Option<Result<JobResult, ServiceError>>> =
+            (0..specs.len()).map(|_| None).collect();
+        let mut sent = 0;
+        let mut received = 0;
+        while received < specs.len() {
+            while sent < specs.len() && sent - received < Self::PIPELINE_WINDOW {
+                self.send(&specs[sent].to_json())?;
+                sent += 1;
+            }
+            let response = self.recv()?;
+            let id = response
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::protocol("pipelined response carries no job id"))?;
+            let slot = *slot_of
+                .get(&id)
+                .ok_or_else(|| ServiceError::protocol(format!("unexpected response id {id}")))?;
+            if results[slot].is_some() {
+                return Err(ServiceError::protocol(format!(
+                    "duplicate response for job id {id}"
+                )));
+            }
+            results[slot] = Some(Self::job_result(response));
+            received += 1;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot filled exactly once"))
+            .collect())
     }
 
     /// Liveness check.
@@ -118,7 +243,10 @@ impl Client {
         Ok(ServerStats {
             hits: int("hits")?,
             misses: int("misses")?,
+            coalesced: int("coalesced")?,
+            evictions: int("evictions")?,
             entries: int("entries")? as usize,
+            bytes: int("bytes")? as usize,
             hit_rate: stats.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
             workers: int("workers")? as usize,
         })

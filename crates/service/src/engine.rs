@@ -20,7 +20,7 @@ use drmap_dram::geometry::Geometry;
 use drmap_dram::profiler::{AccessCostTable, Profiler};
 use drmap_dram::timing::DramArch;
 
-use crate::cache::DseCache;
+use crate::cache::{CacheConfig, CacheOutcome, DseCache};
 use crate::error::ServiceError;
 use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome};
 
@@ -72,11 +72,14 @@ impl EngineFactory {
         // stall every concurrent engine construction — including ones
         // whose tables are already memoized. Two threads racing on a
         // cold architecture may both profile; the results are
-        // identical, so last-write-wins is deterministic.
+        // identical, so last-write-wins is deterministic. A poisoned
+        // lock is recovered rather than propagated: the map is a memo
+        // cache whose entries are always whole, so a panic elsewhere
+        // must not abort every thread that builds an engine.
         let memoized = self
             .tables
             .lock()
-            .expect("table mutex poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&spec.arch)
             .cloned();
         let table = match memoized {
@@ -85,7 +88,7 @@ impl EngineFactory {
                 let table = self.profiler.cost_table(spec.arch);
                 self.tables
                     .lock()
-                    .expect("table mutex poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .insert(spec.arch, table.clone());
                 table
             }
@@ -106,15 +109,26 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    /// Shared state over the paper's Table II substrate.
+    /// Shared state over the paper's Table II substrate with an
+    /// unbounded cache.
     ///
     /// # Errors
     ///
     /// Propagates [`EngineFactory::table_ii`] failures.
     pub fn new() -> Result<Arc<Self>, ServiceError> {
+        Self::with_cache_config(CacheConfig::unbounded())
+    }
+
+    /// Shared state over the paper's Table II substrate with the given
+    /// cache capacity bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineFactory::table_ii`] failures.
+    pub fn with_cache_config(config: CacheConfig) -> Result<Arc<Self>, ServiceError> {
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
-            cache: DseCache::new(),
+            cache: DseCache::with_config(config),
         }))
     }
 
@@ -128,29 +142,33 @@ impl ServiceState {
         &self.cache
     }
 
-    /// Explore one layer through the cache: returns the result plus
-    /// whether it was served from cache. Cached results are re-labelled
-    /// with the requesting layer's name (keys ignore names).
+    /// Explore one layer through the cache: returns the result plus how
+    /// the lookup was satisfied (resident hit, coalesced onto another
+    /// caller's in-flight computation, or computed here). Concurrent
+    /// lookups of the same key perform exactly one computation. Cached
+    /// and coalesced results are re-labelled with the requesting layer's
+    /// name (keys ignore names).
     ///
     /// # Errors
     ///
-    /// Propagates [`DseEngine::explore_layer`] failures. Failures are
-    /// not cached.
+    /// Propagates [`DseEngine::explore_layer`] failures (shared by every
+    /// caller coalesced onto the failing computation). Failures are not
+    /// cached.
     pub fn explore_layer_cached(
         &self,
         engine: &DseEngine,
         tag: &str,
         layer: &Layer,
-    ) -> Result<(LayerDseResult, bool), DseError> {
+    ) -> Result<(LayerDseResult, CacheOutcome), DseError> {
         let acc = engine.model().traffic_model().accelerator();
         let key = layer_cache_key(tag, layer, acc, engine.config());
-        if let Some(mut hit) = self.cache.get(&key) {
-            hit.layer_name.clone_from(&layer.name);
-            return Ok((hit, true));
+        let (mut result, outcome) = self
+            .cache
+            .get_or_compute(&key, || engine.explore_layer(layer))?;
+        if result.layer_name != layer.name {
+            result.layer_name.clone_from(&layer.name);
         }
-        let result = engine.explore_layer(layer)?;
-        self.cache.insert(key, result.clone());
-        Ok((result, false))
+        Ok((result, outcome))
     }
 
     /// Run a whole job sequentially on the calling thread (the reference
@@ -165,9 +183,9 @@ impl ServiceState {
         let mut outcomes = Vec::with_capacity(spec.workload.layers().len());
         let mut total = drmap_core::edp::EdpEstimate::zero(engine.model().table().t_ck_ns);
         for layer in spec.workload.layers() {
-            let (result, cached) = self.explore_layer_cached(&engine, &tag, layer)?;
+            let (result, outcome) = self.explore_layer_cached(&engine, &tag, layer)?;
             total.accumulate(&result.best.estimate);
-            outcomes.push(outcome_from_result(result, cached));
+            outcomes.push(outcome_from_result(result, outcome));
         }
         Ok(JobResult {
             id: spec.id,
@@ -179,7 +197,7 @@ impl ServiceState {
 }
 
 /// Convert a core-layer result into the service's wire outcome.
-pub(crate) fn outcome_from_result(result: LayerDseResult, cached: bool) -> LayerOutcome {
+pub(crate) fn outcome_from_result(result: LayerDseResult, outcome: CacheOutcome) -> LayerOutcome {
     LayerOutcome {
         name: result.layer_name,
         mapping: result.best.mapping.name(),
@@ -187,7 +205,8 @@ pub(crate) fn outcome_from_result(result: LayerDseResult, cached: bool) -> Layer
         tiling: result.best.tiling,
         estimate: result.best.estimate,
         evaluations: result.evaluations as u64,
-        cached,
+        cached: outcome == CacheOutcome::Hit,
+        coalesced: outcome == CacheOutcome::Coalesced,
     }
 }
 
@@ -237,11 +256,11 @@ mod tests {
         let engine = state.factory().engine(&spec);
         let tag = state.factory().engine_tag(&spec);
         let layer = Layer::conv("FIRST", 8, 8, 16, 8, 3, 3, 1);
-        let (fresh, cached) = state.explore_layer_cached(&engine, &tag, &layer).unwrap();
-        assert!(!cached);
+        let (fresh, outcome) = state.explore_layer_cached(&engine, &tag, &layer).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
         let renamed = Layer::conv("SECOND", 8, 8, 16, 8, 3, 3, 1);
-        let (hit, cached) = state.explore_layer_cached(&engine, &tag, &renamed).unwrap();
-        assert!(cached);
+        let (hit, outcome) = state.explore_layer_cached(&engine, &tag, &renamed).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
         assert_eq!(hit.layer_name, "SECOND");
         assert_eq!(hit.best, fresh.best);
         assert_eq!(

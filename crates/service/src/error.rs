@@ -24,6 +24,20 @@ impl ServiceError {
     }
 }
 
+/// Best-effort text of a panic payload (the argument of `panic!`), for
+/// surfacing a caught worker/computation panic as an error message.
+/// Payloads that are neither `&str` nor `String` — rare in practice —
+/// render as a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -88,5 +102,15 @@ mod tests {
             .contains("no tiling"));
         let io = std::io::Error::other("boom");
         assert!(ServiceError::from(io).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "static str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
     }
 }

@@ -25,13 +25,20 @@
 //!   [`DramArch`](drmap_dram::timing::DramArch) and
 //!   [`Objective`](drmap_core::dse::Objective);
 //! * [`pool`] — the worker-pool engine: every job is sharded into
-//!   per-layer tasks on one queue, so batches saturate all workers;
+//!   per-layer tasks on one queue, so batches saturate all workers; a
+//!   worker that panics surfaces a job error instead of hanging the
+//!   submitter;
 //! * [`cache`] — the shared memo cache keyed by
 //!   [`layer_cache_key`](drmap_core::dse::layer_cache_key) (layer
-//!   *shape* + accelerator + substrate + sweep config), with hit/miss
+//!   *shape* + accelerator + substrate + sweep config): a bounded LRU
+//!   (entry and approximate-byte caps) with single-flight coalescing of
+//!   concurrent identical lookups and hit/miss/coalesced/eviction
 //!   counters;
-//! * [`server`]/[`client`] — a hand-rolled, std-only
-//!   newline-delimited-JSON-over-TCP front-end;
+//! * [`server`]/[`client`] — a hand-rolled, std-only, **pipelined**
+//!   JSON-over-TCP front-end: submit many jobs tagged by `id`, receive
+//!   responses out of order as they complete;
+//! * [`wire`] — the transport: newline-delimited text plus a
+//!   length-prefixed binary frame mode for large inline networks;
 //! * [`json`] — the dependency-free JSON layer (floats round-trip
 //!   bit-exactly).
 //!
@@ -61,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cli;
 pub mod client;
 pub mod engine;
 pub mod error;
@@ -68,10 +76,11 @@ pub mod json;
 pub mod pool;
 pub mod server;
 pub mod spec;
+pub mod wire;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, DseCache};
+    pub use crate::cache::{CacheConfig, CacheOutcome, CacheStats, DseCache};
     pub use crate::client::{Client, ServerStats};
     pub use crate::engine::{default_workers, EngineFactory, ServiceState};
     pub use crate::error::ServiceError;

@@ -14,6 +14,7 @@
 //! the direct engine does, so a job's [`JobResult`] is bit-identical to
 //! a sequential run — cached, pooled, or direct.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -23,11 +24,12 @@ use drmap_core::dse::{LayerDseResult, SharedEngine};
 use drmap_core::edp::EdpEstimate;
 use drmap_core::error::DseError;
 
+use crate::cache::CacheOutcome;
 use crate::engine::{outcome_from_result, ServiceState};
-use crate::error::ServiceError;
+use crate::error::{panic_message, ServiceError};
 use crate::spec::{JobResult, JobSpec};
 
-type LayerReply = (usize, Result<(LayerDseResult, bool), DseError>);
+type LayerReply = (usize, Result<(LayerDseResult, CacheOutcome), DseError>);
 
 struct LayerTask {
     state: Arc<ServiceState>,
@@ -98,11 +100,23 @@ impl DsePool {
                 index,
                 reply: reply.clone(),
             };
-            self.queue
+            // The queue lives as long as the pool and workers never exit
+            // while it is open, but if a send fails anyway, reply with an
+            // error for this layer instead of panicking the submitter —
+            // `wait` then surfaces it as a job failure.
+            let queue = self
+                .queue
                 .as_ref()
-                .expect("queue lives as long as the pool")
-                .send(task)
-                .expect("workers outlive the pool");
+                .expect("queue lives as long as the pool");
+            if let Err(send_error) = queue.send(task) {
+                let _ = reply.send((
+                    index,
+                    Err(DseError::new(
+                        "worker pool is shut down; layer not scheduled",
+                    )),
+                ));
+                drop(send_error);
+            }
         }
         PendingJob {
             id: spec.id,
@@ -135,14 +149,29 @@ impl Drop for DsePool {
 fn worker_loop(rx: &Mutex<Receiver<LayerTask>>) {
     loop {
         // Hold the lock only while waiting for the next task; execution
-        // happens with the queue free for other workers.
-        let task = match rx.lock().expect("queue mutex poisoned").recv() {
+        // happens with the queue free for other workers. A poisoned
+        // queue mutex is recovered: the receiver is always in a valid
+        // state, and one panicking worker must not kill the rest.
+        let task = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(task) => task,
             Err(_) => return, // pool dropped, queue closed
         };
-        let result = task
-            .state
-            .explore_layer_cached(&task.engine, &task.tag, &task.layer);
+        // Catch panics so the reply is *always* sent: a worker that
+        // unwound without replying would leave `PendingJob::wait`
+        // blocked forever on a layer that no one is computing.
+        // (`explore_layer_cached` already converts panics inside the
+        // exploration itself; this guards everything else.)
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            task.state
+                .explore_layer_cached(&task.engine, &task.tag, &task.layer)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(DseError::new(format!(
+                "worker panicked exploring layer {:?}: {}",
+                task.layer.name,
+                panic_message(payload.as_ref())
+            )))
+        });
         // A dropped PendingJob just discards the reply.
         let _ = task.reply.send((task.index, result));
     }
@@ -167,21 +196,25 @@ impl PendingJob {
     /// Returns the lowest-indexed layer failure, or a protocol error if
     /// a worker died mid-job.
     pub fn wait(self) -> Result<JobResult, ServiceError> {
-        let mut slots: Vec<Option<Result<(LayerDseResult, bool), DseError>>> =
+        let mut slots: Vec<Option<Result<(LayerDseResult, CacheOutcome), DseError>>> =
             (0..self.expected).map(|_| None).collect();
         for _ in 0..self.expected {
             let (index, result) = self
                 .results
                 .recv()
                 .map_err(|_| ServiceError::protocol("worker pool shut down mid-job"))?;
+            if index >= slots.len() {
+                return Err(ServiceError::protocol("worker replied with a bogus index"));
+            }
             slots[index] = Some(result);
         }
         let mut total = EdpEstimate::zero(self.t_ck_ns);
         let mut outcomes = Vec::with_capacity(self.expected);
         for slot in slots {
-            let (result, cached) = slot.expect("every layer index replied")?;
+            let (result, outcome) =
+                slot.ok_or_else(|| ServiceError::protocol("a layer never received its reply"))??;
             total.accumulate(&result.best.estimate);
-            outcomes.push(outcome_from_result(result, cached));
+            outcomes.push(outcome_from_result(result, outcome));
         }
         Ok(JobResult {
             id: self.id,

@@ -1,11 +1,18 @@
-//! The newline-delimited-JSON-over-TCP front-end.
+//! The pipelined JSON-over-TCP front-end.
 //!
-//! One request per line, one response per line, std-only. Each accepted
-//! connection gets its own handler thread; job execution itself happens
-//! on the shared [`DsePool`], so many light connections share the same
-//! workers and memo cache.
+//! Each accepted connection gets its own handler; job execution itself
+//! happens on the shared [`DsePool`], so many light connections share
+//! the same workers and memo cache. The protocol is **pipelined**: a
+//! client may submit many requests without waiting, and job responses
+//! are delivered **as jobs complete — possibly out of submission
+//! order** — matched back to requests by their client-chosen `id`.
 //!
 //! ## Protocol
+//!
+//! Messages travel in either of the two encodings of [`crate::wire`]
+//! (newline-delimited JSON text, or `0x00`-marked length-prefixed
+//! binary frames for large inline networks); a response always uses
+//! the encoding of its request.
 //!
 //! Job request — a [`JobSpec`](crate::spec::JobSpec) object:
 //!
@@ -13,27 +20,45 @@
 //! {"id": 1, "engine": {"arch": "SALP-2", "objective": "edp"}, "network": {"model": "alexnet"}}
 //! ```
 //!
-//! → `{"ok": true, "result": {<JobResult>}}`
+//! → `{"ok": true, "id": 1, "result": {<JobResult>}}`
 //!
-//! Control requests:
+//! The `id` is the correlation key: responses to concurrently submitted
+//! jobs arrive in completion order, each echoing its job's `id` at the
+//! top level. Clients that pipeline must use distinct ids per
+//! connection; blocking one-at-a-time clients may ignore ordering
+//! entirely.
+//!
+//! Control requests (answered in arrival order, but they may overtake
+//! or be overtaken by in-flight *job* responses):
 //!
 //! ```text
 //! {"cmd": "ping"}      -> {"ok": true, "pong": true}
-//! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "entries": …, "hit_rate": …, "workers": …}}
+//! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "coalesced": …,
+//!                          "evictions": …, "entries": …, "bytes": …, "hit_rate": …, "workers": …}}
 //! {"cmd": "shutdown"}  -> {"ok": true, "shutdown": true}   (server stops accepting)
 //! ```
 //!
-//! Any failure → `{"ok": false, "id": <echoed if present>, "error": "…"}`.
+//! Any failure → `{"ok": false, "id": <echoed if known>, "error": "…"}`.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::DsePool;
 use crate::spec::JobSpec;
+use crate::wire;
+
+/// Cap on in-flight requests per connection, counting a request from
+/// the moment it is accepted until its response has been written to
+/// the socket. Submissions beyond the cap block the connection's
+/// reader until a slot frees — back-pressure, not an error — so one
+/// client can neither spawn unbounded waiter threads nor, by refusing
+/// to read responses, queue unbounded response memory server-side.
+const MAX_INFLIGHT_PER_CONNECTION: usize = 128;
 
 /// A running job server bound to a TCP address.
 #[derive(Debug)]
@@ -141,28 +166,145 @@ impl ConnectionShutdown {
     }
 }
 
+/// A counting semaphore bounding in-flight jobs per connection.
+#[derive(Debug)]
+struct InflightGate {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl InflightGate {
+    fn new() -> Arc<Self> {
+        Arc::new(InflightGate {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until an in-flight slot is free, then take it.
+    fn acquire(&self) {
+        let mut count = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        while *count >= MAX_INFLIGHT_PER_CONNECTION {
+            count = self.cv.wait(count).unwrap_or_else(|e| e.into_inner());
+        }
+        *count += 1;
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        *count -= 1;
+        self.cv.notify_one();
+    }
+}
+
+/// One connection: a reader loop that dispatches requests, one writer
+/// thread that serializes all responses onto the socket, and a detached
+/// waiter thread per in-flight job. Job responses reach the writer in
+/// completion order, giving out-of-order pipelining; the per-connection
+/// [`InflightGate`] bounds the waiter threads.
 fn serve_connection(
     stream: TcpStream,
-    pool: &DsePool,
+    pool: &Arc<DsePool>,
     shutdown: &ConnectionShutdown,
 ) -> Result<(), ServiceError> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let gate = InflightGate::new();
+    let (tx, rx) = channel::<(Json, bool)>();
+    let writer = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            let mut out = BufWriter::new(stream);
+            // A write failure means the client is gone: stop writing,
+            // but keep draining the channel and releasing gate slots so
+            // the reader (possibly blocked in `acquire`) can run its
+            // loop to the connection error and exit.
+            let mut dead = false;
+            while let Ok((response, binary)) = rx.recv() {
+                if !dead && wire::write_message(&mut out, &response.render(), binary).is_err() {
+                    dead = true;
+                }
+                gate.release();
+            }
+        })
+    };
+    let mut stop = false;
+    let result = loop {
+        match wire::read_message(&mut reader) {
+            Ok(Some((payload, binary))) => {
+                if dispatch_message(pool, &payload, binary, &tx, &gate) {
+                    stop = true;
+                    break Ok(());
+                }
+            }
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
         }
-        let (response, stop) = handle_request(pool, &line);
-        writer.write_all(response.render().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if stop {
-            shutdown.trigger();
-            break;
-        }
+    };
+
+    // Close our sender so the writer exits once every in-flight job has
+    // responded, then stop the accept loop if asked. In-flight jobs
+    // submitted before a shutdown command still get their responses.
+    drop(tx);
+    let _ = writer.join();
+    if stop {
+        shutdown.trigger();
     }
-    Ok(())
+    result
+}
+
+/// Dispatch one request: control commands answer inline, job requests
+/// are submitted to the pool and answered from a waiter thread when
+/// they complete. Every response path takes a gate slot *before*
+/// queueing; the writer thread releases it only after the response
+/// leaves for the socket, so the gate bounds queued response memory as
+/// well as waiter threads. Returns `true` if the server should shut
+/// down.
+fn dispatch_message(
+    pool: &Arc<DsePool>,
+    payload: &str,
+    binary: bool,
+    tx: &Sender<(Json, bool)>,
+    gate: &Arc<InflightGate>,
+) -> bool {
+    let parsed = match Json::parse(payload) {
+        Ok(v) => v,
+        Err(e) => {
+            gate.acquire();
+            let _ = tx.send((error_response(None, e.to_string()), binary));
+            return false;
+        }
+    };
+    let id = parsed.get("id").and_then(Json::as_u64);
+    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+        let (response, stop) = control_response(pool, cmd, id);
+        gate.acquire();
+        let _ = tx.send((response, binary));
+        return stop;
+    }
+    let job = match JobSpec::from_json(&parsed) {
+        Ok(job) => job,
+        Err(e) => {
+            gate.acquire();
+            let _ = tx.send((error_response(id, e.to_string()), binary));
+            return false;
+        }
+    };
+    gate.acquire();
+    let pending = pool.submit(&job);
+    let tx = tx.clone();
+    let job_id = job.id;
+    std::thread::spawn(move || {
+        let response = match pending.wait() {
+            Ok(result) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("id", Json::num_u64(result.id)),
+                ("result", result.to_json()),
+            ]),
+            Err(e) => error_response(Some(job_id), e.to_string()),
+        };
+        let _ = tx.send((response, binary));
+    });
+    false
 }
 
 fn error_response(id: Option<u64>, message: String) -> Json {
@@ -174,9 +316,52 @@ fn error_response(id: Option<u64>, message: String) -> Json {
     Json::Obj(pairs)
 }
 
-/// Dispatch one request line to a response. The boolean asks the caller
-/// to shut the server down after responding. Exposed for direct testing
-/// and reused by both front-ends.
+/// Answer one control command. The boolean asks the caller to shut the
+/// server down after responding.
+fn control_response(pool: &DsePool, cmd: &str, id: Option<u64>) -> (Json, bool) {
+    match cmd {
+        "ping" => (
+            Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+            false,
+        ),
+        "stats" => {
+            let stats = pool.state().cache().stats();
+            (
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    (
+                        "stats",
+                        Json::obj([
+                            ("hits", Json::num_u64(stats.hits)),
+                            ("misses", Json::num_u64(stats.misses)),
+                            ("coalesced", Json::num_u64(stats.coalesced)),
+                            ("evictions", Json::num_u64(stats.evictions)),
+                            ("entries", Json::num_usize(stats.entries)),
+                            ("bytes", Json::num_usize(stats.bytes)),
+                            ("hit_rate", Json::Num(stats.hit_rate())),
+                            ("workers", Json::num_usize(pool.workers())),
+                        ]),
+                    ),
+                ]),
+                false,
+            )
+        }
+        "shutdown" => (
+            Json::obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
+            true,
+        ),
+        other => (
+            error_response(id, format!("unknown command {other:?}")),
+            false,
+        ),
+    }
+}
+
+/// Dispatch one request line to a response, blocking until the job (if
+/// any) completes. The boolean asks the caller to shut the server down
+/// after responding. This is the sequential building block the
+/// pipelined connection handler decomposes; it is exposed for direct
+/// testing and embedding.
 pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
     let parsed = match Json::parse(line) {
         Ok(v) => v,
@@ -184,39 +369,7 @@ pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
     };
     let id = parsed.get("id").and_then(Json::as_u64);
     if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
-        return match cmd {
-            "ping" => (
-                Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-                false,
-            ),
-            "stats" => {
-                let stats = pool.state().cache().stats();
-                (
-                    Json::obj([
-                        ("ok", Json::Bool(true)),
-                        (
-                            "stats",
-                            Json::obj([
-                                ("hits", Json::num_u64(stats.hits)),
-                                ("misses", Json::num_u64(stats.misses)),
-                                ("entries", Json::num_usize(stats.entries)),
-                                ("hit_rate", Json::Num(stats.hit_rate())),
-                                ("workers", Json::num_usize(pool.workers())),
-                            ]),
-                        ),
-                    ]),
-                    false,
-                )
-            }
-            "shutdown" => (
-                Json::obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
-                true,
-            ),
-            other => (
-                error_response(id, format!("unknown command {other:?}")),
-                false,
-            ),
-        };
+        return control_response(pool, cmd, id);
     }
     let job = match JobSpec::from_json(&parsed) {
         Ok(job) => job,
@@ -224,7 +377,11 @@ pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
     };
     match pool.submit(&job).wait() {
         Ok(result) => (
-            Json::obj([("ok", Json::Bool(true)), ("result", result.to_json())]),
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("id", Json::num_u64(result.id)),
+                ("result", result.to_json()),
+            ]),
             false,
         ),
         Err(e) => (error_response(Some(job.id), e.to_string()), false),
@@ -248,8 +405,11 @@ mod tests {
         assert!(!stop);
 
         let (stats, _) = handle_request(&pool, r#"{"cmd": "stats"}"#);
-        let workers = stats.get("stats").unwrap().get("workers").unwrap();
-        assert_eq!(workers.as_usize(), Some(2));
+        let stats = stats.get("stats").unwrap();
+        assert_eq!(stats.get("workers").unwrap().as_usize(), Some(2));
+        for counter in ["hits", "misses", "coalesced", "evictions", "bytes"] {
+            assert!(stats.get(counter).is_some(), "stats missing {counter}");
+        }
 
         let (down, stop) = handle_request(&pool, r#"{"cmd": "shutdown"}"#);
         assert_eq!(down.get("ok"), Some(&Json::Bool(true)));
@@ -265,6 +425,9 @@ mod tests {
         let pool = test_pool();
         let (response, _) = handle_request(&pool, r#"{"id": 5, "network": {"model": "tiny"}}"#);
         assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        // The job id is echoed at the top level (the pipelining
+        // correlation key) as well as inside the result.
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(5));
         let result = response.get("result").unwrap();
         assert_eq!(result.get("id").and_then(Json::as_u64), Some(5));
         assert_eq!(result.get("layers").unwrap().as_array().unwrap().len(), 3);

@@ -352,6 +352,9 @@ pub struct LayerOutcome {
     pub evaluations: u64,
     /// True if this layer was served from the memo cache.
     pub cached: bool,
+    /// True if this layer was served by coalescing onto another job's
+    /// in-flight computation of the same shape (single-flight).
+    pub coalesced: bool,
 }
 
 impl LayerOutcome {
@@ -372,6 +375,7 @@ impl LayerOutcome {
             ("estimate", estimate_to_json(&self.estimate)),
             ("evaluations", Json::num_u64(self.evaluations)),
             ("cached", Json::Bool(self.cached)),
+            ("coalesced", Json::Bool(self.coalesced)),
         ])
     }
 
@@ -401,6 +405,7 @@ impl LayerOutcome {
             )?,
             evaluations: v.get("evaluations").and_then(Json::as_u64).unwrap_or(0),
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            coalesced: v.get("coalesced").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -422,6 +427,11 @@ impl JobResult {
     /// Layers served from the memo cache.
     pub fn cache_hits(&self) -> usize {
         self.layers.iter().filter(|l| l.cached).count()
+    }
+
+    /// Layers served by coalescing onto an in-flight computation.
+    pub fn coalesced_hits(&self) -> usize {
+        self.layers.iter().filter(|l| l.coalesced).count()
     }
 
     /// Wire representation.
@@ -585,6 +595,7 @@ mod tests {
                 },
                 evaluations: 4242,
                 cached: true,
+                coalesced: false,
             }],
         };
         let rendered = result.to_json().render();

@@ -1,0 +1,227 @@
+//! Message transport shared by the server and client: newline-delimited
+//! JSON text with an optional length-prefixed binary frame mode.
+//!
+//! Every protocol message is a JSON document moving over TCP in one of
+//! two encodings, distinguishable by the first byte:
+//!
+//! * **Text**: the document on one line, terminated by `\n` — easy to
+//!   drive from `nc`. A JSON document can never start with byte `0x00`,
+//!   so text messages never collide with the frame marker.
+//! * **Binary frame**: marker byte `0x00`, a big-endian `u32` payload
+//!   length, then exactly that many bytes of JSON. Frames carry large
+//!   inline networks without line-scanning overhead and are capped at
+//!   [`MAX_FRAME_BYTES`] so an untrusted length header cannot force an
+//!   unbounded allocation.
+//!
+//! Either side may switch encodings per message; a response uses the
+//! encoding of the request it answers.
+
+use std::io::{BufRead, Write};
+
+use crate::error::ServiceError;
+
+/// First byte of a binary frame. `0x00` can never begin a JSON text
+/// message.
+pub const FRAME_MARKER: u8 = 0x00;
+
+/// Upper bound on a binary frame's payload, defending against hostile
+/// length headers.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Write one message in the chosen encoding and flush.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects payloads beyond [`MAX_FRAME_BYTES`]
+/// in binary mode.
+pub fn write_message(
+    writer: &mut impl Write,
+    payload: &str,
+    binary: bool,
+) -> Result<(), ServiceError> {
+    if binary {
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(ServiceError::protocol(format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                payload.len()
+            )));
+        }
+        writer.write_all(&[FRAME_MARKER])?;
+        writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+        writer.write_all(payload.as_bytes())?;
+    } else {
+        writer.write_all(payload.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read one message, auto-detecting its encoding from the first byte.
+/// Returns `None` on a clean end-of-stream; blank lines are skipped.
+/// The returned flag is `true` for a binary frame, so the caller can
+/// answer in kind.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects oversized frames and non-UTF-8
+/// frame payloads.
+pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, bool)>, ServiceError> {
+    loop {
+        let first = {
+            let buf = reader.fill_buf()?;
+            match buf.first() {
+                Some(&b) => b,
+                None => return Ok(None), // clean EOF between messages
+            }
+        };
+        match first {
+            FRAME_MARKER => {
+                reader.consume(1);
+                let mut len_bytes = [0u8; 4];
+                reader.read_exact(&mut len_bytes)?;
+                let len = u32::from_be_bytes(len_bytes) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(ServiceError::protocol(format!(
+                        "frame header claims {len} bytes, above the {MAX_FRAME_BYTES}-byte cap"
+                    )));
+                }
+                let mut payload = vec![0u8; len];
+                reader.read_exact(&mut payload)?;
+                let text = String::from_utf8(payload)
+                    .map_err(|_| ServiceError::protocol("frame payload is not UTF-8"))?;
+                return Ok(Some((text, true)));
+            }
+            b'\n' | b'\r' => {
+                reader.consume(1);
+            }
+            _ => {
+                // Accumulate one text line with the same size cap as
+                // binary frames: without it, a newline-free stream
+                // would grow the buffer without bound.
+                let mut line: Vec<u8> = Vec::new();
+                loop {
+                    let buf = reader.fill_buf()?;
+                    if buf.is_empty() {
+                        break; // EOF terminates the final line
+                    }
+                    match buf.iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            line.extend_from_slice(&buf[..pos]);
+                            reader.consume(pos + 1);
+                            break;
+                        }
+                        None => {
+                            line.extend_from_slice(buf);
+                            let n = buf.len();
+                            reader.consume(n);
+                        }
+                    }
+                    if line.len() > MAX_FRAME_BYTES {
+                        return Err(ServiceError::protocol(format!(
+                            "text message exceeds the {MAX_FRAME_BYTES}-byte cap"
+                        )));
+                    }
+                }
+                if line.len() > MAX_FRAME_BYTES {
+                    return Err(ServiceError::protocol(format!(
+                        "text message exceeds the {MAX_FRAME_BYTES}-byte cap"
+                    )));
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|_| ServiceError::protocol("text message is not UTF-8"))?;
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    return Ok(Some((trimmed.to_owned(), false)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn text_messages_round_trip_and_skip_blank_lines() {
+        let mut out = Vec::new();
+        write_message(&mut out, r#"{"id":1}"#, false).unwrap();
+        out.extend_from_slice(b"\r\n\n");
+        write_message(&mut out, r#"{"id":2}"#, false).unwrap();
+        let mut reader = BufReader::new(&out[..]);
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Some((r#"{"id":1}"#.to_owned(), false))
+        );
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Some((r#"{"id":2}"#.to_owned(), false))
+        );
+        assert_eq!(read_message(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn binary_frames_round_trip_and_interleave_with_text() {
+        let mut out = Vec::new();
+        write_message(&mut out, r#"{"id":1}"#, true).unwrap();
+        write_message(&mut out, r#"{"id":2}"#, false).unwrap();
+        write_message(&mut out, "{\"s\":\"line\\nbreak\"}", true).unwrap();
+        let mut reader = BufReader::new(&out[..]);
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Some((r#"{"id":1}"#.to_owned(), true))
+        );
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Some((r#"{"id":2}"#.to_owned(), false))
+        );
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Some(("{\"s\":\"line\\nbreak\"}".to_owned(), true))
+        );
+        assert_eq!(read_message(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn hostile_frame_lengths_are_rejected_without_allocation() {
+        let mut out = vec![FRAME_MARKER];
+        out.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_message(&mut BufReader::new(&out[..])).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors_not_hangs() {
+        let mut out = vec![FRAME_MARKER];
+        out.extend_from_slice(&8u32.to_be_bytes());
+        out.extend_from_slice(b"only4");
+        assert!(read_message(&mut BufReader::new(&out[..])).is_err());
+    }
+
+    #[test]
+    fn endless_unterminated_text_lines_are_rejected_not_accumulated() {
+        // A newline-free stream longer than the cap must error instead
+        // of growing the line buffer without bound.
+        struct EndlessAs;
+        impl std::io::Read for EndlessAs {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                buf.fill(b'a');
+                Ok(buf.len())
+            }
+        }
+        let mut reader = BufReader::new(EndlessAs);
+        let err = read_message(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_frame_payloads_are_rejected() {
+        let mut out = vec![FRAME_MARKER];
+        out.extend_from_slice(&2u32.to_be_bytes());
+        out.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_message(&mut BufReader::new(&out[..])).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+}

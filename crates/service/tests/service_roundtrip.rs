@@ -139,6 +139,9 @@ fn tcp_round_trip_matches_direct_engine_calls() {
     assert!(stats.hits > 0);
     assert_eq!(stats.workers, 4);
     assert!(stats.hit_rate > 0.0);
+    assert!(stats.entries > 0);
+    assert!(stats.bytes > 0, "resident entries are byte-accounted");
+    assert_eq!(stats.evictions, 0, "an unbounded cache never evicts");
 
     // Unknown models produce an error response, not a dead connection.
     let bad =
