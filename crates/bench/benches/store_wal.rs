@@ -1,0 +1,100 @@
+//! Criterion bench for the persistent result store: append and read
+//! throughput of the WAL, recovery-scan (reopen) cost, and the price of
+//! a compaction — the numbers that justify fronting the store with the
+//! in-memory LRU tier.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use drmap_store::store::Store;
+
+const ENTRIES: usize = 512;
+const VALUE_BYTES: usize = 256;
+
+fn bench_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("drmap-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.wal"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn populated(tag: &str, entries: usize) -> (PathBuf, Store) {
+    let path = bench_path(tag);
+    let store = Store::open(&path).unwrap();
+    let value = vec![0xAB_u8; VALUE_BYTES];
+    for i in 0..entries {
+        store.put(&format!("fingerprint-{i:06}"), &value).unwrap();
+    }
+    (path, store)
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_wal");
+    group.throughput(Throughput::Elements(ENTRIES as u64));
+
+    group.bench_function("put_512x256B", |b| {
+        let value = vec![0xCD_u8; VALUE_BYTES];
+        b.iter(|| {
+            let path = bench_path("puts");
+            let store = Store::open(&path).unwrap();
+            for i in 0..ENTRIES {
+                store.put(&format!("fingerprint-{i:06}"), &value).unwrap();
+            }
+            store.len()
+        });
+    });
+
+    let (_path, warm) = populated("gets", ENTRIES);
+    group.bench_function("get_512_hits", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..ENTRIES {
+                total += warm
+                    .get(&format!("fingerprint-{i:06}"))
+                    .unwrap()
+                    .unwrap()
+                    .len();
+            }
+            total
+        });
+    });
+
+    for entries in [128usize, ENTRIES] {
+        let (path, store) = populated(&format!("reopen-{entries}"), entries);
+        drop(store);
+        group.bench_with_input(
+            BenchmarkId::new("reopen_scan", entries),
+            &path,
+            |b, path| {
+                b.iter(|| Store::open(path).unwrap().len());
+            },
+        );
+    }
+
+    group.bench_function("compact_half_dead", |b| {
+        b.iter(|| {
+            let (_path, store) = populated("compact", ENTRIES / 2);
+            let value = vec![0xEF_u8; VALUE_BYTES];
+            for i in 0..ENTRIES / 2 {
+                store.put(&format!("fingerprint-{i:06}"), &value).unwrap();
+            }
+            store.compact().unwrap().bytes_after
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+
+fn main() {
+    // Under `cargo test`/`--list` introspection, exit without running
+    // the measurement loops.
+    let introspecting = std::env::args().any(|a| a == "--list" || a == "--test");
+    if introspecting {
+        println!("store_wal: benchmark");
+        return;
+    }
+    benches();
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod access_model;
+pub mod bytes;
 pub mod dse;
 pub mod edp;
 pub mod error;

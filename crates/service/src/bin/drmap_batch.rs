@@ -4,7 +4,7 @@
 //! ```text
 //! drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] [--objective OBJ]
 //!             [--workers N] [--repeat R] [--compare]
-//!             [--cache-entries N] [--cache-bytes BYTES]
+//!             [--cache-entries N] [--cache-bytes BYTES] [--store PATH]
 //!             [--connect HOST:PORT] [--binary]
 //! ```
 //!
@@ -17,7 +17,10 @@
 //! a fresh single-worker pool and reports the multi-worker speedup.
 //!
 //! By default jobs run on an in-process pool; `--cache-entries` /
-//! `--cache-bytes` bound its memo cache (LRU). With `--connect` the
+//! `--cache-bytes` bound its memo cache (LRU), and `--store PATH`
+//! backs it with a persistent result log — rerunning the same batch
+//! later serves every layer from disk without recomputation. With
+//! `--connect` the
 //! batch is instead **pipelined over TCP** to a running `drmap-serve`:
 //! every job goes on the wire up front, responses return out of order
 //! as they complete, and `--binary` ships requests as length-prefixed
@@ -45,6 +48,7 @@ struct Args {
     repeat: usize,
     compare: bool,
     cache: CacheConfig,
+    store: Option<String>,
     connect: Option<String>,
     binary: bool,
 }
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         repeat: 1,
         compare: false,
         cache: CacheConfig::unbounded(),
+        store: None,
         connect: None,
         binary: false,
     };
@@ -107,13 +112,17 @@ fn parse_args() -> Result<Args, String> {
                 args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
                 local_only.push("--cache-bytes");
             }
+            "--store" => {
+                args.store = Some(value("--store")?);
+                local_only.push("--store");
+            }
             "--connect" => args.connect = Some(value("--connect")?),
             "--binary" => args.binary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
                      [--objective OBJ] [--workers N] [--repeat R] [--compare] \
-                     [--cache-entries N] [--cache-bytes BYTES] \
+                     [--cache-entries N] [--cache-bytes BYTES] [--store PATH] \
                      [--connect HOST:PORT] [--binary]"
                 );
                 std::process::exit(0);
@@ -188,9 +197,10 @@ fn batch_of(specs: &[JobSpec], repeat: usize) -> Vec<JobSpec> {
 fn run_timed(
     workers: usize,
     cache: CacheConfig,
+    store: Option<Arc<drmap_store::store::Store>>,
     batch: &[JobSpec],
 ) -> Result<(Vec<JobResult>, Duration, Arc<ServiceState>), ServiceError> {
-    let state = ServiceState::with_cache_config(cache)?;
+    let state = ServiceState::with_cache_and_store(cache, store)?;
     let pool = DsePool::new(Arc::clone(&state), workers);
     let start = Instant::now();
     let results = pool
@@ -211,15 +221,16 @@ fn main() -> ExitCode {
 }
 
 fn print_results(results: &[JobResult]) {
-    println!("job  workload            layers  cached  coalesced  total-EDP (J*s)");
+    println!("job  workload            layers  cached  coalesced  stored  total-EDP (J*s)");
     for result in results {
         println!(
-            "{:<4} {:<20} {:>5} {:>7} {:>9}  {:.4e}",
+            "{:<4} {:<20} {:>5} {:>7} {:>9} {:>7}  {:.4e}",
             result.id,
             result.workload,
             result.layers.len(),
             result.cache_hits(),
             result.coalesced_hits(),
+            result.store_hits(),
             result.total.edp(),
         );
     }
@@ -274,6 +285,14 @@ fn run_connected(args: &Args, batch: &[JobSpec]) -> Result<(), String> {
             stats.evictions,
             stats.workers,
         );
+        if stats.store_hits + stats.store_misses > 0 {
+            println!(
+                "server store: {} hits / {} misses; {:.1} ms of exploration represented",
+                stats.store_hits,
+                stats.store_misses,
+                stats.compute_ns_total as f64 / 1e6,
+            );
+        }
     }
     if failures > 0 {
         return Err(format!("{failures} job(s) failed"));
@@ -289,8 +308,15 @@ fn run() -> Result<(), String> {
         return run_connected(&args, &batch);
     }
 
+    let store = match &args.store {
+        Some(path) => Some(Arc::new(
+            drmap_store::store::Store::open(path)
+                .map_err(|e| format!("cannot open store {path:?}: {e}"))?,
+        )),
+        None => None,
+    };
     let (results, elapsed, state) =
-        run_timed(args.workers, args.cache, &batch).map_err(|e| e.to_string())?;
+        run_timed(args.workers, args.cache, store.clone(), &batch).map_err(|e| e.to_string())?;
     print_results(&results);
 
     let layers: usize = results.iter().map(|r| r.layers.len()).sum();
@@ -317,9 +343,19 @@ fn run() -> Result<(), String> {
         stats.bytes,
         stats.evictions,
     );
+    if let Some(store) = &store {
+        let s = store.stats();
+        println!(
+            "store: {} hits / {} misses ({} errors); log holds {} live entries in {} bytes",
+            stats.store_hits, stats.store_misses, stats.store_errors, s.live_entries, s.file_bytes,
+        );
+    }
 
     if args.compare {
-        let (_, sequential, _) = run_timed(1, args.cache, &batch).map_err(|e| e.to_string())?;
+        // The comparison run gets no store: it measures raw
+        // single-worker exploration, not disk reads.
+        let (_, sequential, _) =
+            run_timed(1, args.cache, None, &batch).map_err(|e| e.to_string())?;
         let seq_secs = sequential.as_secs_f64().max(1e-9);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!(

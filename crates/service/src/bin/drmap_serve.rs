@@ -3,15 +3,23 @@
 //! ```text
 //! drmap-serve [--addr HOST:PORT] [--workers N]
 //!             [--cache-entries N] [--cache-bytes BYTES]
+//!             [--store PATH] [--warm N]
+//!             [--max-inflight N] [--max-inflight-global N]
 //! ```
 //!
 //! Speaks pipelined JSON over TCP (newline-delimited text or binary
 //! frames); see the `drmap_service` crate docs for the protocol. The
 //! cache flags bound the layer memo cache (LRU eviction); without them
-//! the cache is unbounded. Try it with netcat:
+//! the cache is unbounded. `--store PATH` opens (or creates) a
+//! persistent result log beneath the cache — results survive restarts,
+//! and on boot the most recent stored results warm the cache (`--warm`
+//! caps how many; default: up to the cache's entry bound, or all of
+//! them). `--max-inflight` bounds in-flight requests per connection;
+//! `--max-inflight-global` additionally bounds them across all
+//! connections. Try it with netcat:
 //!
 //! ```text
-//! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 &
+//! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 --store results.wal &
 //! $ echo '{"id":1,"network":{"model":"alexnet"}}' | nc 127.0.0.1 7878
 //! ```
 
@@ -22,12 +30,16 @@ use drmap_service::cache::CacheConfig;
 use drmap_service::cli::parse_positive as positive;
 use drmap_service::engine::{default_workers, ServiceState};
 use drmap_service::pool::DsePool;
-use drmap_service::server::JobServer;
+use drmap_service::server::{JobServer, ServerConfig};
+use drmap_store::store::Store;
 
 struct Args {
     addr: String,
     workers: usize,
     cache: CacheConfig,
+    store: Option<String>,
+    warm: Option<usize>,
+    server: ServerConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_owned(),
         workers: default_workers(),
         cache: CacheConfig::unbounded(),
+        store: None,
+        warm: None,
+        server: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,15 +64,31 @@ fn parse_args() -> Result<Args, String> {
             "--cache-bytes" => {
                 args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
             }
+            "--store" => args.store = Some(value("--store")?),
+            "--warm" => args.warm = Some(positive("--warm", &value("--warm")?)?),
+            "--max-inflight" => {
+                args.server.max_inflight = positive("--max-inflight", &value("--max-inflight")?)?;
+            }
+            "--max-inflight-global" => {
+                args.server.max_inflight_global = Some(positive(
+                    "--max-inflight-global",
+                    &value("--max-inflight-global")?,
+                )?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
-                     [--cache-entries N] [--cache-bytes BYTES]"
+                     [--cache-entries N] [--cache-bytes BYTES] \
+                     [--store PATH] [--warm N] \
+                     [--max-inflight N] [--max-inflight-global N]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
+    }
+    if args.warm.is_some() && args.store.is_none() {
+        return Err("--warm only applies with --store".to_owned());
     }
     Ok(args)
 }
@@ -70,9 +101,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = ServiceState::with_cache_config(args.cache)
-        .map(|state| Arc::new(DsePool::new(state, args.workers)))
-        .and_then(|pool| JobServer::with_pool(&args.addr, pool));
+    let store = match &args.store {
+        Some(path) => match Store::open(path) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("drmap-serve: cannot open store {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let server = ServiceState::with_cache_and_store(args.cache, store.clone()).and_then(|state| {
+        if store.is_some() {
+            let warmed = state.warm_start(args.warm);
+            if warmed > 0 {
+                println!("drmap-serve: warm-started {warmed} cached results from the store");
+            }
+        }
+        let pool = Arc::new(DsePool::new(state, args.workers));
+        JobServer::with_config(&args.addr, pool, args.server)
+    });
     let server = match server {
         Ok(server) => server,
         Err(e) => {
@@ -88,10 +136,13 @@ fn main() -> ExitCode {
             };
             println!(
                 "drmap-serve: listening on {addr} with {} workers \
-                 (cache: {} entries, {} bytes)",
+                 (cache: {} entries, {} bytes; store: {}; in-flight: {}/conn, {} global)",
                 args.workers,
                 bound(args.cache.max_entries),
                 bound(args.cache.max_bytes),
+                args.store.as_deref().unwrap_or("none"),
+                args.server.max_inflight,
+                bound(args.server.max_inflight_global),
             );
         }
         Err(e) => eprintln!("drmap-serve: {e}"),

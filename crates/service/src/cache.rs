@@ -9,7 +9,7 @@
 //! [`LayerDseResult`]s, cloned out on hit, so a cached answer is
 //! bit-identical to the original computation.
 //!
-//! Three properties make the cache safe for long-running service use:
+//! Four properties make the cache safe for long-running service use:
 //!
 //! * **Bounded.** [`CacheConfig`] caps the entry count and/or the
 //!   approximate resident bytes; the least-recently-used entry is
@@ -21,20 +21,36 @@
 //!   computes while the rest block on its result instead of missing and
 //!   recomputing. Coalesced lookups are counted separately from plain
 //!   hits.
+//! * **Tiered.** A cache built with [`DseCache::with_store`] backs the
+//!   resident LRU tier with a persistent [`Store`]: a leader that
+//!   misses memory consults the store before computing (a *store hit*
+//!   repopulates the LRU without any exploration), and every fresh
+//!   computation writes through, so results survive process restarts.
+//!   Store failures degrade to recomputation — they are counted, never
+//!   propagated.
 //! * **Panic-safe.** A leader whose computation panics wakes every
 //!   waiter with an error instead of leaving them blocked forever, and
 //!   a panic while any lock is held never cascades: poisoned mutexes
 //!   are recovered (the guarded state is a memo cache plus counters,
 //!   which every code path leaves structurally valid).
+//!
+//! Entries additionally remember how long their original exploration
+//! took ([`CacheStats`] exposes min/max/total over every recorded
+//! measurement) — the signal a cost-aware eviction policy needs,
+//! persisted alongside each result.
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
+use drmap_core::bytes::{decode_stored_result, encode_stored_result};
 use drmap_core::dse::LayerDseResult;
 use drmap_core::error::DseError;
+use drmap_store::store::Store;
 
 use crate::error::panic_message;
+use crate::sync::lock_recovered;
 
 /// Capacity bounds for a [`DseCache`]. `None` means unbounded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +87,9 @@ pub enum CacheOutcome {
     Hit,
     /// Served by blocking on another caller's in-flight computation.
     Coalesced,
+    /// Served from the persistent store tier (no exploration ran; the
+    /// result was also promoted into the resident tier).
+    StoreHit,
     /// This caller computed the value (and populated the cache).
     Miss,
 }
@@ -80,7 +99,8 @@ pub enum CacheOutcome {
 pub struct CacheStats {
     /// Lookups answered from a resident entry.
     pub hits: u64,
-    /// Lookups that fell through to computation.
+    /// Lookups that fell through the resident tier. Store hits are a
+    /// subset: `store_hits <= misses`.
     pub misses: u64,
     /// Lookups answered by waiting on an in-flight computation.
     pub coalesced: u64,
@@ -90,17 +110,35 @@ pub struct CacheStats {
     pub entries: usize,
     /// Approximate bytes currently resident (keys + values).
     pub bytes: usize,
+    /// Resident-tier misses served from the persistent store (no
+    /// exploration ran).
+    pub store_hits: u64,
+    /// Resident-tier misses the persistent store also missed.
+    pub store_misses: u64,
+    /// Store reads/writes that failed or produced undecodable bytes
+    /// (each degraded to recomputation, never an error).
+    pub store_errors: u64,
+    /// Shortest exploration duration recorded since the cache was
+    /// created or cleared (fresh computations and store-revived
+    /// measurements), in nanoseconds; 0 before the first measurement.
+    pub compute_ns_min: u64,
+    /// Longest recorded exploration duration, in nanoseconds.
+    pub compute_ns_max: u64,
+    /// Sum of all recorded exploration durations, in nanoseconds —
+    /// the compute time this cache's contents represent.
+    pub compute_ns_total: u64,
 }
 
 impl CacheStats {
     /// Fraction of lookups served without a fresh computation
-    /// (0 when no lookups yet). Coalesced lookups count as served.
+    /// (0 when no lookups yet). Coalesced and store-served lookups
+    /// count as served.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses + self.coalesced;
         if total == 0 {
             0.0
         } else {
-            (self.hits + self.coalesced) as f64 / total as f64
+            (self.hits + self.coalesced + self.store_hits) as f64 / total as f64
         }
     }
 }
@@ -108,12 +146,16 @@ impl CacheStats {
 /// Sentinel index for "no node" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
 
-/// One resident entry: the value plus its LRU-list links.
+/// One resident entry: the value plus its LRU-list links and the
+/// duration of the exploration that originally produced it.
 #[derive(Debug)]
 struct Entry {
     key: String,
     value: LayerDseResult,
     bytes: usize,
+    /// Nanoseconds the original exploration took (0 = never measured,
+    /// e.g. direct [`DseCache::insert`]). Survives store round trips.
+    compute_ns: u64,
     prev: usize,
     next: usize,
 }
@@ -156,6 +198,12 @@ struct Inner {
     misses: u64,
     coalesced: u64,
     evictions: u64,
+    store_hits: u64,
+    store_misses: u64,
+    store_errors: u64,
+    compute_ns_min: u64,
+    compute_ns_max: u64,
+    compute_ns_total: u64,
 }
 
 impl Inner {
@@ -245,13 +293,35 @@ impl Inner {
     /// evict least-recently-used entries until the bounds hold. If the
     /// new entry alone exceeds the byte bound it is evicted too — the
     /// cache never exceeds its configured limits.
-    fn insert(&mut self, key: String, value: LayerDseResult, config: &CacheConfig) {
+    fn insert(
+        &mut self,
+        key: String,
+        value: LayerDseResult,
+        compute_ns: u64,
+        config: &CacheConfig,
+    ) {
+        // A nonzero duration is a measurement (fresh computation or
+        // store revival): fold it into the monotonic aggregates. Kept
+        // O(1) here so `stats()` never has to walk the slab under the
+        // cache's one mutex.
+        if compute_ns > 0 {
+            self.compute_ns_total += compute_ns;
+            self.compute_ns_max = self.compute_ns_max.max(compute_ns);
+            self.compute_ns_min = if self.compute_ns_min == 0 {
+                compute_ns
+            } else {
+                self.compute_ns_min.min(compute_ns)
+            };
+        }
         if let Some(&index) = self.map.get(&key) {
             let bytes = approx_entry_bytes(&key, &value);
             let e = self.entry_mut(index);
             let old_bytes = e.bytes;
             e.value = value;
             e.bytes = bytes;
+            if compute_ns > 0 {
+                e.compute_ns = compute_ns;
+            }
             self.bytes = self.bytes - old_bytes + bytes;
             self.touch(index);
         } else {
@@ -260,6 +330,7 @@ impl Inner {
                 key: key.clone(),
                 value,
                 bytes,
+                compute_ns,
                 prev: NIL,
                 next: NIL,
             };
@@ -297,19 +368,13 @@ impl Inner {
 }
 
 /// A thread-safe, capacity-bounded, single-flight memoization cache for
-/// single-layer DSE results.
+/// single-layer DSE results, optionally backed by a persistent store
+/// tier.
 #[derive(Debug, Default)]
 pub struct DseCache {
     inner: Mutex<Inner>,
     config: CacheConfig,
-}
-
-/// Lock a cache mutex, recovering from poisoning: the guarded state is
-/// a memo cache plus counters, which every code path leaves
-/// structurally valid, so a panic elsewhere must not cascade into an
-/// abort of every thread that touches the cache.
-fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
+    store: Option<Arc<Store>>,
 }
 
 impl DseCache {
@@ -323,12 +388,31 @@ impl DseCache {
         DseCache {
             inner: Mutex::new(Inner::new()),
             config,
+            store: None,
+        }
+    }
+
+    /// An empty cache with the given bounds over a persistent store
+    /// tier: resident-tier misses consult `store` before computing, and
+    /// fresh computations write through. The resident tier stays empty
+    /// until lookups (or [`DseCache::warm_from_store`]) promote stored
+    /// results.
+    pub fn with_store(config: CacheConfig, store: Arc<Store>) -> Self {
+        DseCache {
+            inner: Mutex::new(Inner::new()),
+            config,
+            store: Some(store),
         }
     }
 
     /// The configured capacity bounds.
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The persistent store tier, if one is attached.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Look up a key, counting the outcome and refreshing its recency.
@@ -353,22 +437,30 @@ impl DseCache {
     /// Store a result, evicting least-recently-used entries as needed
     /// to keep the cache within its bounds. Concurrent computations of
     /// the same key may both insert; they computed identical values, so
-    /// last-write-wins is deterministic.
+    /// last-write-wins is deterministic. Entries inserted this way carry
+    /// no compute-duration measurement.
     pub fn insert(&self, key: String, result: LayerDseResult) {
-        lock_recovered(&self.inner).insert(key, result, &self.config);
+        lock_recovered(&self.inner).insert(key, result, 0, &self.config);
     }
 
     /// Look up `key`; on a miss, compute it exactly once across all
-    /// concurrent callers. The first caller to miss (the leader) runs
-    /// `compute` with no cache lock held; callers that arrive while the
-    /// computation is in flight block until it finishes and share its
-    /// result (or its error). A leader that *panics* wakes every waiter
-    /// with an error — waiters never hang — and the panic is converted
-    /// into a [`DseError`] for the leader's caller as well, so a single
+    /// concurrent callers. The first caller to miss (the leader) first
+    /// consults the persistent store tier (when attached): a store hit
+    /// is decoded, promoted into the resident tier, and shared with
+    /// waiters without any exploration. Otherwise the leader runs
+    /// `compute` with no cache lock held — timing it, so the entry
+    /// carries its exploration cost — and writes the result through to
+    /// the store; callers that arrive while the computation is in
+    /// flight block until it finishes and share its result (or its
+    /// error). A leader that *panics* wakes every waiter with an error
+    /// — waiters never hang — and the panic is converted into a
+    /// [`DseError`] for the leader's caller as well, so a single
     /// poisoned computation cannot take down a worker thread.
     ///
     /// Errors are not cached: the next lookup after a failure computes
-    /// afresh.
+    /// afresh. Store failures (I/O, corruption, undecodable bytes) are
+    /// counted in [`CacheStats::store_errors`] and degrade to
+    /// recomputation — persistence can never make a lookup fail.
     ///
     /// # Errors
     ///
@@ -416,19 +508,42 @@ impl DseCache {
                 .map(|value| (value, CacheOutcome::Coalesced));
         }
 
-        // Leader: compute with no lock held, converting a panic into an
-        // error so waiters are woken and the calling worker survives.
-        let computed = match std::panic::catch_unwind(AssertUnwindSafe(compute)) {
-            Ok(result) => result,
-            Err(payload) => Err(DseError::new(format!(
-                "layer exploration panicked: {}",
-                panic_message(payload.as_ref())
-            ))),
+        // Leader: consult the store tier, then compute if needed — all
+        // with no cache lock held. A panic is converted into an error
+        // so waiters are woken and the calling worker survives.
+        let mut outcome = CacheOutcome::Miss;
+        let compute_ns;
+        let computed = 'produce: {
+            if let Some(store) = &self.store {
+                match store.get(key) {
+                    Ok(Some(bytes)) => match decode_stored_result(&bytes) {
+                        Ok((value, stored_ns)) => {
+                            lock_recovered(&self.inner).store_hits += 1;
+                            outcome = CacheOutcome::StoreHit;
+                            compute_ns = stored_ns;
+                            break 'produce Ok(value);
+                        }
+                        Err(_) => lock_recovered(&self.inner).store_errors += 1,
+                    },
+                    Ok(None) => lock_recovered(&self.inner).store_misses += 1,
+                    Err(_) => lock_recovered(&self.inner).store_errors += 1,
+                }
+            }
+            let started = Instant::now();
+            let result = match std::panic::catch_unwind(AssertUnwindSafe(compute)) {
+                Ok(result) => result,
+                Err(payload) => Err(DseError::new(format!(
+                    "layer exploration panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            };
+            compute_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            result
         };
         {
             let mut inner = lock_recovered(&self.inner);
             if let Ok(value) = &computed {
-                inner.insert(key.to_owned(), value.clone(), &self.config);
+                inner.insert(key.to_owned(), value.clone(), compute_ns, &self.config);
             }
             inner.inflight.remove(key);
         }
@@ -438,10 +553,27 @@ impl DseCache {
         *done = Some(computed.clone());
         drop(done);
         flight.cv.notify_all();
-        computed.map(|value| (value, CacheOutcome::Miss))
+        // Write freshly computed results through to the store, after
+        // waiters are already unblocked (persistence is off the
+        // latency path). Failures degrade to "compute again next
+        // restart".
+        if outcome == CacheOutcome::Miss {
+            if let (Some(store), Ok(value)) = (&self.store, &computed) {
+                let wrote = encode_stored_result(value, compute_ns)
+                    .map_err(|_| ())
+                    .and_then(|bytes| store.put(key, &bytes).map_err(|_| ()));
+                if wrote.is_err() {
+                    lock_recovered(&self.inner).store_errors += 1;
+                }
+            }
+        }
+        computed.map(|value| (value, outcome))
     }
 
     /// Current counters and size, captured atomically under one lock.
+    /// The compute-duration aggregates cover every measurement recorded
+    /// since creation/clear — fresh explorations plus durations revived
+    /// from the store — independent of what is still resident.
     pub fn stats(&self) -> CacheStats {
         let inner = lock_recovered(&self.inner);
         CacheStats {
@@ -451,12 +583,56 @@ impl DseCache {
             evictions: inner.evictions,
             entries: inner.map.len(),
             bytes: inner.bytes,
+            store_hits: inner.store_hits,
+            store_misses: inner.store_misses,
+            store_errors: inner.store_errors,
+            compute_ns_min: inner.compute_ns_min,
+            compute_ns_max: inner.compute_ns_max,
+            compute_ns_total: inner.compute_ns_total,
         }
+    }
+
+    /// Promote up to `limit` of the store tier's most recently written
+    /// results into the resident tier (all of them when `limit` is
+    /// `None` and the cache is unbounded; a bounded cache never warms
+    /// past its entry cap). Returns how many entries were loaded.
+    /// Without an attached store this is a no-op. Lookup counters are
+    /// untouched — warming is not traffic.
+    pub fn warm_from_store(&self, limit: Option<usize>) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let budget = limit
+            .or(self.config.max_entries)
+            .unwrap_or(usize::MAX)
+            .min(store.len());
+        let keys = store.keys_by_recency();
+        let mut loaded = 0usize;
+        // Oldest-first within the hot set, so the most recently written
+        // key ends up most recently used.
+        for key in keys[..budget].iter().rev() {
+            let decoded = match store.get(key) {
+                Ok(Some(bytes)) => decode_stored_result(&bytes).ok(),
+                _ => None,
+            };
+            match decoded {
+                Some((value, compute_ns)) => {
+                    lock_recovered(&self.inner).insert(
+                        key.clone(),
+                        value,
+                        compute_ns,
+                        &self.config,
+                    );
+                    loaded += 1;
+                }
+                None => lock_recovered(&self.inner).store_errors += 1,
+            }
+        }
+        loaded
     }
 
     /// Drop every resident entry and zero the counters. In-flight
     /// computations are unaffected: they complete, wake their waiters,
-    /// and repopulate the (now empty) cache.
+    /// and repopulate the (now empty) cache. The persistent store tier
+    /// is untouched — clearing memory does not forget durable results.
     pub fn clear(&self) {
         let mut inner = lock_recovered(&self.inner);
         inner.map.clear();
@@ -469,6 +645,12 @@ impl DseCache {
         inner.misses = 0;
         inner.coalesced = 0;
         inner.evictions = 0;
+        inner.store_hits = 0;
+        inner.store_misses = 0;
+        inner.store_errors = 0;
+        inner.compute_ns_min = 0;
+        inner.compute_ns_max = 0;
+        inner.compute_ns_total = 0;
     }
 }
 
@@ -651,6 +833,128 @@ mod tests {
         let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    fn temp_store() -> Arc<Store> {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "drmap-cache-tier-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.wal");
+        let _ = std::fs::remove_file(&path);
+        Arc::new(Store::open(path).unwrap())
+    }
+
+    #[test]
+    fn computed_entries_record_their_duration() {
+        let cache = DseCache::new();
+        cache
+            .get_or_compute("slow", || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                Ok(result("x"))
+            })
+            .unwrap();
+        cache.get_or_compute("fast", || Ok(result("y"))).unwrap();
+        let stats = cache.stats();
+        assert!(stats.compute_ns_max >= 2_000_000, "{stats:?}");
+        assert!(stats.compute_ns_min > 0, "{stats:?}");
+        assert!(stats.compute_ns_min <= stats.compute_ns_max);
+        assert!(stats.compute_ns_total >= stats.compute_ns_max + stats.compute_ns_min);
+        // Direct inserts carry no measurement and do not disturb min.
+        cache.insert("unmeasured".into(), result("z"));
+        let with_unmeasured = cache.stats();
+        assert_eq!(with_unmeasured.compute_ns_total, stats.compute_ns_total);
+    }
+
+    #[test]
+    fn a_fresh_computation_writes_through_and_a_restart_reads_back() {
+        let store = temp_store();
+        let first = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        let (value, outcome) = first.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(first.stats().store_misses, 1);
+        assert_eq!(store.len(), 1, "write-through persisted the result");
+
+        // "Restart": a brand-new resident tier over the same store.
+        let second = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        let (revived, outcome) = second
+            .get_or_compute("k", || panic!("store hit must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::StoreHit);
+        assert_eq!(revived.layer_name, value.layer_name);
+        assert_eq!(
+            revived.best.estimate.energy.to_bits(),
+            value.best.estimate.energy.to_bits()
+        );
+        let stats = second.stats();
+        assert_eq!((stats.store_hits, stats.store_misses), (1, 0));
+        assert_eq!(stats.misses, 1, "store hits are a subset of misses");
+        assert!(stats.compute_ns_total > 0, "stored duration was revived");
+        // The promoted entry now serves from memory.
+        let (_, outcome) = second
+            .get_or_compute("k", || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        // Both lookups were served without exploration: one from disk,
+        // one from memory.
+        assert!((second.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_not_written_through() {
+        let store = temp_store();
+        let cache = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        let _ = cache.get_or_compute("k", || Err(DseError::new("no feasible tiling")));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn warm_start_promotes_the_most_recent_entries() {
+        let store = temp_store();
+        let writer = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        for i in 0..6 {
+            writer
+                .get_or_compute(&format!("k{i}"), || Ok(result(&format!("r{i}"))))
+                .unwrap();
+        }
+        // A bounded cache warms only up to its cap, newest first.
+        let warmed = DseCache::with_store(
+            CacheConfig::unbounded().with_max_entries(3),
+            Arc::clone(&store),
+        );
+        assert_eq!(warmed.warm_from_store(None), 3);
+        let stats = warmed.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "warming is not traffic");
+        for i in 3..6 {
+            let (_, outcome) = warmed
+                .get_or_compute(&format!("k{i}"), || panic!("warmed key recomputed"))
+                .unwrap();
+            assert_eq!(outcome, CacheOutcome::Hit, "k{i} should be resident");
+        }
+        // An explicit limit wins over the cap.
+        let partial = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        assert_eq!(partial.warm_from_store(Some(2)), 2);
+        assert_eq!(partial.stats().entries, 2);
+        // No store: warming is a no-op.
+        assert_eq!(DseCache::new().warm_from_store(None), 0);
+    }
+
+    #[test]
+    fn undecodable_store_bytes_degrade_to_recomputation() {
+        let store = temp_store();
+        store.put("k", b"definitely not a stored result").unwrap();
+        let cache = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let stats = cache.stats();
+        assert_eq!(stats.store_errors, 1);
+        // The recomputed value overwrote the garbage record.
+        let (_, compute_ns) = decode_stored_result(&store.get("k").unwrap().unwrap()).unwrap();
+        assert!(compute_ns > 0);
     }
 
     #[test]

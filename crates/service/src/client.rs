@@ -45,6 +45,14 @@ pub struct ServerStats {
     pub hit_rate: f64,
     /// Worker threads in the server's pool.
     pub workers: usize,
+    /// Cache misses served from the persistent store tier (0 when the
+    /// server has none attached).
+    pub store_hits: u64,
+    /// Cache misses the persistent store also missed.
+    pub store_misses: u64,
+    /// Summed exploration durations the server's cache has recorded
+    /// (fresh computations plus store revivals), in nanoseconds.
+    pub compute_ns_total: u64,
 }
 
 /// A connected client. Supports both blocking request/response and
@@ -249,6 +257,16 @@ impl Client {
             bytes: int("bytes")? as usize,
             hit_rate: stats.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
             workers: int("workers")? as usize,
+            // Absent on servers predating the persistent tier.
+            store_hits: stats.get("store_hits").and_then(Json::as_u64).unwrap_or(0),
+            store_misses: stats
+                .get("store_misses")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            compute_ns_total: stats
+                .get("compute_ns_total")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 

@@ -72,24 +72,15 @@ impl EngineFactory {
         // stall every concurrent engine construction — including ones
         // whose tables are already memoized. Two threads racing on a
         // cold architecture may both profile; the results are
-        // identical, so last-write-wins is deterministic. A poisoned
-        // lock is recovered rather than propagated: the map is a memo
-        // cache whose entries are always whole, so a panic elsewhere
-        // must not abort every thread that builds an engine.
-        let memoized = self
-            .tables
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        // identical, so last-write-wins is deterministic.
+        let memoized = crate::sync::lock_recovered(&self.tables)
             .get(&spec.arch)
             .cloned();
         let table = match memoized {
             Some(table) => table,
             None => {
                 let table = self.profiler.cost_table(spec.arch);
-                self.tables
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(spec.arch, table.clone());
+                crate::sync::lock_recovered(&self.tables).insert(spec.arch, table.clone());
                 table
             }
         };
@@ -126,10 +117,36 @@ impl ServiceState {
     ///
     /// Propagates [`EngineFactory::table_ii`] failures.
     pub fn with_cache_config(config: CacheConfig) -> Result<Arc<Self>, ServiceError> {
+        Self::with_cache_and_store(config, None)
+    }
+
+    /// Shared state whose cache is optionally backed by a persistent
+    /// result store: resident misses consult the store before
+    /// computing, completed explorations write through, and
+    /// [`ServiceState::warm_start`] can pre-populate the resident tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineFactory::table_ii`] failures.
+    pub fn with_cache_and_store(
+        config: CacheConfig,
+        store: Option<Arc<drmap_store::store::Store>>,
+    ) -> Result<Arc<Self>, ServiceError> {
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
-            cache: DseCache::with_config(config),
+            cache: match store {
+                Some(store) => DseCache::with_store(config, store),
+                None => DseCache::with_config(config),
+            },
         }))
+    }
+
+    /// Promote up to `limit` of the store tier's most recent results
+    /// into the resident cache (see
+    /// [`DseCache::warm_from_store`]). Returns how many entries were
+    /// loaded; 0 without an attached store.
+    pub fn warm_start(&self, limit: Option<usize>) -> usize {
+        self.cache.warm_from_store(limit)
     }
 
     /// The engine factory.
@@ -207,6 +224,7 @@ pub(crate) fn outcome_from_result(result: LayerDseResult, outcome: CacheOutcome)
         evaluations: result.evaluations as u64,
         cached: outcome == CacheOutcome::Hit,
         coalesced: outcome == CacheOutcome::Coalesced,
+        store_hit: outcome == CacheOutcome::StoreHit,
     }
 }
 

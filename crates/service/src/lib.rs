@@ -18,6 +18,8 @@
 //!                        v
 //!        ServiceState ── EngineFactory (cost table per DramArch)
 //!                   └─── DseCache (canonical shape-keyed memo)
+//!                            └─── Store (WAL-backed persistent tier,
+//!                                 optional: --store PATH)
 //! ```
 //!
 //! * [`spec`] — typed [`JobSpec`](spec::JobSpec)/[`JobResult`](spec::JobResult)
@@ -32,8 +34,12 @@
 //!   [`layer_cache_key`](drmap_core::dse::layer_cache_key) (layer
 //!   *shape* + accelerator + substrate + sweep config): a bounded LRU
 //!   (entry and approximate-byte caps) with single-flight coalescing of
-//!   concurrent identical lookups and hit/miss/coalesced/eviction
-//!   counters;
+//!   concurrent identical lookups, hit/miss/coalesced/eviction
+//!   counters, per-entry compute-duration tracking, and an optional
+//!   persistent second tier (a [`drmap_store`](drmap_store) WAL):
+//!   resident misses consult the store before computing, fresh results
+//!   write through, and restarts warm-start from disk — each
+//!   fingerprint is explored once, *ever*;
 //! * [`server`]/[`client`] — a hand-rolled, std-only, **pipelined**
 //!   JSON-over-TCP front-end: submit many jobs tagged by `id`, receive
 //!   responses out of order as they complete;
@@ -76,6 +82,7 @@ pub mod json;
 pub mod pool;
 pub mod server;
 pub mod spec;
+mod sync;
 pub mod wire;
 
 /// Convenient re-exports of the most commonly used types.
@@ -86,7 +93,8 @@ pub mod prelude {
     pub use crate::error::ServiceError;
     pub use crate::json::Json;
     pub use crate::pool::{DsePool, PendingJob};
-    pub use crate::server::JobServer;
+    pub use crate::server::{JobServer, ServerConfig};
     pub use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome, Workload};
     pub use drmap_cnn::network::Network;
+    pub use drmap_store::store::Store;
 }

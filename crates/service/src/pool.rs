@@ -149,10 +149,8 @@ impl Drop for DsePool {
 fn worker_loop(rx: &Mutex<Receiver<LayerTask>>) {
     loop {
         // Hold the lock only while waiting for the next task; execution
-        // happens with the queue free for other workers. A poisoned
-        // queue mutex is recovered: the receiver is always in a valid
-        // state, and one panicking worker must not kill the rest.
-        let task = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+        // happens with the queue free for other workers.
+        let task = match crate::sync::lock_recovered(rx).recv() {
             Ok(task) => task,
             Err(_) => return, // pool dropped, queue closed
         };

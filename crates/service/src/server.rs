@@ -34,7 +34,10 @@
 //! ```text
 //! {"cmd": "ping"}      -> {"ok": true, "pong": true}
 //! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "coalesced": …,
-//!                          "evictions": …, "entries": …, "bytes": …, "hit_rate": …, "workers": …}}
+//!                          "evictions": …, "entries": …, "bytes": …, "hit_rate": …, "workers": …,
+//!                          "store_hits": …, "store_misses": …, "store_errors": …,
+//!                          "compute_ns_min": …, "compute_ns_max": …, "compute_ns_total": …,
+//!                          "store": {…}?}}   ("store" present iff a persistent tier is attached)
 //! {"cmd": "shutdown"}  -> {"ok": true, "shutdown": true}   (server stops accepting)
 //! ```
 //!
@@ -52,19 +55,47 @@ use crate::pool::DsePool;
 use crate::spec::JobSpec;
 use crate::wire;
 
-/// Cap on in-flight requests per connection, counting a request from
-/// the moment it is accepted until its response has been written to
-/// the socket. Submissions beyond the cap block the connection's
-/// reader until a slot frees — back-pressure, not an error — so one
-/// client can neither spawn unbounded waiter threads nor, by refusing
-/// to read responses, queue unbounded response memory server-side.
-const MAX_INFLIGHT_PER_CONNECTION: usize = 128;
+/// Default cap on in-flight requests per connection (see
+/// [`ServerConfig::max_inflight`]).
+pub const DEFAULT_MAX_INFLIGHT: usize = 128;
+
+/// Tunable limits of a [`JobServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Cap on in-flight requests per connection, counting a request
+    /// from the moment it is accepted until its response has been
+    /// written to the socket. Submissions beyond the cap block the
+    /// connection's reader until a slot frees — back-pressure, not an
+    /// error — so one client can neither spawn unbounded waiter
+    /// threads nor, by refusing to read responses, queue unbounded
+    /// response memory server-side.
+    pub max_inflight: usize,
+    /// Additional cap on in-flight requests summed over *all*
+    /// connections, so many clients cannot jointly oversubscribe the
+    /// pool queue the way one client alone cannot. A global slot is
+    /// held from request acceptance until the response is *queued*
+    /// (not written): a client that is slow to read its own socket
+    /// back-pressures only itself, never other connections. `None`
+    /// (the default) leaves only the per-connection cap.
+    pub max_inflight_global: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            max_inflight_global: None,
+        }
+    }
+}
 
 /// A running job server bound to a TCP address.
 #[derive(Debug)]
 pub struct JobServer {
     listener: TcpListener,
     pool: Arc<DsePool>,
+    config: ServerConfig,
+    global_gate: Option<Arc<InflightGate>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -81,17 +112,44 @@ impl JobServer {
         Self::with_pool(addr, pool)
     }
 
-    /// Bind to `addr`, serving jobs on an existing pool.
+    /// Bind to `addr`, serving jobs on an existing pool with default
+    /// limits.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn with_pool(addr: impl ToSocketAddrs, pool: Arc<DsePool>) -> Result<Self, ServiceError> {
+        Self::with_config(addr, pool, ServerConfig::default())
+    }
+
+    /// Bind to `addr`, serving jobs on an existing pool with the given
+    /// limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; rejects a zero in-flight cap.
+    pub fn with_config(
+        addr: impl ToSocketAddrs,
+        pool: Arc<DsePool>,
+        config: ServerConfig,
+    ) -> Result<Self, ServiceError> {
+        if config.max_inflight == 0 || config.max_inflight_global == Some(0) {
+            return Err(ServiceError::protocol(
+                "in-flight caps must be at least 1 (a zero cap would deadlock every request)",
+            ));
+        }
         Ok(JobServer {
             listener: TcpListener::bind(addr)?,
             pool,
+            config,
+            global_gate: config.max_inflight_global.map(InflightGate::new),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// The server's configured limits.
+    pub fn config(&self) -> ServerConfig {
+        self.config
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -126,6 +184,10 @@ impl JobServer {
             }
             let stream = stream?;
             let pool = Arc::clone(&self.pool);
+            let slots = InflightSlots {
+                local: InflightGate::new(self.config.max_inflight),
+                global: self.global_gate.clone(),
+            };
             let shutdown = Arc::new(ConnectionShutdown {
                 flag: Arc::clone(&self.shutdown),
                 addr: local_addr,
@@ -133,7 +195,7 @@ impl JobServer {
             std::thread::spawn(move || {
                 // Connection errors (client hung up mid-line) are not
                 // server errors.
-                let _ = serve_connection(stream, &pool, &shutdown);
+                let _ = serve_connection(stream, &pool, slots, &shutdown);
             });
         }
         Ok(())
@@ -166,16 +228,19 @@ impl ConnectionShutdown {
     }
 }
 
-/// A counting semaphore bounding in-flight jobs per connection.
+/// A counting semaphore bounding in-flight jobs (per connection, and
+/// optionally shared across all of them).
 #[derive(Debug)]
 struct InflightGate {
+    limit: usize,
     count: Mutex<usize>,
     cv: Condvar,
 }
 
 impl InflightGate {
-    fn new() -> Arc<Self> {
+    fn new(limit: usize) -> Arc<Self> {
         Arc::new(InflightGate {
+            limit,
             count: Mutex::new(0),
             cv: Condvar::new(),
         })
@@ -183,17 +248,57 @@ impl InflightGate {
 
     /// Block until an in-flight slot is free, then take it.
     fn acquire(&self) {
-        let mut count = self.count.lock().unwrap_or_else(|e| e.into_inner());
-        while *count >= MAX_INFLIGHT_PER_CONNECTION {
+        let mut count = crate::sync::lock_recovered(&self.count);
+        while *count >= self.limit {
             count = self.cv.wait(count).unwrap_or_else(|e| e.into_inner());
         }
         *count += 1;
     }
 
     fn release(&self) {
-        let mut count = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        let mut count = crate::sync::lock_recovered(&self.count);
         *count -= 1;
         self.cv.notify_one();
+    }
+}
+
+/// One connection's pair of in-flight bounds: its private gate plus the
+/// server-wide gate (when configured). Both are taken before a request
+/// is accepted; acquisition order is always local-then-global, so
+/// connections cannot deadlock against each other. They are released
+/// at different moments, on purpose:
+///
+/// * the **global** slot frees as soon as the response is *queued* —
+///   it bounds work the pool can be asked to do, and must not stay
+///   pinned by a client that is slow to read its socket (that would
+///   let one stalled connection starve every other one);
+/// * the **local** slot frees only once the response is *written*, so
+///   a client that refuses to read still cannot queue unbounded
+///   response memory on the server (back-pressure on its own reader).
+#[derive(Debug, Clone)]
+struct InflightSlots {
+    local: Arc<InflightGate>,
+    global: Option<Arc<InflightGate>>,
+}
+
+impl InflightSlots {
+    fn acquire(&self) {
+        self.local.acquire();
+        if let Some(global) = &self.global {
+            global.acquire();
+        }
+    }
+
+    /// Release the cross-connection slot (response queued).
+    fn release_global(&self) {
+        if let Some(global) = &self.global {
+            global.release();
+        }
+    }
+
+    /// Release the per-connection slot (response written).
+    fn release_local(&self) {
+        self.local.release();
     }
 }
 
@@ -205,13 +310,13 @@ impl InflightGate {
 fn serve_connection(
     stream: TcpStream,
     pool: &Arc<DsePool>,
+    slots: InflightSlots,
     shutdown: &ConnectionShutdown,
 ) -> Result<(), ServiceError> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let gate = InflightGate::new();
     let (tx, rx) = channel::<(Json, bool)>();
     let writer = {
-        let gate = Arc::clone(&gate);
+        let slots = slots.clone();
         std::thread::spawn(move || {
             let mut out = BufWriter::new(stream);
             // A write failure means the client is gone: stop writing,
@@ -223,7 +328,7 @@ fn serve_connection(
                 if !dead && wire::write_message(&mut out, &response.render(), binary).is_err() {
                     dead = true;
                 }
-                gate.release();
+                slots.release_local();
             }
         })
     };
@@ -231,7 +336,7 @@ fn serve_connection(
     let result = loop {
         match wire::read_message(&mut reader) {
             Ok(Some((payload, binary))) => {
-                if dispatch_message(pool, &payload, binary, &tx, &gate) {
+                if dispatch_message(pool, &payload, binary, &tx, &slots) {
                     stop = true;
                     break Ok(());
                 }
@@ -254,45 +359,49 @@ fn serve_connection(
 
 /// Dispatch one request: control commands answer inline, job requests
 /// are submitted to the pool and answered from a waiter thread when
-/// they complete. Every response path takes a gate slot *before*
-/// queueing; the writer thread releases it only after the response
-/// leaves for the socket, so the gate bounds queued response memory as
-/// well as waiter threads. Returns `true` if the server should shut
+/// they complete. Every response path takes both gate slots *before*
+/// queueing; the global slot frees when the response is queued, the
+/// local slot only after the writer thread has put it on the socket
+/// (see [`InflightSlots`]). Returns `true` if the server should shut
 /// down.
 fn dispatch_message(
     pool: &Arc<DsePool>,
     payload: &str,
     binary: bool,
     tx: &Sender<(Json, bool)>,
-    gate: &Arc<InflightGate>,
+    slots: &InflightSlots,
 ) -> bool {
     let parsed = match Json::parse(payload) {
         Ok(v) => v,
         Err(e) => {
-            gate.acquire();
+            slots.acquire();
             let _ = tx.send((error_response(None, e.to_string()), binary));
+            slots.release_global();
             return false;
         }
     };
     let id = parsed.get("id").and_then(Json::as_u64);
     if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
         let (response, stop) = control_response(pool, cmd, id);
-        gate.acquire();
+        slots.acquire();
         let _ = tx.send((response, binary));
+        slots.release_global();
         return stop;
     }
     let job = match JobSpec::from_json(&parsed) {
         Ok(job) => job,
         Err(e) => {
-            gate.acquire();
+            slots.acquire();
             let _ = tx.send((error_response(id, e.to_string()), binary));
+            slots.release_global();
             return false;
         }
     };
-    gate.acquire();
+    slots.acquire();
     let pending = pool.submit(&job);
     let tx = tx.clone();
     let job_id = job.id;
+    let slots = slots.clone();
     std::thread::spawn(move || {
         let response = match pending.wait() {
             Ok(result) => Json::obj([
@@ -303,6 +412,7 @@ fn dispatch_message(
             Err(e) => error_response(Some(job_id), e.to_string()),
         };
         let _ = tx.send((response, binary));
+        slots.release_global();
     });
     false
 }
@@ -325,24 +435,50 @@ fn control_response(pool: &DsePool, cmd: &str, id: Option<u64>) -> (Json, bool) 
             false,
         ),
         "stats" => {
-            let stats = pool.state().cache().stats();
+            let cache = pool.state().cache();
+            let stats = cache.stats();
+            let mut fields = vec![
+                ("hits".to_owned(), Json::num_u64(stats.hits)),
+                ("misses".to_owned(), Json::num_u64(stats.misses)),
+                ("coalesced".to_owned(), Json::num_u64(stats.coalesced)),
+                ("evictions".to_owned(), Json::num_u64(stats.evictions)),
+                ("entries".to_owned(), Json::num_usize(stats.entries)),
+                ("bytes".to_owned(), Json::num_usize(stats.bytes)),
+                ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
+                ("workers".to_owned(), Json::num_usize(pool.workers())),
+                ("store_hits".to_owned(), Json::num_u64(stats.store_hits)),
+                ("store_misses".to_owned(), Json::num_u64(stats.store_misses)),
+                ("store_errors".to_owned(), Json::num_u64(stats.store_errors)),
+                (
+                    "compute_ns_min".to_owned(),
+                    Json::num_u64(stats.compute_ns_min),
+                ),
+                (
+                    "compute_ns_max".to_owned(),
+                    Json::num_u64(stats.compute_ns_max),
+                ),
+                (
+                    "compute_ns_total".to_owned(),
+                    Json::num_u64(stats.compute_ns_total),
+                ),
+            ];
+            if let Some(store) = cache.store() {
+                let s = store.stats();
+                fields.push((
+                    "store".to_owned(),
+                    Json::obj([
+                        ("live_entries", Json::num_usize(s.live_entries)),
+                        ("records", Json::num_u64(s.records)),
+                        ("dead_records", Json::num_u64(s.dead_records)),
+                        ("file_bytes", Json::num_u64(s.file_bytes)),
+                        ("appends", Json::num_u64(s.appends)),
+                        ("gets", Json::num_u64(s.gets)),
+                        ("hits", Json::num_u64(s.hits)),
+                    ]),
+                ));
+            }
             (
-                Json::obj([
-                    ("ok", Json::Bool(true)),
-                    (
-                        "stats",
-                        Json::obj([
-                            ("hits", Json::num_u64(stats.hits)),
-                            ("misses", Json::num_u64(stats.misses)),
-                            ("coalesced", Json::num_u64(stats.coalesced)),
-                            ("evictions", Json::num_u64(stats.evictions)),
-                            ("entries", Json::num_usize(stats.entries)),
-                            ("bytes", Json::num_usize(stats.bytes)),
-                            ("hit_rate", Json::Num(stats.hit_rate())),
-                            ("workers", Json::num_usize(pool.workers())),
-                        ]),
-                    ),
-                ]),
+                Json::obj([("ok", Json::Bool(true)), ("stats", Json::Obj(fields))]),
                 false,
             )
         }

@@ -355,6 +355,9 @@ pub struct LayerOutcome {
     /// True if this layer was served by coalescing onto another job's
     /// in-flight computation of the same shape (single-flight).
     pub coalesced: bool,
+    /// True if this layer was served from the persistent result store
+    /// (computed by some earlier process, revived from disk).
+    pub store_hit: bool,
 }
 
 impl LayerOutcome {
@@ -376,6 +379,7 @@ impl LayerOutcome {
             ("evaluations", Json::num_u64(self.evaluations)),
             ("cached", Json::Bool(self.cached)),
             ("coalesced", Json::Bool(self.coalesced)),
+            ("store", Json::Bool(self.store_hit)),
         ])
     }
 
@@ -406,6 +410,7 @@ impl LayerOutcome {
             evaluations: v.get("evaluations").and_then(Json::as_u64).unwrap_or(0),
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
             coalesced: v.get("coalesced").and_then(Json::as_bool).unwrap_or(false),
+            store_hit: v.get("store").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -432,6 +437,11 @@ impl JobResult {
     /// Layers served by coalescing onto an in-flight computation.
     pub fn coalesced_hits(&self) -> usize {
         self.layers.iter().filter(|l| l.coalesced).count()
+    }
+
+    /// Layers served from the persistent result store.
+    pub fn store_hits(&self) -> usize {
+        self.layers.iter().filter(|l| l.store_hit).count()
     }
 
     /// Wire representation.
@@ -596,6 +606,7 @@ mod tests {
                 evaluations: 4242,
                 cached: true,
                 coalesced: false,
+                store_hit: true,
             }],
         };
         let rendered = result.to_json().render();
@@ -606,5 +617,6 @@ mod tests {
             (0.1f64 + 0.2).to_bits()
         );
         assert_eq!(reparsed.cache_hits(), 1);
+        assert_eq!(reparsed.store_hits(), 1);
     }
 }

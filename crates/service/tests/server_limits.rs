@@ -1,0 +1,114 @@
+//! In-flight limit tests: the per-connection cap and the global
+//! cross-connection cap must bound concurrency without ever deadlocking
+//! or dropping responses.
+
+use std::sync::Arc;
+
+use drmap_cnn::network::Network;
+use drmap_service::client::Client;
+use drmap_service::engine::ServiceState;
+use drmap_service::pool::DsePool;
+use drmap_service::server::{JobServer, ServerConfig};
+use drmap_service::spec::{EngineSpec, JobSpec};
+
+fn batch(ids: std::ops::Range<u64>) -> Vec<JobSpec> {
+    ids.map(|id| JobSpec::network(id, EngineSpec::default(), Network::tiny()))
+        .collect()
+}
+
+/// A tiny global cap shared by several pipelining connections: every
+/// job still completes, in spite of constant cross-connection
+/// contention for the two global slots.
+#[test]
+fn a_small_global_cap_never_deadlocks_concurrent_connections() {
+    let state = ServiceState::new().unwrap();
+    let pool = Arc::new(DsePool::new(state, 2));
+    let server = JobServer::with_config(
+        "127.0.0.1:0",
+        pool,
+        ServerConfig {
+            max_inflight: 2,
+            max_inflight_global: Some(2),
+        },
+    )
+    .unwrap();
+    assert_eq!(server.config().max_inflight, 2);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let specs = batch(c * 100..c * 100 + 6);
+                let results = client.submit_batch(&specs).unwrap();
+                for (spec, result) in specs.iter().zip(results) {
+                    let result = result.unwrap();
+                    assert_eq!(result.id, spec.id);
+                    assert_eq!(result.layers.len(), 3);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A per-connection cap of one forces strictly serial service of a
+/// pipelined burst — slow, but complete and correctly correlated.
+#[test]
+fn a_per_connection_cap_of_one_still_serves_a_pipelined_burst() {
+    let state = ServiceState::new().unwrap();
+    let pool = Arc::new(DsePool::new(state, 2));
+    let server = JobServer::with_config(
+        "127.0.0.1:0",
+        pool,
+        ServerConfig {
+            max_inflight: 1,
+            max_inflight_global: None,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    let specs = batch(1..9);
+    let results = client.submit_batch(&specs).unwrap();
+    assert_eq!(results.len(), 8);
+    for (spec, result) in specs.iter().zip(results) {
+        assert_eq!(result.unwrap().id, spec.id);
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Zero caps are configuration errors, not latent deadlocks.
+#[test]
+fn zero_caps_are_rejected_at_construction() {
+    let state = ServiceState::new().unwrap();
+    let pool = Arc::new(DsePool::new(state, 1));
+    assert!(JobServer::with_config(
+        "127.0.0.1:0",
+        Arc::clone(&pool),
+        ServerConfig {
+            max_inflight: 0,
+            max_inflight_global: None,
+        },
+    )
+    .is_err());
+    assert!(JobServer::with_config(
+        "127.0.0.1:0",
+        pool,
+        ServerConfig {
+            max_inflight: 4,
+            max_inflight_global: Some(0),
+        },
+    )
+    .is_err());
+}
