@@ -1,0 +1,302 @@
+//! `dse_hot` — the DSE hot-loop benchmark.
+//!
+//! Measures the invariant-hoisted evaluation pipeline against a
+//! faithful re-implementation of the pre-pipeline sweep (per-evaluation
+//! `evaluate()` calls, a `format!`ed label per point, collect-then-
+//! filter Pareto extraction), on the full AlexNet layer set with
+//! `keep_points` enabled — the paper's Algorithm 1 at its most
+//! expensive. Also measures intra-layer tiling-range sharding (one
+//! oversized layer split across pool workers) and **verifies the
+//! sharded-vs-sequential bit-identity** before reporting anything: a
+//! mismatch fails the run with a non-zero exit, so CI catches identity
+//! regressions here as well as in the proptests.
+//!
+//! Writes `BENCH_dse.json` at the workspace root. Run with `--smoke`
+//! (as CI does) for a fast low-iteration pass.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use drmap_bench::build_engines;
+use drmap_cnn::accelerator::AcceleratorConfig;
+use drmap_cnn::layer::Layer;
+use drmap_cnn::network::Network;
+use drmap_core::dse::{DseCandidate, DseConfig, DseEngine, LayerDseResult, LayerPartial};
+use drmap_core::pareto::{pareto_front, DesignPoint};
+use drmap_core::tiling::enumerate_tilings;
+use drmap_service::engine::ServiceState;
+use drmap_service::json::Json;
+use drmap_service::pool::{DsePool, ShardPolicy};
+use drmap_service::spec::{EngineSpec, JobSpec};
+
+/// The keep-points sweep configuration both contenders run.
+fn sweep_config() -> DseConfig {
+    DseConfig {
+        keep_points: true,
+        ..DseConfig::default()
+    }
+}
+
+/// A SALP-2 engine with `keep_points` enabled.
+fn hot_engine() -> DseEngine {
+    let engines = build_engines(AcceleratorConfig::table_ii()).unwrap();
+    DseEngine::new(engines[2].engine.model().clone(), sweep_config())
+}
+
+/// The pre-pipeline `explore_layer`, re-derived from the public
+/// single-point evaluator: per-evaluation schedule resolution and
+/// transition counting inside `evaluate()`, a heap-allocated label per
+/// point, and batch Pareto extraction at the end. This is the baseline
+/// the ≥3x acceptance target is measured against.
+fn naive_explore(engine: &DseEngine, layer: &Layer) -> LayerDseResult {
+    let acc = *engine.model().traffic_model().accelerator();
+    let tilings = enumerate_tilings(layer, &acc).unwrap();
+    let objective = engine.config().objective;
+    let mut best: Option<DseCandidate> = None;
+    let mut evaluations = 0usize;
+    let mut points = Vec::new();
+    for tiling in &tilings {
+        for &scheme in &engine.config().schemes {
+            for mapping in &engine.config().mappings {
+                let estimate = engine.evaluate(layer, tiling, scheme, mapping);
+                evaluations += 1;
+                if engine.config().keep_points {
+                    points.push(DesignPoint::new(
+                        format!("{} | {} | {}", mapping.name(), scheme, tiling),
+                        estimate,
+                    ));
+                }
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| objective.score(&estimate) < objective.score(&b.estimate));
+                if better {
+                    best = Some(DseCandidate {
+                        mapping: *mapping,
+                        tiling: *tiling,
+                        scheme,
+                        estimate,
+                    });
+                }
+            }
+        }
+    }
+    LayerDseResult {
+        layer_name: layer.name.clone(),
+        best: best.expect("non-empty sweep"),
+        evaluations,
+        pareto: pareto_front(&points),
+    }
+}
+
+fn assert_bit_identical(a: &LayerDseResult, b: &LayerDseResult, context: &str) -> bool {
+    let best_ok = a.best.mapping == b.best.mapping
+        && a.best.scheme == b.best.scheme
+        && a.best.tiling == b.best.tiling
+        && a.best.estimate.cycles.to_bits() == b.best.estimate.cycles.to_bits()
+        && a.best.estimate.energy.to_bits() == b.best.estimate.energy.to_bits();
+    let front_ok = a.pareto.len() == b.pareto.len()
+        && a.pareto.iter().zip(&b.pareto).all(|(p, q)| {
+            p.label == q.label
+                && p.estimate.cycles.to_bits() == q.estimate.cycles.to_bits()
+                && p.estimate.energy.to_bits() == q.estimate.energy.to_bits()
+        });
+    let ok = best_ok && front_ok && a.evaluations == b.evaluations;
+    if !ok {
+        eprintln!("dse_hot: IDENTITY FAILURE in {context}");
+    }
+    ok
+}
+
+/// Hard gate: the pipelined sweep must match the naive sweep, and
+/// merged range partials must match the sequential sweep, bit for bit,
+/// on every AlexNet layer. Exits non-zero on any mismatch.
+fn verify_identity(engine: &DseEngine, network: &Network) {
+    let mut ok = true;
+    for layer in network.layers() {
+        let pipelined = engine.explore_layer(layer).unwrap();
+        let naive = naive_explore(engine, layer);
+        ok &= assert_bit_identical(
+            &pipelined,
+            &naive,
+            &format!("{} pipelined-vs-naive", layer.name),
+        );
+
+        let n = engine.tiling_count(layer).unwrap();
+        let mut merged: Option<LayerPartial> = None;
+        let chunk = n.div_ceil(7).max(1);
+        let mut start = 0usize;
+        while start < n {
+            let partial = engine
+                .explore_layer_range(layer, start..(start + chunk).min(n))
+                .unwrap();
+            merged = Some(match merged {
+                None => partial,
+                Some(mut earlier) => {
+                    earlier.merge(partial);
+                    earlier
+                }
+            });
+            start += chunk;
+        }
+        let merged = merged.unwrap().into_result(layer.name.clone());
+        ok &= assert_bit_identical(
+            &merged,
+            &pipelined,
+            &format!("{} sharded-vs-sequential", layer.name),
+        );
+    }
+    if !ok {
+        eprintln!("dse_hot: sharded or pipelined results diverged from the sequential sweep");
+        std::process::exit(1);
+    }
+    println!("dse_hot: identity verified (pipelined == naive, merged ranges == sequential)");
+}
+
+/// Best-of-`repeats` wall-clock time of `f`.
+fn best_of<R>(repeats: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn bench_dse_hot(c: &mut Criterion) {
+    let engine = hot_engine();
+    let network = Network::alexnet();
+    let conv3 = &network.layers()[2];
+    c.bench_function("dse_hot_conv3_naive", |b| {
+        b.iter(|| std::hint::black_box(naive_explore(&engine, conv3)))
+    });
+    c.bench_function("dse_hot_conv3_pipelined", |b| {
+        b.iter(|| std::hint::black_box(engine.explore_layer(conv3).unwrap()))
+    });
+}
+
+fn emit_bench_json(smoke: bool) {
+    let engine = hot_engine();
+    let network = Network::alexnet();
+    verify_identity(&engine, &network);
+
+    let repeats = if smoke { 1 } else { 5 };
+    // Single-thread AlexNet sweep, keep_points on: old loop vs new.
+    let baseline = best_of(repeats, || {
+        for layer in network.layers() {
+            std::hint::black_box(naive_explore(&engine, layer));
+        }
+    });
+    let pipelined = best_of(repeats, || {
+        for layer in network.layers() {
+            std::hint::black_box(engine.explore_layer(layer).unwrap());
+        }
+    });
+    let speedup = baseline.as_secs_f64() / pipelined.as_secs_f64().max(1e-9);
+    let evaluations: usize = network
+        .layers()
+        .iter()
+        .map(|l| engine.explore_layer(l).unwrap().evaluations)
+        .sum();
+    println!(
+        "dse_hot: AlexNet sweep ({evaluations} evaluations, keep_points on): \
+         naive {:.3}s, pipelined {:.3}s -> {speedup:.2}x",
+        baseline.as_secs_f64(),
+        pipelined.as_secs_f64(),
+    );
+
+    // Intra-layer sharding: one oversized layer (the largest tiling
+    // enumeration in AlexNet) on a 1-worker vs a multi-worker pool.
+    // Every submission uses a fresh state so nothing is cached.
+    let big = network
+        .layers()
+        .iter()
+        .max_by_key(|l| engine.tiling_count(l).unwrap())
+        .unwrap()
+        .clone();
+    let tilings = engine.tiling_count(&big).unwrap();
+    let policy = ShardPolicy {
+        min_tilings: 8,
+        chunks_per_worker: 3,
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.clamp(2, 4);
+    let shard_repeats = if smoke { 1 } else { 3 };
+    let time_pool = |n_workers: usize| {
+        best_of(shard_repeats, || {
+            let state = ServiceState::new().unwrap();
+            let pool = DsePool::with_shard_policy(state, n_workers, policy);
+            let spec = JobSpec::layer(1, EngineSpec::default(), big.clone());
+            pool.submit(&spec).wait().unwrap()
+        })
+    };
+    let one_worker = time_pool(1);
+    let many_workers = time_pool(workers);
+    let shard_speedup = one_worker.as_secs_f64() / many_workers.as_secs_f64().max(1e-9);
+    println!(
+        "dse_hot: intra-layer sharding of {} ({tilings} tilings): \
+         1 worker {:.3}s, {workers} workers {:.3}s -> {shard_speedup:.2}x \
+         ({cores} cores available{})",
+        big.name,
+        one_worker.as_secs_f64(),
+        many_workers.as_secs_f64(),
+        if cores == 1 {
+            "; scaling needs >1 core"
+        } else {
+            ""
+        },
+    );
+
+    let secs = |d: Duration| Json::Num(d.as_secs_f64());
+    let report = Json::obj([
+        ("bench", Json::str("dse_hot")),
+        ("smoke", Json::Bool(smoke)),
+        ("identity", Json::str("ok")),
+        (
+            "alexnet_sweep",
+            Json::obj([
+                ("layers", Json::num_usize(network.layers().len())),
+                ("evaluations", Json::num_usize(evaluations)),
+                ("keep_points", Json::Bool(true)),
+                ("naive_s", secs(baseline)),
+                ("pipelined_s", secs(pipelined)),
+                ("speedup", Json::Num(speedup)),
+            ]),
+        ),
+        (
+            "intra_layer_sharding",
+            Json::obj([
+                ("layer", Json::str(big.name.clone())),
+                ("tilings", Json::num_usize(tilings)),
+                ("workers", Json::num_usize(workers)),
+                ("cores_available", Json::num_usize(cores)),
+                ("one_worker_s", secs(one_worker)),
+                ("sharded_s", secs(many_workers)),
+                ("speedup", Json::Num(shard_speedup)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    match std::fs::write(path, report.render() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_dse_hot);
+
+fn main() {
+    // Harness introspection flags (`cargo bench -- --list`, `--test`)
+    // expect a fast exit: skip measurement and don't clobber a previous
+    // run's artifact.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list" || a == "--test") {
+        println!("dse_hot: benchmark");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if !smoke {
+        benches();
+    }
+    emit_bench_json(smoke);
+}

@@ -127,7 +127,19 @@ pub fn tile_cost(
     table: &AccessCostTable,
     kind: RequestKind,
 ) -> AccessCost {
-    let counts = transition_counts(policy, geometry, units);
+    counts_cost(&transition_counts(policy, geometry, units), table, kind)
+}
+
+/// Weight already-computed [`TransitionCounts`] with a cost table —
+/// the second half of [`tile_cost`], split out so callers that memoize
+/// counts by `(mapping, burst count)` reproduce `tile_cost`'s exact
+/// arithmetic (same class order, same accumulation) and therefore
+/// bit-identical estimates.
+pub fn counts_cost(
+    counts: &TransitionCounts,
+    table: &AccessCostTable,
+    kind: RequestKind,
+) -> AccessCost {
     let mut cycles = 0.0;
     let mut energy = 0.0;
     for class in TransitionClass::ALL {
@@ -259,6 +271,35 @@ mod tests {
         );
         assert!((cost.cycles - (10.0 + 9.0)).abs() < 1e-12);
         assert!((cost.energy - (5e-9 + 9e-9)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn counts_cost_matches_tile_cost_bit_exactly() {
+        let geometry = g();
+        let mut read = [AccessCost::default(); 4];
+        let mut write = [AccessCost::default(); 4];
+        for (i, (r, w)) in read.iter_mut().zip(write.iter_mut()).enumerate() {
+            *r = AccessCost {
+                cycles: 1.5 * (i + 1) as f64,
+                energy: 1e-9 * (i + 1) as f64,
+            };
+            *w = AccessCost {
+                cycles: 1.75 * (i + 1) as f64,
+                energy: 1.25e-9 * (i + 1) as f64,
+            };
+        }
+        let table = AccessCostTable::from_costs(DramArch::Ddr3, read, write, 1.25);
+        for policy in MappingPolicy::table_i() {
+            for units in [1u64, 7, 128, 8193] {
+                let counts = transition_counts(&policy, &g(), units);
+                for kind in [RequestKind::Read, RequestKind::Write] {
+                    let direct = tile_cost(&policy, &geometry, units, &table, kind);
+                    let split = counts_cost(&counts, &table, kind);
+                    assert_eq!(direct.cycles.to_bits(), split.cycles.to_bits());
+                    assert_eq!(direct.energy.to_bits(), split.energy.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,18 +4,46 @@
 //! (tiling), every scheduling scheme, and every DRAM mapping policy,
 //! evaluates the analytical EDP model, and keeps the minimum-EDP
 //! configuration. Layers are independent and explored in parallel.
+//!
+//! ## The evaluation pipeline
+//!
+//! The sweep is organized so per-evaluation work shrinks to what
+//! actually varies with the mapping policy:
+//!
+//! * per **tiling**: tile footprints in DRAM bursts (three data kinds),
+//! * per **(tiling, scheme)**: adaptive-scheme resolution and
+//!   tile-fetch counts — neither depends on the mapping,
+//! * per **(mapping, burst count)**: the closed-form transition
+//!   counting and its cost weighting, memoized because a layer has only
+//!   a handful of distinct burst counts,
+//! * per **evaluation**: four multiply-adds plus an incremental
+//!   Pareto-front insert (no label allocation; labels materialize for
+//!   survivors only).
+//!
+//! The tiling axis is also *shardable*: [`DseEngine::explore_layer_range`]
+//! explores a contiguous subrange of the tiling enumeration and returns
+//! a [`LayerPartial`] whose [`LayerPartial::merge`] is exact, so
+//! several workers can split one huge layer and reassemble a result
+//! bit-identical to the sequential sweep.
 
 use core::fmt;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use drmap_cnn::layer::Layer;
+use drmap_cnn::layer::{DataKind, Layer};
 use drmap_cnn::network::Network;
+use drmap_dram::geometry::Geometry;
+use drmap_dram::profiler::{AccessCost, AccessCostTable};
+use drmap_dram::request::RequestKind;
 
+use crate::access_model::{bytes_to_bursts, counts_cost, transition_counts};
 use crate::edp::{EdpEstimate, EdpModel};
 use crate::error::DseError;
 use crate::mapping::MappingPolicy;
-use crate::pareto::{pareto_front, DesignPoint};
+use crate::pareto::{DesignPoint, ParetoFront};
 use crate::schedule::ReuseScheme;
-use crate::tiling::{enumerate_tilings, Tiling};
+use crate::tiling::{count_tilings, enumerate_tilings, Tiling};
 
 /// Optimization objective for the exploration.
 ///
@@ -210,6 +238,126 @@ impl NetworkDseResult {
     }
 }
 
+/// Identifies the configuration behind a retained Pareto point without
+/// allocating; the label string is materialized for survivors only.
+#[derive(Debug, Clone, Copy)]
+struct CandidateTag {
+    mapping: MappingPolicy,
+    scheme: ReuseScheme,
+    tiling: Tiling,
+}
+
+/// Label a surviving Pareto point exactly as the collect-then-filter
+/// path used to label every evaluation.
+fn tag_label(tag: &CandidateTag) -> String {
+    format!("{} | {} | {}", tag.mapping.name(), tag.scheme, tag.tiling)
+}
+
+/// Partial output of exploring a contiguous subrange of one layer's
+/// tiling enumeration (see [`DseEngine::explore_layer_range`]).
+///
+/// Partials over consecutive ranges combine with [`LayerPartial::merge`]
+/// into exactly the result a single sequential sweep produces — same
+/// best candidate (bit-identical estimate), same evaluation count, same
+/// Pareto front — because the per-range sweeps preserve evaluation
+/// order, the best-candidate fold is associative with a
+/// first-of-equals tie-break, and [`ParetoFront::merge`] is exact.
+#[derive(Debug, Clone)]
+pub struct LayerPartial {
+    objective: Objective,
+    evaluations: usize,
+    best: Option<DseCandidate>,
+    front: ParetoFront<CandidateTag>,
+}
+
+impl LayerPartial {
+    /// Number of configurations this partial evaluated.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Best candidate found within this partial's range, if the range
+    /// was non-empty.
+    pub fn best(&self) -> Option<&DseCandidate> {
+        self.best.as_ref()
+    }
+
+    /// Fold the partial of the **next** tiling subrange into this one.
+    /// Exact provided ranges are merged in ascending order: ties on the
+    /// objective keep the lower-range candidate, exactly as the
+    /// sequential sweep's strict-improvement rule does.
+    pub fn merge(&mut self, later: LayerPartial) {
+        debug_assert_eq!(
+            self.objective, later.objective,
+            "merged partials of different objectives"
+        );
+        self.evaluations += later.evaluations;
+        let objective = self.objective;
+        self.best = match (self.best.take(), later.best) {
+            (Some(a), Some(b)) => {
+                if objective.score(&b.estimate) < objective.score(&a.estimate) {
+                    Some(b)
+                } else {
+                    Some(a)
+                }
+            }
+            (a, b) => a.or(b),
+        };
+        self.front.merge(later.front);
+    }
+
+    /// Finish the exploration: materialize the Pareto front and name the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate was evaluated (an empty merged range);
+    /// callers merge partials covering the whole enumeration first.
+    pub fn into_result(self, layer_name: impl Into<String>) -> LayerDseResult {
+        LayerDseResult {
+            layer_name: layer_name.into(),
+            best: self.best.expect("non-empty sweep produced no candidate"),
+            evaluations: self.evaluations,
+            pareto: self.front.into_design_points(tag_label),
+        }
+    }
+}
+
+/// Per-exploration memo of weighted access costs, keyed by mapping slot
+/// (position in the sweep's mapping list) and tile burst count. A layer
+/// has only a handful of distinct burst counts (three data kinds across
+/// the tiling enumeration), so the closed-form transition counting runs
+/// once per (mapping, burst count) instead of once per evaluation.
+struct CostMemo {
+    /// One `units -> (read cost, write cost)` map per mapping slot.
+    costs: Vec<HashMap<u64, (AccessCost, AccessCost)>>,
+}
+
+impl CostMemo {
+    fn new(mappings: usize) -> Self {
+        CostMemo {
+            costs: (0..mappings).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn get(
+        &mut self,
+        slot: usize,
+        mapping: &MappingPolicy,
+        geometry: &Geometry,
+        table: &AccessCostTable,
+        units: u64,
+    ) -> (AccessCost, AccessCost) {
+        *self.costs[slot].entry(units).or_insert_with(|| {
+            let counts = transition_counts(mapping, geometry, units);
+            (
+                counts_cost(&counts, table, RequestKind::Read),
+                counts_cost(&counts, table, RequestKind::Write),
+            )
+        })
+    }
+}
+
 /// The exploration engine: an [`EdpModel`] plus a sweep configuration.
 ///
 /// # Examples
@@ -300,6 +448,18 @@ impl DseEngine {
         best.ok_or_else(|| DseError::new("no feasible tiling"))
     }
 
+    /// Number of feasible tilings of `layer` under this engine's
+    /// accelerator — the size of the shardable axis of
+    /// [`DseEngine::explore_layer_range`], counted without materializing
+    /// the enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] if no tiling fits the buffers.
+    pub fn tiling_count(&self, layer: &Layer) -> Result<usize, DseError> {
+        count_tilings(layer, self.model.traffic_model().accelerator())
+    }
+
     /// Algorithm 1 for one layer: sweep tilings × schemes × mappings.
     ///
     /// # Errors
@@ -307,25 +467,105 @@ impl DseEngine {
     /// Returns [`DseError`] if no tiling fits the buffers or the sweep
     /// configuration is empty.
     pub fn explore_layer(&self, layer: &Layer) -> Result<LayerDseResult, DseError> {
+        Ok(self
+            .explore_layer_range(layer, 0..usize::MAX)?
+            .into_result(layer.name.clone()))
+    }
+
+    /// Algorithm 1 restricted to a contiguous subrange of the layer's
+    /// tiling enumeration (clamped to the enumeration's length): the
+    /// unit of intra-layer sharding. Merging the partials of a disjoint
+    /// cover of `0..tiling_count` in ascending range order and calling
+    /// [`LayerPartial::into_result`] is bit-identical to
+    /// [`DseEngine::explore_layer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] if no tiling fits the buffers or the sweep
+    /// configuration is empty.
+    pub fn explore_layer_range(
+        &self,
+        layer: &Layer,
+        tiling_range: Range<usize>,
+    ) -> Result<LayerPartial, DseError> {
+        let acc = *self.model.traffic_model().accelerator();
+        let tilings = enumerate_tilings(layer, &acc)?;
+        self.explore_tilings_range(layer, &tilings, tiling_range)
+    }
+
+    /// [`DseEngine::explore_layer_range`] over a caller-supplied tiling
+    /// enumeration, so workers sharding one layer can enumerate **once**
+    /// and share the slice instead of re-enumerating per chunk.
+    ///
+    /// `tilings` must be (a prefix-identical copy of) this engine's
+    /// [`enumerate_tilings`] output for the layer — merged partials
+    /// equal the sequential sweep only when every range sweeps the same
+    /// enumeration in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] if the sweep configuration is empty.
+    pub fn explore_tilings_range(
+        &self,
+        layer: &Layer,
+        tilings: &[Tiling],
+        tiling_range: Range<usize>,
+    ) -> Result<LayerPartial, DseError> {
         if self.config.schemes.is_empty() || self.config.mappings.is_empty() {
             return Err(DseError::new("empty scheme or mapping sweep"));
         }
         let acc = *self.model.traffic_model().accelerator();
-        let tilings = enumerate_tilings(layer, &acc)?;
+        let start = tiling_range.start.min(tilings.len());
+        let end = tiling_range.end.min(tilings.len()).max(start);
         let objective = self.config.objective;
+        let keep_points = self.config.keep_points;
+        let geometry = *self.model.geometry();
+        let table = self.model.table();
+        let traffic_model = self.model.traffic_model();
+        let mut memo = CostMemo::new(self.config.mappings.len());
         let mut best: Option<DseCandidate> = None;
         let mut evaluations = 0usize;
-        let mut points = Vec::new();
-        for tiling in &tilings {
+        let mut front = ParetoFront::new();
+        for tiling in &tilings[start..end] {
+            // Hoisted per tiling: tile footprints in DRAM bursts.
+            let units = [
+                bytes_to_bursts(tiling.tile_bytes(layer, &acc, DataKind::Ifms), &geometry),
+                bytes_to_bursts(tiling.tile_bytes(layer, &acc, DataKind::Wghs), &geometry),
+                bytes_to_bursts(tiling.tile_bytes(layer, &acc, DataKind::Ofms), &geometry),
+            ];
             for &scheme in &self.config.schemes {
-                for mapping in &self.config.mappings {
-                    let estimate = self.evaluate(layer, tiling, scheme, mapping);
+                // Hoisted per (tiling, scheme): adaptive resolution and
+                // tile-fetch counts — neither depends on the mapping.
+                let (_, traffic) = traffic_model.resolved_traffic(layer, tiling, scheme);
+                for (slot, mapping) in self.config.mappings.iter().enumerate() {
+                    let (ifms_read, _) = memo.get(slot, mapping, &geometry, table, units[0]);
+                    let (wghs_read, _) = memo.get(slot, mapping, &geometry, table, units[1]);
+                    let (ofms_read, ofms_write) =
+                        memo.get(slot, mapping, &geometry, table, units[2]);
+                    // Same accumulation order as EdpModel::layer_breakdown,
+                    // term by term, so estimates stay bit-identical to the
+                    // unmemoized path.
+                    let estimate = EdpEstimate {
+                        cycles: ifms_read.cycles * traffic.ifms_loads as f64
+                            + wghs_read.cycles * traffic.wghs_loads as f64
+                            + ofms_read.cycles * traffic.ofms_loads as f64
+                            + ofms_write.cycles * traffic.ofms_stores as f64,
+                        energy: ifms_read.energy * traffic.ifms_loads as f64
+                            + wghs_read.energy * traffic.wghs_loads as f64
+                            + ofms_read.energy * traffic.ofms_loads as f64
+                            + ofms_write.energy * traffic.ofms_stores as f64,
+                        t_ck_ns: table.t_ck_ns,
+                    };
                     evaluations += 1;
-                    if self.config.keep_points {
-                        points.push(DesignPoint::new(
-                            format!("{} | {} | {}", mapping.name(), scheme, tiling),
+                    if keep_points {
+                        front.insert(
                             estimate,
-                        ));
+                            CandidateTag {
+                                mapping: *mapping,
+                                scheme,
+                                tiling: *tiling,
+                            },
+                        );
                     }
                     let better = best
                         .as_ref()
@@ -341,36 +581,60 @@ impl DseEngine {
                 }
             }
         }
-        Ok(LayerDseResult {
-            layer_name: layer.name.clone(),
-            best: best.expect("non-empty sweep produced no candidate"),
+        Ok(LayerPartial {
+            objective,
             evaluations,
-            pareto: pareto_front(&points),
+            best,
+            front,
         })
     }
 
-    /// Algorithm 1 for a whole network, layers explored in parallel.
+    /// Algorithm 1 for a whole network: layers are claimed from a shared
+    /// counter by a bounded crew of worker threads (at most the machine's
+    /// available parallelism), so a thousand-layer network no longer
+    /// spawns a thousand threads. Results are reassembled in layer order
+    /// and are bit-identical to a sequential run.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-layer failure.
+    /// Propagates the first per-layer failure (in layer order).
     pub fn explore_network(&self, network: &Network) -> Result<NetworkDseResult, DseError> {
         let layers = network.layers();
-        let results: Vec<Result<LayerDseResult, DseError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = layers
-                .iter()
-                .map(|layer| scope.spawn(move || self.explore_layer(layer)))
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(layers.len())
+            .max(1);
+        let next = AtomicUsize::new(0);
+        let mut gathered: Vec<Option<Result<LayerDseResult, DseError>>> =
+            (0..layers.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= layers.len() {
+                                return claimed;
+                            }
+                            claimed.push((i, self.explore_layer(&layers[i])));
+                        }
+                    })
+                })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("DSE worker panicked"))
-                .collect()
+            for handle in handles {
+                for (i, result) in handle.join().expect("DSE worker panicked") {
+                    gathered[i] = Some(result);
+                }
+            }
         });
 
         let mut layers_out = Vec::with_capacity(layers.len());
         let mut total = EdpEstimate::zero(self.model.table().t_ck_ns);
-        for r in results {
-            let r = r?;
+        for slot in gathered {
+            let r = slot.expect("every claimed layer reports a result")?;
             total.accumulate(&r.best.estimate);
             layers_out.push(r);
         }
@@ -604,6 +868,150 @@ mod tests {
             assert_eq!(Objective::from_label(o.label()), Some(o));
         }
         assert_eq!(Objective::from_label("bogus"), None);
+    }
+
+    /// The pre-pipeline sweep, re-derived from the public single-point
+    /// evaluator: the reference the hoisted/memoized hot loop must match
+    /// bit for bit.
+    fn naive_explore(e: &DseEngine, layer: &Layer) -> LayerDseResult {
+        let acc = *e.model().traffic_model().accelerator();
+        let tilings = enumerate_tilings(layer, &acc).unwrap();
+        let objective = e.config().objective;
+        let mut best: Option<DseCandidate> = None;
+        let mut evaluations = 0usize;
+        let mut points = Vec::new();
+        for tiling in &tilings {
+            for &scheme in &e.config().schemes {
+                for mapping in &e.config().mappings {
+                    let estimate = e.evaluate(layer, tiling, scheme, mapping);
+                    evaluations += 1;
+                    if e.config().keep_points {
+                        points.push(crate::pareto::DesignPoint::new(
+                            format!("{} | {} | {}", mapping.name(), scheme, tiling),
+                            estimate,
+                        ));
+                    }
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| objective.score(&estimate) < objective.score(&b.estimate));
+                    if better {
+                        best = Some(DseCandidate {
+                            mapping: *mapping,
+                            tiling: *tiling,
+                            scheme,
+                            estimate,
+                        });
+                    }
+                }
+            }
+        }
+        LayerDseResult {
+            layer_name: layer.name.clone(),
+            best: best.unwrap(),
+            evaluations,
+            pareto: crate::pareto::pareto_front(&points),
+        }
+    }
+
+    fn assert_results_bit_identical(a: &LayerDseResult, b: &LayerDseResult) {
+        assert_eq!(a.best.mapping, b.best.mapping);
+        assert_eq!(a.best.scheme, b.best.scheme);
+        assert_eq!(a.best.tiling, b.best.tiling);
+        assert_eq!(
+            a.best.estimate.cycles.to_bits(),
+            b.best.estimate.cycles.to_bits()
+        );
+        assert_eq!(
+            a.best.estimate.energy.to_bits(),
+            b.best.estimate.energy.to_bits()
+        );
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.pareto.len(), b.pareto.len());
+        for (p, q) in a.pareto.iter().zip(&b.pareto) {
+            assert_eq!(p.label, q.label);
+            assert_eq!(p.estimate.cycles.to_bits(), q.estimate.cycles.to_bits());
+            assert_eq!(p.estimate.energy.to_bits(), q.estimate.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn pipelined_sweep_matches_naive_evaluation_bit_exactly() {
+        for objective in Objective::ALL {
+            for keep_points in [false, true] {
+                let e = engine(DseConfig {
+                    objective,
+                    keep_points,
+                    ..DseConfig::default()
+                });
+                let layer = conv3();
+                assert_results_bit_identical(
+                    &e.explore_layer(&layer).unwrap(),
+                    &naive_explore(&e, &layer),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_range_partials_match_sequential_bit_exactly() {
+        let e = engine(DseConfig {
+            keep_points: true,
+            ..DseConfig::default()
+        });
+        let layer = conv3();
+        let whole = e.explore_layer(&layer).unwrap();
+        let n = e.tiling_count(&layer).unwrap();
+        assert!(n > 3, "need a non-trivial enumeration, got {n}");
+        for cuts in [vec![n / 2], vec![1, n - 1], vec![n / 3, 2 * n / 3], vec![]] {
+            let mut bounds = vec![0usize];
+            bounds.extend(cuts);
+            bounds.push(n);
+            let mut merged: Option<LayerPartial> = None;
+            for pair in bounds.windows(2) {
+                let partial = e.explore_layer_range(&layer, pair[0]..pair[1]).unwrap();
+                merged = Some(match merged {
+                    None => partial,
+                    Some(mut m) => {
+                        m.merge(partial);
+                        m
+                    }
+                });
+            }
+            let merged = merged.unwrap().into_result(layer.name.clone());
+            assert_results_bit_identical(&merged, &whole);
+        }
+    }
+
+    #[test]
+    fn ranges_clamp_and_empty_partials_merge() {
+        let e = engine(DseConfig::default());
+        let layer = conv3();
+        let n = e.tiling_count(&layer).unwrap();
+        let empty = e.explore_layer_range(&layer, n..n + 10).unwrap();
+        assert_eq!(empty.evaluations(), 0);
+        assert!(empty.best().is_none());
+        let mut all = e.explore_layer_range(&layer, 0..n).unwrap();
+        let best_before = all.best().cloned().unwrap();
+        all.merge(empty);
+        assert_eq!(all.best().unwrap(), &best_before);
+        let mut from_empty = e.explore_layer_range(&layer, n..n).unwrap();
+        from_empty.merge(e.explore_layer_range(&layer, 0..n).unwrap());
+        assert_eq!(from_empty.best().unwrap().estimate, best_before.estimate);
+        // An inverted range clamps to empty rather than panicking.
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = e.explore_layer_range(&layer, 5..2).unwrap();
+        assert_eq!(inverted.evaluations(), 0);
+    }
+
+    #[test]
+    fn tiling_count_matches_enumeration_len() {
+        let e = engine(DseConfig::default());
+        let layer = conv3();
+        let acc = *e.model().traffic_model().accelerator();
+        assert_eq!(
+            e.tiling_count(&layer).unwrap(),
+            enumerate_tilings(&layer, &acc).unwrap().len()
+        );
     }
 
     #[test]

@@ -61,18 +61,18 @@ pub mod validate;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::access_model::{
-        bytes_to_bursts, tile_cost, transition_counts, TransitionCounts,
+        bytes_to_bursts, counts_cost, tile_cost, transition_counts, TransitionCounts,
     };
     pub use crate::dse::{
-        layer_cache_key, DseCandidate, DseConfig, DseEngine, LayerDseResult, NetworkDseResult,
-        Objective, SharedEngine,
+        layer_cache_key, DseCandidate, DseConfig, DseEngine, LayerDseResult, LayerPartial,
+        NetworkDseResult, Objective, SharedEngine,
     };
     pub use crate::edp::{CostComponent, EdpEstimate, EdpModel, LayerBreakdown};
     pub use crate::error::DseError;
     pub use crate::mapping::MappingPolicy;
-    pub use crate::pareto::{pareto_front, DesignPoint};
+    pub use crate::pareto::{pareto_front, DesignPoint, ParetoFront};
     pub use crate::report::{LayerReport, NetworkReport};
     pub use crate::schedule::{OuterLoop, ReuseScheme, TileTraffic, TrafficModel};
-    pub use crate::tiling::{candidate_steps, enumerate_tilings, Tiling};
+    pub use crate::tiling::{candidate_steps, count_tilings, enumerate_tilings, Tiling};
     pub use crate::validate::{ValidationReport, Validator};
 }

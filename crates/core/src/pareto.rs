@@ -78,6 +78,120 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
     front
 }
 
+/// An incremental Pareto-front builder over (energy, cycles).
+///
+/// Where [`pareto_front`] collects every evaluated point and filters at
+/// the end, `ParetoFront` discards dominated points **on insert**, so a
+/// sweep of millions of evaluations only ever holds the current front.
+/// Points carry a lightweight `Copy`-able tag instead of a label string;
+/// labels are materialized once, for survivors only, by
+/// [`ParetoFront::into_design_points`] — no per-evaluation allocation.
+///
+/// The builder is exact: inserting every point of a sweep in order and
+/// materializing produces the same `Vec<DesignPoint>` (same set, same
+/// order, same label strings) as `pareto_front` over the collected
+/// cloud. Ties on both coordinates keep the earliest-inserted point,
+/// matching the stable sort of the batch path. Fronts built over
+/// consecutive subranges of one sweep merge exactly with
+/// [`ParetoFront::merge`].
+///
+/// # Examples
+///
+/// ```
+/// use drmap_core::pareto::ParetoFront;
+/// use drmap_core::edp::EdpEstimate;
+///
+/// let mk = |cycles: f64, energy: f64| EdpEstimate { cycles, energy, t_ck_ns: 1.25 };
+/// let mut front = ParetoFront::new();
+/// assert!(front.insert(mk(10.0, 9.0), "fast-hungry"));
+/// assert!(front.insert(mk(90.0, 1.0), "slow-frugal"));
+/// assert!(!front.insert(mk(95.0, 9.5), "dominated"));
+/// let points = front.into_design_points(|tag| (*tag).to_owned());
+/// assert_eq!(points.len(), 2);
+/// assert_eq!(points[0].label, "fast-hungry");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParetoFront<T> {
+    /// The current non-dominated set, in insertion order.
+    points: Vec<(EdpEstimate, T)>,
+}
+
+impl<T> Default for ParetoFront<T> {
+    fn default() -> Self {
+        ParetoFront::new()
+    }
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// Offer a point to the front. Returns `false` (discarding the
+    /// point) if an existing point is no worse in both energy and
+    /// cycles — including an exact tie, so the earliest-inserted of
+    /// equal points survives. Otherwise the point joins the front and
+    /// every existing point it weakly dominates is removed.
+    pub fn insert(&mut self, estimate: EdpEstimate, tag: T) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|(e, _)| e.energy <= estimate.energy && e.cycles <= estimate.cycles)
+        {
+            return false;
+        }
+        self.points
+            .retain(|(e, _)| !(estimate.energy <= e.energy && estimate.cycles <= e.cycles));
+        self.points.push((estimate, tag));
+        true
+    }
+
+    /// Fold a front built over a *later* subrange of the same sweep
+    /// into this one. Exact: provided `later`'s points were evaluated
+    /// after `self`'s, the merged front equals the front of the
+    /// combined point cloud, ties and all.
+    pub fn merge(&mut self, later: ParetoFront<T>) {
+        for (estimate, tag) in later.points {
+            self.insert(estimate, tag);
+        }
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Materialize the front as labelled [`DesignPoint`]s, sorted by
+    /// ascending latency exactly as [`pareto_front`] sorts its output.
+    /// `label` runs once per survivor.
+    pub fn into_design_points(self, label: impl Fn(&T) -> String) -> Vec<DesignPoint> {
+        let mut points: Vec<DesignPoint> = self
+            .points
+            .into_iter()
+            .map(|(estimate, tag)| DesignPoint::new(label(&tag), estimate))
+            .collect();
+        points.sort_by(|a, b| {
+            a.estimate
+                .cycles
+                .partial_cmp(&b.estimate.cycles)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(
+                    a.estimate
+                        .energy
+                        .partial_cmp(&b.estimate.energy)
+                        .unwrap_or(core::cmp::Ordering::Equal),
+                )
+        });
+        points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +254,103 @@ mod tests {
         let front = pareto_front(&points);
         assert_eq!(front[0].label, "fast");
         assert_eq!(front[1].label, "slow");
+    }
+
+    /// Deterministic pseudo-random point cloud with deliberate
+    /// coordinate collisions, so ties exercise the stable-order rule.
+    fn cloud(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut x = seed | 1;
+        let mut next = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        (0..n)
+            .map(|_| (((next() % 32) as f64), ((next() % 32) as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_front_matches_batch_exactly() {
+        for seed in [3u64, 17, 2026, 0xdead_beef] {
+            for n in [0usize, 1, 2, 7, 60, 400] {
+                let coords = cloud(n, seed);
+                let points: Vec<DesignPoint> = coords
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(c, e))| mk(&format!("p{i}"), c, e))
+                    .collect();
+                let batch = pareto_front(&points);
+
+                let mut builder = ParetoFront::new();
+                for (i, &(c, e)) in coords.iter().enumerate() {
+                    builder.insert(
+                        EdpEstimate {
+                            cycles: c,
+                            energy: e,
+                            t_ck_ns: 1.25,
+                        },
+                        i,
+                    );
+                }
+                let incremental = builder.into_design_points(|&i| format!("p{i}"));
+                assert_eq!(incremental.len(), batch.len(), "seed {seed} n {n}");
+                for (a, b) in incremental.iter().zip(&batch) {
+                    assert_eq!(a.label, b.label, "seed {seed} n {n}");
+                    assert_eq!(a.estimate.cycles.to_bits(), b.estimate.cycles.to_bits());
+                    assert_eq!(a.estimate.energy.to_bits(), b.estimate.energy.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_fronts_merge_exactly() {
+        let coords = cloud(300, 99);
+        let mut whole = ParetoFront::new();
+        for (i, &(c, e)) in coords.iter().enumerate() {
+            whole.insert(
+                EdpEstimate {
+                    cycles: c,
+                    energy: e,
+                    t_ck_ns: 1.25,
+                },
+                i,
+            );
+        }
+        for split in [0usize, 1, 150, 299, 300] {
+            let mut merged = ParetoFront::new();
+            let mut later = ParetoFront::new();
+            for (i, &(c, e)) in coords.iter().enumerate() {
+                let est = EdpEstimate {
+                    cycles: c,
+                    energy: e,
+                    t_ck_ns: 1.25,
+                };
+                if i < split {
+                    merged.insert(est, i);
+                } else {
+                    later.insert(est, i);
+                }
+            }
+            merged.merge(later);
+            let a = merged.clone().into_design_points(|&i| format!("p{i}"));
+            let b = whole.clone().into_design_points(|&i| format!("p{i}"));
+            assert_eq!(
+                a.iter().map(|p| p.label.clone()).collect::<Vec<_>>(),
+                b.iter().map(|p| p.label.clone()).collect::<Vec<_>>(),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_builder_reports_empty() {
+        let front: ParetoFront<u32> = ParetoFront::default();
+        assert!(front.is_empty());
+        assert_eq!(front.len(), 0);
+        assert!(front.into_design_points(|_| unreachable!()).is_empty());
     }
 
     #[test]

@@ -267,6 +267,22 @@ impl TrafficModel {
             + (t.ofms_loads + t.ofms_stores) * tiling.tile_bytes(layer, &self.acc, DataKind::Ofms)
     }
 
+    /// Resolve `scheme` for one `(layer, tiling)` and return the traffic
+    /// of the resolved scheme — the per-`(tiling, scheme)` quantity the
+    /// DSE hot loop hoists out of its mapping sweep (the traffic does
+    /// not depend on the mapping policy). Exactly equivalent to
+    /// [`TrafficModel::resolve_adaptive`] followed by
+    /// [`TrafficModel::traffic`].
+    pub fn resolved_traffic(
+        &self,
+        layer: &Layer,
+        tiling: &Tiling,
+        scheme: ReuseScheme,
+    ) -> (ReuseScheme, TileTraffic) {
+        let resolved = self.resolve_adaptive(layer, tiling, scheme);
+        (resolved, self.traffic(layer, tiling, resolved))
+    }
+
     /// Resolve adaptive-reuse for one layer: the concrete scheme with the
     /// minimum DRAM traffic (the paper: "minimum number of DRAM accesses").
     /// Concrete schemes resolve to themselves.
@@ -419,6 +435,18 @@ mod tests {
         let chosen_bytes = m.traffic_bytes(&l, &t, chosen);
         for s in ReuseScheme::CONCRETE {
             assert!(chosen_bytes <= m.traffic_bytes(&l, &t, s));
+        }
+    }
+
+    #[test]
+    fn resolved_traffic_matches_two_step_path() {
+        let m = model();
+        let l = conv3();
+        let t = Tiling::new(13, 13, 16, 16);
+        for scheme in ReuseScheme::ALL {
+            let (resolved, traffic) = m.resolved_traffic(&l, &t, scheme);
+            assert_eq!(resolved, m.resolve_adaptive(&l, &t, scheme));
+            assert_eq!(traffic, m.traffic(&l, &t, resolved));
         }
     }
 

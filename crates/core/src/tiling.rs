@@ -180,6 +180,21 @@ pub fn enumerate_tilings(layer: &Layer, acc: &AcceleratorConfig) -> Result<Vec<T
     Ok(out)
 }
 
+/// Count the buffer-feasible tilings of a layer — the cheap probe a
+/// scheduler uses to decide whether a layer's tiling range is worth
+/// sharding across workers. Delegates to [`enumerate_tilings`], so it
+/// can never drift from the enumeration that range exploration sweeps
+/// (a `Tiling` is four words; the transient `Vec` is a few KB even for
+/// the largest layers).
+///
+/// # Errors
+///
+/// Returns [`DseError`] under exactly the conditions
+/// [`enumerate_tilings`] does: invalid inputs or no feasible tiling.
+pub fn count_tilings(layer: &Layer, acc: &AcceleratorConfig) -> Result<usize, DseError> {
+    Ok(enumerate_tilings(layer, acc)?.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +282,21 @@ mod tests {
         for t in &tilings {
             assert!(seen.insert(*t), "duplicate tiling {t}");
         }
+    }
+
+    #[test]
+    fn count_agrees_with_enumeration() {
+        let acc = AcceleratorConfig::table_ii();
+        for layer in Network::alexnet().layers() {
+            assert_eq!(
+                count_tilings(layer, &acc).unwrap(),
+                enumerate_tilings(layer, &acc).unwrap().len(),
+                "layer {}",
+                layer.name
+            );
+        }
+        let impossible = Layer::conv("HUGE", 1, 1, 1, 1, 4096, 4096, 1);
+        assert!(count_tilings(&impossible, &acc).is_err());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ```text
 //! drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] [--objective OBJ]
 //!             [--workers N] [--repeat R] [--compare]
-//!             [--cache-entries N] [--cache-bytes BYTES] [--store PATH]
+//!             [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost]
+//!             [--store PATH]
 //!             [--connect HOST:PORT] [--binary]
 //! ```
 //!
@@ -17,7 +18,8 @@
 //! a fresh single-worker pool and reports the multi-worker speedup.
 //!
 //! By default jobs run on an in-process pool; `--cache-entries` /
-//! `--cache-bytes` bound its memo cache (LRU), and `--store PATH`
+//! `--cache-bytes` bound its memo cache (`--cache-policy cost` evicts
+//! cheapest-to-recompute first instead of LRU), and `--store PATH`
 //! backs it with a persistent result log — rerunning the same batch
 //! later serves every layer from disk without recomputation. With
 //! `--connect` the
@@ -31,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drmap_service::cache::CacheConfig;
-use drmap_service::cli::parse_positive as positive;
+use drmap_service::cli::{parse_cache_policy, parse_positive as positive};
 use drmap_service::client::Client;
 use drmap_service::engine::{default_workers, ServiceState};
 use drmap_service::error::ServiceError;
@@ -112,6 +114,11 @@ fn parse_args() -> Result<Args, String> {
                 args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
                 local_only.push("--cache-bytes");
             }
+            "--cache-policy" => {
+                args.cache.policy =
+                    parse_cache_policy("--cache-policy", &value("--cache-policy")?)?;
+                local_only.push("--cache-policy");
+            }
             "--store" => {
                 args.store = Some(value("--store")?);
                 local_only.push("--store");
@@ -122,7 +129,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
                      [--objective OBJ] [--workers N] [--repeat R] [--compare] \
-                     [--cache-entries N] [--cache-bytes BYTES] [--store PATH] \
+                     [--cache-entries N] [--cache-bytes BYTES] \
+                     [--cache-policy lru|cost] [--store PATH] \
                      [--connect HOST:PORT] [--binary]"
                 );
                 std::process::exit(0);
@@ -334,7 +342,7 @@ fn run() -> Result<(), String> {
     );
     println!(
         "cache: {} hits / {} misses / {} coalesced ({:.1}% hit rate), \
-         {} entries, {} bytes, {} evictions",
+         {} entries, {} bytes, {} evictions ({} cost-chosen)",
         stats.hits,
         stats.misses,
         stats.coalesced,
@@ -342,6 +350,7 @@ fn run() -> Result<(), String> {
         stats.entries,
         stats.bytes,
         stats.evictions,
+        stats.cost_evictions,
     );
     if let Some(store) = &store {
         let s = store.stats();

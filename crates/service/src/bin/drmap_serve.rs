@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! drmap-serve [--addr HOST:PORT] [--workers N]
-//!             [--cache-entries N] [--cache-bytes BYTES]
+//!             [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost]
 //!             [--store PATH] [--warm N]
 //!             [--max-inflight N] [--max-inflight-global N]
 //! ```
 //!
 //! Speaks pipelined JSON over TCP (newline-delimited text or binary
 //! frames); see the `drmap_service` crate docs for the protocol. The
-//! cache flags bound the layer memo cache (LRU eviction); without them
-//! the cache is unbounded. `--store PATH` opens (or creates) a
+//! cache flags bound the layer memo cache; without them the cache is
+//! unbounded. `--cache-policy cost` evicts the cheapest-to-recompute
+//! entry first (using each entry's recorded exploration duration)
+//! instead of the least recently used. `--store PATH` opens (or creates) a
 //! persistent result log beneath the cache — results survive restarts,
 //! and on boot the most recent stored results warm the cache (`--warm`
 //! caps how many; default: up to the cache's entry bound, or all of
@@ -27,7 +29,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use drmap_service::cache::CacheConfig;
-use drmap_service::cli::parse_positive as positive;
+use drmap_service::cli::{parse_cache_policy, parse_positive as positive};
 use drmap_service::engine::{default_workers, ServiceState};
 use drmap_service::pool::DsePool;
 use drmap_service::server::{JobServer, ServerConfig};
@@ -64,6 +66,10 @@ fn parse_args() -> Result<Args, String> {
             "--cache-bytes" => {
                 args.cache.max_bytes = Some(positive("--cache-bytes", &value("--cache-bytes")?)?);
             }
+            "--cache-policy" => {
+                args.cache.policy =
+                    parse_cache_policy("--cache-policy", &value("--cache-policy")?)?;
+            }
             "--store" => args.store = Some(value("--store")?),
             "--warm" => args.warm = Some(positive("--warm", &value("--warm")?)?),
             "--max-inflight" => {
@@ -78,7 +84,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
-                     [--cache-entries N] [--cache-bytes BYTES] \
+                     [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost] \
                      [--store PATH] [--warm N] \
                      [--max-inflight N] [--max-inflight-global N]"
                 );
@@ -136,10 +142,12 @@ fn main() -> ExitCode {
             };
             println!(
                 "drmap-serve: listening on {addr} with {} workers \
-                 (cache: {} entries, {} bytes; store: {}; in-flight: {}/conn, {} global)",
+                 (cache: {} entries, {} bytes, {} eviction; store: {}; \
+                 in-flight: {}/conn, {} global)",
                 args.workers,
                 bound(args.cache.max_entries),
                 bound(args.cache.max_bytes),
+                args.cache.policy.label(),
                 args.store.as_deref().unwrap_or("none"),
                 args.server.max_inflight,
                 bound(args.server.max_inflight_global),

@@ -12,8 +12,10 @@
 //! Four properties make the cache safe for long-running service use:
 //!
 //! * **Bounded.** [`CacheConfig`] caps the entry count and/or the
-//!   approximate resident bytes; the least-recently-used entry is
-//!   evicted first and every eviction is counted in
+//!   approximate resident bytes; when a bound is exceeded the
+//!   [`EvictionPolicy`] picks the victim — least-recently-used by
+//!   default, or cheapest-to-recompute first under
+//!   [`EvictionPolicy::Cost`] — and every eviction is counted in
 //!   [`CacheStats::evictions`]. An unbounded cache (the default) never
 //!   evicts.
 //! * **Single-flight.** [`DseCache::get_or_compute`] coalesces
@@ -36,8 +38,8 @@
 //!
 //! Entries additionally remember how long their original exploration
 //! took ([`CacheStats`] exposes min/max/total over every recorded
-//! measurement) — the signal a cost-aware eviction policy needs,
-//! persisted alongside each result.
+//! measurement), persisted alongside each result — the signal
+//! [`EvictionPolicy::Cost`] uses to keep expensive results resident.
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -52,6 +54,39 @@ use drmap_store::store::Store;
 use crate::error::panic_message;
 use crate::sync::lock_recovered;
 
+/// Which resident entry a full cache sacrifices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used entry (the default).
+    #[default]
+    Lru,
+    /// Evict the entry that was *cheapest to compute* first (by the
+    /// exploration duration each entry carries; ties and unmeasured
+    /// entries fall back to least-recently-used). Keeps the results
+    /// that would hurt most to recompute resident, at the price of an
+    /// O(entries) victim scan per eviction.
+    Cost,
+}
+
+impl EvictionPolicy {
+    /// Stable textual label (used by the `--cache-policy` CLI flag).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Cost => "cost",
+        }
+    }
+
+    /// Parse a [`EvictionPolicy::label`] string.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "lru" => Some(EvictionPolicy::Lru),
+            "cost" => Some(EvictionPolicy::Cost),
+            _ => None,
+        }
+    }
+}
+
 /// Capacity bounds for a [`DseCache`]. `None` means unbounded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -59,6 +94,8 @@ pub struct CacheConfig {
     pub max_entries: Option<usize>,
     /// Maximum approximate resident bytes (keys + values).
     pub max_bytes: Option<usize>,
+    /// Which entry to sacrifice when a bound is exceeded.
+    pub policy: EvictionPolicy,
 }
 
 impl CacheConfig {
@@ -76,6 +113,12 @@ impl CacheConfig {
     /// Bound the approximate resident bytes.
     pub fn with_max_bytes(mut self, n: usize) -> Self {
         self.max_bytes = Some(n);
+        self
+    }
+
+    /// Choose the eviction policy.
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -106,6 +149,10 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries evicted to satisfy the capacity bounds.
     pub evictions: u64,
+    /// Evictions whose victim was chosen by the cost-aware policy
+    /// (cheapest recorded exploration first) rather than pure recency.
+    /// A subset of `evictions`; always 0 under [`EvictionPolicy::Lru`].
+    pub cost_evictions: u64,
     /// Distinct entries currently stored.
     pub entries: usize,
     /// Approximate bytes currently resident (keys + values).
@@ -198,6 +245,7 @@ struct Inner {
     misses: u64,
     coalesced: u64,
     evictions: u64,
+    cost_evictions: u64,
     store_hits: u64,
     store_misses: u64,
     store_errors: u64,
@@ -358,9 +406,35 @@ impl Inner {
             || config.max_bytes.is_some_and(|n| self.bytes > n)
     }
 
+    /// The victim under the cost-aware policy: the entry with the
+    /// smallest recorded exploration duration (unmeasured entries count
+    /// as free), ties broken toward the least recently used. Walks the
+    /// intrusive list tail-to-head so the tie-break falls out of the
+    /// strict `<`.
+    fn cost_victim(&self) -> usize {
+        let mut victim = self.tail;
+        let mut victim_cost = self.entry(victim).compute_ns;
+        let mut cursor = self.entry(victim).prev;
+        while cursor != NIL {
+            let e = self.entry(cursor);
+            if e.compute_ns < victim_cost {
+                victim = cursor;
+                victim_cost = e.compute_ns;
+            }
+            cursor = e.prev;
+        }
+        victim
+    }
+
     fn enforce_bounds(&mut self, config: &CacheConfig) {
         while self.over_bounds(config) && self.tail != NIL {
-            let victim = self.tail;
+            let victim = match config.policy {
+                EvictionPolicy::Lru => self.tail,
+                EvictionPolicy::Cost => {
+                    self.cost_evictions += 1;
+                    self.cost_victim()
+                }
+            };
             self.remove(victim);
             self.evictions += 1;
         }
@@ -581,6 +655,7 @@ impl DseCache {
             misses: inner.misses,
             coalesced: inner.coalesced,
             evictions: inner.evictions,
+            cost_evictions: inner.cost_evictions,
             entries: inner.map.len(),
             bytes: inner.bytes,
             store_hits: inner.store_hits,
@@ -598,32 +673,41 @@ impl DseCache {
     /// past its entry cap). Returns how many entries were loaded.
     /// Without an attached store this is a no-op. Lookup counters are
     /// untouched — warming is not traffic.
+    ///
+    /// The hot set arrives via one offset-ordered sweep of the log
+    /// ([`Store::bulk_load`]) rather than a locked, positioned read per
+    /// key. A value damaged on disk is skipped (the rest of the hot set
+    /// still warms) and counted in [`CacheStats::store_errors`], so
+    /// corruption stays visible at warm-start time; an I/O failure
+    /// counts one store error and warms nothing.
     pub fn warm_from_store(&self, limit: Option<usize>) -> usize {
         let Some(store) = &self.store else { return 0 };
         let budget = limit
             .or(self.config.max_entries)
             .unwrap_or(usize::MAX)
             .min(store.len());
-        let keys = store.keys_by_recency();
+        let entries = match store.bulk_load(Some(budget)) {
+            Ok(loaded) => {
+                if loaded.damaged > 0 {
+                    lock_recovered(&self.inner).store_errors += loaded.damaged;
+                }
+                loaded.entries
+            }
+            Err(_) => {
+                lock_recovered(&self.inner).store_errors += 1;
+                return 0;
+            }
+        };
         let mut loaded = 0usize;
         // Oldest-first within the hot set, so the most recently written
         // key ends up most recently used.
-        for key in keys[..budget].iter().rev() {
-            let decoded = match store.get(key) {
-                Ok(Some(bytes)) => decode_stored_result(&bytes).ok(),
-                _ => None,
-            };
-            match decoded {
-                Some((value, compute_ns)) => {
-                    lock_recovered(&self.inner).insert(
-                        key.clone(),
-                        value,
-                        compute_ns,
-                        &self.config,
-                    );
+        for (key, bytes) in entries.into_iter().rev() {
+            match decode_stored_result(&bytes) {
+                Ok((value, compute_ns)) => {
+                    lock_recovered(&self.inner).insert(key, value, compute_ns, &self.config);
                     loaded += 1;
                 }
-                None => lock_recovered(&self.inner).store_errors += 1,
+                Err(_) => lock_recovered(&self.inner).store_errors += 1,
             }
         }
         loaded
@@ -645,6 +729,7 @@ impl DseCache {
         inner.misses = 0;
         inner.coalesced = 0;
         inner.evictions = 0;
+        inner.cost_evictions = 0;
         inner.store_hits = 0;
         inner.store_misses = 0;
         inner.store_errors = 0;
@@ -833,6 +918,83 @@ mod tests {
         let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Populate `key` through get_or_compute with an artificially slow
+    /// (or instant) exploration, so the entry carries a controlled
+    /// compute duration.
+    fn compute_with_cost(cache: &DseCache, key: &str, slow: bool) {
+        cache
+            .get_or_compute(key, || {
+                if slow {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Ok(result(key))
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn cost_policy_evicts_cheapest_entry_first() {
+        let cache = DseCache::with_config(
+            CacheConfig::unbounded()
+                .with_max_entries(2)
+                .with_policy(EvictionPolicy::Cost),
+        );
+        compute_with_cost(&cache, "expensive-old", true);
+        compute_with_cost(&cache, "expensive-new", true);
+        // The third entry computes in microseconds — it is the cheapest
+        // of the three and is sacrificed, even though it is the most
+        // recently used; an LRU cache would have kept it and dropped
+        // "expensive-old" instead.
+        compute_with_cost(&cache, "cheap", false);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.cost_evictions, 1);
+        assert!(cache.get("cheap").is_none(), "cheapest entry was evicted");
+        assert!(cache.get("expensive-old").is_some());
+        assert!(cache.get("expensive-new").is_some());
+    }
+
+    #[test]
+    fn cost_policy_breaks_ties_toward_least_recently_used() {
+        // Direct inserts carry no measurement: every entry costs 0, so
+        // the cost policy degenerates to LRU — and counts its choices.
+        let cache = DseCache::with_config(
+            CacheConfig::unbounded()
+                .with_max_entries(2)
+                .with_policy(EvictionPolicy::Cost),
+        );
+        cache.insert("k1".into(), result("a"));
+        cache.insert("k2".into(), result("b"));
+        assert!(cache.get("k1").is_some(), "refresh k1's recency");
+        cache.insert("k3".into(), result("c"));
+        assert!(cache.get("k2").is_none(), "tie fell back to LRU order");
+        assert!(cache.get("k1").is_some());
+        assert!(cache.get("k3").is_some());
+        assert_eq!(cache.stats().cost_evictions, 1);
+        cache.clear();
+        assert_eq!(cache.stats().cost_evictions, 0);
+    }
+
+    #[test]
+    fn lru_policy_never_counts_cost_evictions() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_entries(1));
+        cache.insert("k1".into(), result("a"));
+        cache.insert("k2".into(), result("b"));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.cost_evictions, 0);
+    }
+
+    #[test]
+    fn eviction_policy_labels_round_trip() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Cost] {
+            assert_eq!(EvictionPolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(EvictionPolicy::from_label("mru"), None);
+        assert_eq!(CacheConfig::default().policy, EvictionPolicy::Lru);
     }
 
     fn temp_store() -> Arc<Store> {

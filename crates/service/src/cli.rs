@@ -1,6 +1,18 @@
 //! Small argument-parsing helpers shared by the `drmap-serve` and
 //! `drmap-batch` binaries.
 
+use crate::cache::EvictionPolicy;
+
+/// Parse a `--cache-policy` value: `lru` or `cost`.
+///
+/// # Errors
+///
+/// Returns `"invalid <flag> value <value> …"` for anything else.
+pub fn parse_cache_policy(flag: &str, value: &str) -> Result<EvictionPolicy, String> {
+    EvictionPolicy::from_label(value)
+        .ok_or_else(|| format!("invalid {flag} value {value:?} (expected \"lru\" or \"cost\")"))
+}
+
 /// Parse a flag value as a positive integer, rejecting zero, negatives,
 /// and garbage with a uniform error message.
 ///
@@ -19,6 +31,20 @@ pub fn parse_positive(flag: &str, value: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_policy_parses_both_labels() {
+        assert_eq!(
+            parse_cache_policy("--cache-policy", "lru"),
+            Ok(EvictionPolicy::Lru)
+        );
+        assert_eq!(
+            parse_cache_policy("--cache-policy", "cost"),
+            Ok(EvictionPolicy::Cost)
+        );
+        let err = parse_cache_policy("--cache-policy", "mru").unwrap_err();
+        assert!(err.contains("--cache-policy"), "{err}");
+    }
 
     #[test]
     fn accepts_positive_rejects_the_rest() {

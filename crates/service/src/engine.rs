@@ -177,11 +177,35 @@ impl ServiceState {
         tag: &str,
         layer: &Layer,
     ) -> Result<(LayerDseResult, CacheOutcome), DseError> {
+        self.explore_layer_cached_with(engine, tag, layer, || engine.explore_layer(layer))
+    }
+
+    /// [`ServiceState::explore_layer_cached`] with a caller-supplied
+    /// exploration strategy: `explore` runs only when the lookup misses
+    /// both cache tiers and no equivalent computation is in flight. The
+    /// worker pool uses this to shard an oversized layer's tiling range
+    /// across workers; the strategy must return exactly what
+    /// [`DseEngine::explore_layer`] would (sharded merges are exact, so
+    /// this holds by construction), or cached and computed results
+    /// would diverge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `explore` failures (shared by every caller coalesced
+    /// onto the failing computation). Failures are not cached.
+    pub fn explore_layer_cached_with<F>(
+        &self,
+        engine: &DseEngine,
+        tag: &str,
+        layer: &Layer,
+        explore: F,
+    ) -> Result<(LayerDseResult, CacheOutcome), DseError>
+    where
+        F: FnOnce() -> Result<LayerDseResult, DseError>,
+    {
         let acc = engine.model().traffic_model().accelerator();
         let key = layer_cache_key(tag, layer, acc, engine.config());
-        let (mut result, outcome) = self
-            .cache
-            .get_or_compute(&key, || engine.explore_layer(layer))?;
+        let (mut result, outcome) = self.cache.get_or_compute(&key, explore)?;
         if result.layer_name != layer.name {
             result.layer_name.clone_from(&layer.name);
         }

@@ -87,12 +87,12 @@ pub mod wire;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::cache::{CacheConfig, CacheOutcome, CacheStats, DseCache};
+    pub use crate::cache::{CacheConfig, CacheOutcome, CacheStats, DseCache, EvictionPolicy};
     pub use crate::client::{Client, ServerStats};
     pub use crate::engine::{default_workers, EngineFactory, ServiceState};
     pub use crate::error::ServiceError;
     pub use crate::json::Json;
-    pub use crate::pool::{DsePool, PendingJob};
+    pub use crate::pool::{DsePool, PendingJob, ShardPolicy};
     pub use crate::server::{JobServer, ServerConfig};
     pub use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome, Workload};
     pub use drmap_cnn::network::Network;

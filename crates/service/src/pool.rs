@@ -7,27 +7,50 @@
 //! don't wait for big ones and a single straggler layer cannot idle the
 //! rest of the pool (contrast with
 //! [`DseEngine::explore_network`](drmap_core::dse::DseEngine::explore_network),
-//! which spawns one short-lived thread per layer of one network).
+//! which runs a bounded worker crew inside one process-wide call).
 //!
-//! Determinism: workers may *compute* layers in any order, but results
-//! are reassembled in layer order and totals are accumulated exactly as
-//! the direct engine does, so a job's [`JobResult`] is bit-identical to
-//! a sequential run — cached, pooled, or direct.
+//! ## Intra-layer sharding
+//!
+//! A single huge layer (AlexNet FC6, say) used to be one indivisible
+//! task — one worker ground through its whole tiling × scheme × mapping
+//! sweep while the rest of the pool idled. Now a worker that picks up a
+//! layer whose tiling enumeration crosses [`ShardPolicy::min_tilings`]
+//! splits the range into chunks, posts *help tokens* onto the shared
+//! queue, and claims chunks itself from a shared counter. Idle workers
+//! that pick up a token join in; each chunk becomes a
+//! [`DseEngine::explore_layer_range`] partial, and the leader merges
+//! them in range order — an exact merge, so the assembled
+//! [`LayerDseResult`](drmap_core::dse::LayerDseResult) is bit-identical
+//! to a sequential `explore_layer`. The scheme is deadlock-free by
+//! construction: the leader only ever *waits* for chunks that some
+//! worker has already claimed and is actively computing (unclaimed
+//! chunks it claims itself), and help tokens arriving after the shard
+//! drained are no-ops.
+//!
+//! Determinism: workers may *compute* layers (and chunks) in any order,
+//! but results are reassembled in layer (and range) order and totals
+//! are accumulated exactly as the direct engine does, so a job's
+//! [`JobResult`] is bit-identical to a sequential run — cached, pooled,
+//! sharded, or direct.
 
+use std::ops::Range;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use drmap_cnn::layer::Layer;
-use drmap_core::dse::{LayerDseResult, SharedEngine};
+use drmap_core::dse::{LayerDseResult, LayerPartial, SharedEngine};
 use drmap_core::edp::EdpEstimate;
 use drmap_core::error::DseError;
+use drmap_core::tiling::{enumerate_tilings, Tiling};
 
 use crate::cache::CacheOutcome;
 use crate::engine::{outcome_from_result, ServiceState};
 use crate::error::{panic_message, ServiceError};
 use crate::spec::{JobResult, JobSpec};
+use crate::sync::lock_recovered;
 
 type LayerReply = (usize, Result<(LayerDseResult, CacheOutcome), DseError>);
 
@@ -40,37 +63,267 @@ struct LayerTask {
     reply: Sender<LayerReply>,
 }
 
+/// What travels on the pool's shared queue: a whole-layer exploration,
+/// or an invitation to help with another worker's sharded layer.
+enum Task {
+    Layer(LayerTask),
+    Help(Arc<Shard>),
+}
+
+/// When and how finely the pool shards one layer's tiling range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Only layers with at least this many feasible tilings shard;
+    /// below it, chunking overhead outweighs the parallelism.
+    pub min_tilings: usize,
+    /// Target chunks per pool worker. Over-decomposing (the default is
+    /// 3) keeps the chunks short enough that late-joining helpers still
+    /// find work and stragglers don't serialize the merge.
+    pub chunks_per_worker: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            min_tilings: 64,
+            chunks_per_worker: 3,
+        }
+    }
+}
+
+/// State the pool shares with its workers: the sharding knobs and a
+/// re-entrant handle to the task queue for posting help tokens. The
+/// handle lives in an `Option` so [`DsePool::drop`] can sever it —
+/// workers holding permanent `Sender` clones would keep the channel
+/// open and the shutdown join would hang.
+struct PoolShared {
+    workers: usize,
+    policy: ShardPolicy,
+    helper: Mutex<Option<Sender<Task>>>,
+}
+
+/// One sharded layer exploration in flight: chunked tiling ranges
+/// claimed from a shared counter by the leader and any helpers. The
+/// leader enumerates the tilings **once**; every chunk sweeps a
+/// subrange of that shared enumeration.
+struct Shard {
+    engine: SharedEngine,
+    layer: Layer,
+    tilings: Vec<Tiling>,
+    chunks: Vec<Range<usize>>,
+    next: AtomicUsize,
+    progress: Mutex<ShardProgress>,
+    done: Condvar,
+}
+
+struct ShardProgress {
+    partials: Vec<Option<Result<LayerPartial, DseError>>>,
+    finished: usize,
+}
+
+impl Shard {
+    fn new(
+        engine: SharedEngine,
+        layer: Layer,
+        tilings: Vec<Tiling>,
+        chunks: Vec<Range<usize>>,
+    ) -> Self {
+        let progress = ShardProgress {
+            partials: (0..chunks.len()).map(|_| None).collect(),
+            finished: 0,
+        };
+        Shard {
+            engine,
+            layer,
+            tilings,
+            chunks,
+            next: AtomicUsize::new(0),
+            progress: Mutex::new(progress),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claim and explore chunks until none remain. Run by the leader
+    /// and by every helper; returns immediately when the shard has
+    /// already drained. A chunk that panics records an error so the
+    /// leader never waits on a chunk nobody will finish.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks.len() {
+                return;
+            }
+            let range = self.chunks[i].clone();
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.engine
+                    .explore_tilings_range(&self.layer, &self.tilings, range)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(DseError::new(format!(
+                    "worker panicked exploring a tiling range of layer {:?}: {}",
+                    self.layer.name,
+                    panic_message(payload.as_ref())
+                )))
+            });
+            let mut progress = lock_recovered(&self.progress);
+            progress.partials[i] = Some(result);
+            progress.finished += 1;
+            if progress.finished == self.chunks.len() {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Leader-side completion: block until every chunk has reported
+    /// (each is being actively computed by some worker, so this cannot
+    /// deadlock), then merge the partials in range order.
+    fn wait_and_merge(&self) -> Result<LayerDseResult, DseError> {
+        let mut progress = lock_recovered(&self.progress);
+        while progress.finished < self.chunks.len() {
+            progress = self.done.wait(progress).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut merged: Option<LayerPartial> = None;
+        for slot in progress.partials.iter_mut() {
+            let partial = slot.take().expect("a finished shard has every partial")?;
+            merged = Some(match merged {
+                None => partial,
+                Some(mut earlier) => {
+                    earlier.merge(partial);
+                    earlier
+                }
+            });
+        }
+        Ok(merged
+            .expect("a shard has at least two chunks")
+            .into_result(self.layer.name.clone()))
+    }
+}
+
+/// Explore one layer, sharding its tiling range across the pool when
+/// the policy says it is big enough to be worth it. Falls back to the
+/// plain sequential sweep for small layers, single-worker pools, and
+/// enumerations too short to split.
+fn explore_maybe_sharded(
+    engine: &SharedEngine,
+    layer: &Layer,
+    shared: &PoolShared,
+) -> Result<LayerDseResult, DseError> {
+    if shared.workers <= 1 {
+        return engine.explore_layer(layer);
+    }
+    // Enumerate once; sharded chunks sweep subranges of this one list,
+    // and the unsharded fallback sweeps it whole — either way the
+    // candidate domain is walked a single time.
+    let acc = *engine.model().traffic_model().accelerator();
+    let tilings = enumerate_tilings(layer, &acc)?;
+    let count = tilings.len();
+    let whole = |engine: &SharedEngine| {
+        Ok(engine
+            .explore_tilings_range(layer, &tilings, 0..count)?
+            .into_result(layer.name.clone()))
+    };
+    if count < shared.policy.min_tilings.max(2) {
+        return whole(engine);
+    }
+    let chunk = count
+        .div_ceil(shared.workers * shared.policy.chunks_per_worker.max(1))
+        .max(1);
+    let chunks: Vec<Range<usize>> = (0..count)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(count))
+        .collect();
+    if chunks.len() < 2 {
+        return whole(engine);
+    }
+    let invites = (shared.workers - 1).min(chunks.len() - 1);
+    let shard = Arc::new(Shard::new(
+        Arc::clone(engine),
+        layer.clone(),
+        tilings,
+        chunks,
+    ));
+    // Invite idle workers. Tokens are requests, not assignments: one
+    // arriving after the shard drained is a no-op, and if the queue is
+    // already severed (pool shutting down) the leader simply does every
+    // chunk itself.
+    if let Some(helper) = lock_recovered(&shared.helper).clone() {
+        for _ in 0..invites {
+            if helper.send(Task::Help(Arc::clone(&shard))).is_err() {
+                break;
+            }
+        }
+    }
+    shard.work();
+    shard.wait_and_merge()
+}
+
 /// A multi-threaded DSE job pool over shared [`ServiceState`].
 #[derive(Debug)]
 pub struct DsePool {
     state: Arc<ServiceState>,
     workers: usize,
-    queue: Option<Sender<LayerTask>>,
+    queue: Option<Sender<Task>>,
+    shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared")
+            .field("workers", &self.workers)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DsePool {
-    /// Spawn `workers` worker threads over the shared state.
+    /// Spawn `workers` worker threads over the shared state, sharding
+    /// oversized layers per the default [`ShardPolicy`].
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(state: Arc<ServiceState>, workers: usize) -> Self {
+        Self::with_shard_policy(state, workers, ShardPolicy::default())
+    }
+
+    /// Spawn `workers` worker threads with an explicit [`ShardPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_shard_policy(
+        state: Arc<ServiceState>,
+        workers: usize,
+        policy: ShardPolicy,
+    ) -> Self {
         assert!(workers > 0, "a pool needs at least one worker");
-        let (queue, rx) = channel::<LayerTask>();
+        let (queue, rx) = channel::<Task>();
         let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(PoolShared {
+            workers,
+            policy,
+            helper: Mutex::new(Some(queue.clone())),
+        });
         let handles = (0..workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&rx))
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
             })
             .collect();
         DsePool {
             state,
             workers,
             queue: Some(queue),
+            shared,
             handles,
         }
+    }
+
+    /// The sharding policy in force.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.shared.policy
     }
 
     /// The shared state this pool executes against.
@@ -108,7 +361,7 @@ impl DsePool {
                 .queue
                 .as_ref()
                 .expect("queue lives as long as the pool");
-            if let Err(send_error) = queue.send(task) {
+            if let Err(send_error) = queue.send(Task::Layer(task)) {
                 let _ = reply.send((
                     index,
                     Err(DseError::new(
@@ -138,7 +391,12 @@ impl DsePool {
 
 impl Drop for DsePool {
     fn drop(&mut self) {
-        // Closing the queue ends every worker's recv loop.
+        // Sever the workers' helper handle first — otherwise their
+        // clones would keep the channel open forever — then close our
+        // own sender so every worker's recv loop ends once the queue
+        // drains. A leader mid-shard holds a transient clone; it
+        // finishes its layer, drops the clone, and exits normally.
+        lock_recovered(&self.shared.helper).take();
         self.queue.take();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -146,22 +404,33 @@ impl Drop for DsePool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<LayerTask>>) {
+fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
     loop {
         // Hold the lock only while waiting for the next task; execution
         // happens with the queue free for other workers.
-        let task = match crate::sync::lock_recovered(rx).recv() {
+        let task = match lock_recovered(rx).recv() {
             Ok(task) => task,
             Err(_) => return, // pool dropped, queue closed
+        };
+        let task = match task {
+            Task::Layer(task) => task,
+            Task::Help(shard) => {
+                // Chunk panics are converted inside `work`, and a stale
+                // token finds the shard drained and returns at once.
+                shard.work();
+                continue;
+            }
         };
         // Catch panics so the reply is *always* sent: a worker that
         // unwound without replying would leave `PendingJob::wait`
         // blocked forever on a layer that no one is computing.
-        // (`explore_layer_cached` already converts panics inside the
-        // exploration itself; this guards everything else.)
+        // (`explore_layer_cached_with` already converts panics inside
+        // the exploration itself; this guards everything else.)
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             task.state
-                .explore_layer_cached(&task.engine, &task.tag, &task.layer)
+                .explore_layer_cached_with(&task.engine, &task.tag, &task.layer, || {
+                    explore_maybe_sharded(&task.engine, &task.layer, shared)
+                })
         }))
         .unwrap_or_else(|payload| {
             Err(DseError::new(format!(
@@ -299,5 +568,92 @@ mod tests {
     fn zero_workers_is_rejected() {
         let state = ServiceState::new().unwrap();
         let _ = DsePool::new(state, 0);
+    }
+
+    /// Shard every layer, however small, into 2-per-worker chunks.
+    fn always_shard() -> ShardPolicy {
+        ShardPolicy {
+            min_tilings: 2,
+            chunks_per_worker: 2,
+        }
+    }
+
+    #[test]
+    fn forced_sharding_is_bit_identical_to_sequential() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::with_shard_policy(Arc::clone(&state), 4, always_shard());
+        let spec = JobSpec::network(11, EngineSpec::default(), Network::tiny());
+        let sharded = pool.submit(&spec).wait().unwrap();
+
+        let fresh = ServiceState::new().unwrap();
+        let sequential = fresh.run_job(&spec).unwrap();
+        assert_eq!(sharded.layers.len(), sequential.layers.len());
+        assert_eq!(
+            sharded.total.energy.to_bits(),
+            sequential.total.energy.to_bits()
+        );
+        assert_eq!(
+            sharded.total.cycles.to_bits(),
+            sequential.total.cycles.to_bits()
+        );
+        for (p, s) in sharded.layers.iter().zip(&sequential.layers) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.mapping, s.mapping);
+            assert_eq!(p.scheme, s.scheme);
+            assert_eq!(p.tiling, s.tiling);
+            assert_eq!(p.evaluations, s.evaluations);
+            assert_eq!(p.estimate.energy.to_bits(), s.estimate.energy.to_bits());
+            assert_eq!(p.estimate.cycles.to_bits(), s.estimate.cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_single_layer_job_matches_direct_exploration() {
+        // One layer on an otherwise idle multi-worker pool: exactly the
+        // case intra-layer sharding exists for.
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::with_shard_policy(Arc::clone(&state), 4, always_shard());
+        let layer = drmap_cnn::layer::Layer::conv("BIG", 13, 13, 64, 32, 3, 3, 1);
+        let spec = JobSpec::layer(21, EngineSpec::default(), layer.clone());
+        let result = pool.submit(&spec).wait().unwrap();
+
+        let engine = state.factory().engine(&spec.engine);
+        assert!(
+            engine.tiling_count(&layer).unwrap() >= 2,
+            "the layer must actually shard"
+        );
+        let direct = engine.explore_layer(&layer).unwrap();
+        assert_eq!(result.layers.len(), 1);
+        assert_eq!(result.layers[0].evaluations as usize, direct.evaluations);
+        assert_eq!(result.layers[0].tiling, direct.best.tiling);
+        assert_eq!(
+            result.layers[0].estimate.energy.to_bits(),
+            direct.best.estimate.energy.to_bits()
+        );
+        assert_eq!(
+            result.layers[0].estimate.cycles.to_bits(),
+            direct.best.estimate.cycles.to_bits()
+        );
+    }
+
+    #[test]
+    fn sharding_failures_propagate_and_single_worker_pools_never_shard() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::with_shard_policy(Arc::clone(&state), 4, always_shard());
+        let huge = drmap_cnn::layer::Layer::conv("HUGE", 1, 1, 1, 1, 4096, 4096, 1);
+        assert!(matches!(
+            pool.submit(&JobSpec::layer(5, EngineSpec::default(), huge))
+                .wait(),
+            Err(ServiceError::Dse(_))
+        ));
+
+        // A single-worker pool takes the sequential path (and still
+        // agrees, of course).
+        let solo_state = ServiceState::new().unwrap();
+        let solo = DsePool::with_shard_policy(Arc::clone(&solo_state), 1, always_shard());
+        let spec = JobSpec::network(6, EngineSpec::default(), Network::tiny());
+        let a = solo.submit(&spec).wait().unwrap();
+        let b = state.run_job(&spec).unwrap();
+        assert_eq!(a.total.energy.to_bits(), b.total.energy.to_bits());
     }
 }

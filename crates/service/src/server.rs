@@ -34,7 +34,8 @@
 //! ```text
 //! {"cmd": "ping"}      -> {"ok": true, "pong": true}
 //! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "coalesced": …,
-//!                          "evictions": …, "entries": …, "bytes": …, "hit_rate": …, "workers": …,
+//!                          "evictions": …, "cost_evictions": …, "entries": …, "bytes": …,
+//!                          "hit_rate": …, "workers": …,
 //!                          "store_hits": …, "store_misses": …, "store_errors": …,
 //!                          "compute_ns_min": …, "compute_ns_max": …, "compute_ns_total": …,
 //!                          "store": {…}?}}   ("store" present iff a persistent tier is attached)
@@ -442,6 +443,10 @@ fn control_response(pool: &DsePool, cmd: &str, id: Option<u64>) -> (Json, bool) 
                 ("misses".to_owned(), Json::num_u64(stats.misses)),
                 ("coalesced".to_owned(), Json::num_u64(stats.coalesced)),
                 ("evictions".to_owned(), Json::num_u64(stats.evictions)),
+                (
+                    "cost_evictions".to_owned(),
+                    Json::num_u64(stats.cost_evictions),
+                ),
                 ("entries".to_owned(), Json::num_usize(stats.entries)),
                 ("bytes".to_owned(), Json::num_usize(stats.bytes)),
                 ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
@@ -543,7 +548,14 @@ mod tests {
         let (stats, _) = handle_request(&pool, r#"{"cmd": "stats"}"#);
         let stats = stats.get("stats").unwrap();
         assert_eq!(stats.get("workers").unwrap().as_usize(), Some(2));
-        for counter in ["hits", "misses", "coalesced", "evictions", "bytes"] {
+        for counter in [
+            "hits",
+            "misses",
+            "coalesced",
+            "evictions",
+            "cost_evictions",
+            "bytes",
+        ] {
             assert!(stats.get(counter).is_some(), "stats missing {counter}");
         }
 
