@@ -218,6 +218,7 @@ fn emit_bench_json(smoke: bool) {
     let policy = ShardPolicy {
         min_tilings: 8,
         chunks_per_worker: 3,
+        chunk_tilings: None,
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let workers = cores.clamp(2, 4);

@@ -5,8 +5,10 @@
 //! drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] [--objective OBJ]
 //!             [--workers N] [--repeat R] [--compare]
 //!             [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost]
+//!             [--shard-min-tilings N] [--shard-chunk N]
 //!             [--store PATH]
 //!             [--connect HOST:PORT] [--binary]
+//!             [--connect HOST:PORT --admin CMD [CMD…]]
 //! ```
 //!
 //! `SPEC_FILE` holds one JSON job per line (the server's request
@@ -19,7 +21,9 @@
 //!
 //! By default jobs run on an in-process pool; `--cache-entries` /
 //! `--cache-bytes` bound its memo cache (`--cache-policy cost` evicts
-//! cheapest-to-recompute first instead of LRU), and `--store PATH`
+//! cheapest-to-recompute first instead of LRU),
+//! `--shard-min-tilings`/`--shard-chunk` tune its intra-layer sharding,
+//! and `--store PATH`
 //! backs it with a persistent result log — rerunning the same batch
 //! later serves every layer from disk without recomputation. With
 //! `--connect` the
@@ -27,18 +31,30 @@
 //! every job goes on the wire up front, responses return out of order
 //! as they complete, and `--binary` ships requests as length-prefixed
 //! binary frames (useful for large inline networks).
+//!
+//! `--admin` (with `--connect`) switches to **control-plane mode**: the
+//! remaining arguments are admin commands driven over the typed
+//! protocol, in order, failing on the first non-ok response:
+//!
+//! ```text
+//! drmap-batch --connect 127.0.0.1:7878 --admin hello set-policy=cost \
+//!     set-shard-policy=min_tilings:32,chunks_per_worker:4 \
+//!     cache-warm store-compact stats
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drmap_service::cache::CacheConfig;
-use drmap_service::cli::{parse_cache_policy, parse_positive as positive};
+use drmap_service::cli::{
+    apply_shard_flag, parse_admin_command, parse_cache_policy, parse_positive as positive, AdminCmd,
+};
 use drmap_service::client::Client;
 use drmap_service::engine::{default_workers, ServiceState};
 use drmap_service::error::ServiceError;
 use drmap_service::json::Json;
-use drmap_service::pool::DsePool;
+use drmap_service::pool::{DsePool, ShardPolicy};
 use drmap_service::prelude::Network;
 use drmap_service::spec::{EngineSpec, JobResult, JobSpec};
 
@@ -50,9 +66,11 @@ struct Args {
     repeat: usize,
     compare: bool,
     cache: CacheConfig,
+    shard: ShardPolicy,
     store: Option<String>,
     connect: Option<String>,
     binary: bool,
+    admin: Option<Vec<AdminCmd>>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,9 +82,11 @@ fn parse_args() -> Result<Args, String> {
         repeat: 1,
         compare: false,
         cache: CacheConfig::unbounded(),
+        shard: ShardPolicy::default(),
         store: None,
         connect: None,
         binary: false,
+        admin: None,
     };
     // Flags that only apply to the in-process pool; rejected with
     // --connect rather than silently ignored.
@@ -119,21 +139,41 @@ fn parse_args() -> Result<Args, String> {
                     parse_cache_policy("--cache-policy", &value("--cache-policy")?)?;
                 local_only.push("--cache-policy");
             }
+            f @ ("--shard-min-tilings" | "--shard-chunk") => {
+                apply_shard_flag(&mut args.shard, f, &value(f)?)?;
+                local_only.push(if f == "--shard-chunk" {
+                    "--shard-chunk"
+                } else {
+                    "--shard-min-tilings"
+                });
+            }
             "--store" => {
                 args.store = Some(value("--store")?);
                 local_only.push("--store");
             }
             "--connect" => args.connect = Some(value("--connect")?),
             "--binary" => args.binary = true,
+            // A repeated --admin is a no-op, not a reset: commands
+            // already collected must survive.
+            "--admin" => {
+                args.admin.get_or_insert_with(Vec::new);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
                      [--objective OBJ] [--workers N] [--repeat R] [--compare] \
                      [--cache-entries N] [--cache-bytes BYTES] \
-                     [--cache-policy lru|cost] [--store PATH] \
-                     [--connect HOST:PORT] [--binary]"
+                     [--cache-policy lru|cost] \
+                     [--shard-min-tilings N] [--shard-chunk N] [--store PATH] \
+                     [--connect HOST:PORT] [--binary] [--admin CMD [CMD...]]"
                 );
                 std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.admin.is_some() => {
+                args.admin
+                    .as_mut()
+                    .expect("checked is_some")
+                    .push(parse_admin_command(other)?);
             }
             other if !other.starts_with('-') && args.spec_file.is_none() => {
                 args.spec_file = Some(other.to_owned());
@@ -144,6 +184,24 @@ fn parse_args() -> Result<Args, String> {
     if args.binary && args.connect.is_none() {
         return Err("--binary only applies with --connect".to_owned());
     }
+    if let Some(commands) = &args.admin {
+        if args.connect.is_none() {
+            return Err("--admin drives a live server; it needs --connect".to_owned());
+        }
+        if commands.is_empty() {
+            return Err("--admin needs at least one command (try --help)".to_owned());
+        }
+        // Batch-only arguments are rejected, not silently ignored —
+        // the same policy the --connect/local-flag check applies below.
+        if let Some(path) = &args.spec_file {
+            return Err(format!(
+                "a spec file ({path:?}) does not apply in --admin mode"
+            ));
+        }
+        if args.repeat != 1 {
+            return Err("--repeat does not apply in --admin mode".to_owned());
+        }
+    }
     if args.connect.is_some() && !local_only.is_empty() {
         return Err(format!(
             "{} appl{} only to the in-process pool; with --connect the server's \
@@ -153,6 +211,118 @@ fn parse_args() -> Result<Args, String> {
         ));
     }
     Ok(args)
+}
+
+/// Drive a sequence of admin commands over the typed protocol, printing
+/// each response; the first non-ok response aborts with its error.
+fn run_admin(addr: &str, binary: bool, commands: &[AdminCmd]) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    client.set_binary(binary);
+    for command in commands {
+        match command {
+            AdminCmd::Hello => {
+                let info = client.hello().map_err(|e| format!("hello: {e}"))?;
+                println!(
+                    "hello: {} speaks protocol v{} (capabilities: {})",
+                    info.server,
+                    info.version,
+                    info.capabilities.join(", "),
+                );
+            }
+            AdminCmd::Ping => {
+                client.ping().map_err(|e| format!("ping: {e}"))?;
+                println!("ping: pong");
+            }
+            AdminCmd::Stats => {
+                let report = client.stats_report().map_err(|e| format!("stats: {e}"))?;
+                let bound = |b: Option<usize>| match b {
+                    Some(n) => n.to_string(),
+                    None => "unbounded".to_owned(),
+                };
+                println!(
+                    "stats: {} hits / {} misses / {} coalesced ({} bypassed, {} refreshed), \
+                     {} entries, {} bytes, {} evictions ({} cost-chosen), {} workers",
+                    report.cache.hits,
+                    report.cache.misses,
+                    report.cache.coalesced,
+                    report.cache.bypasses,
+                    report.cache.refreshes,
+                    report.cache.entries,
+                    report.cache.bytes,
+                    report.cache.evictions,
+                    report.cache.cost_evictions,
+                    report.workers,
+                );
+                println!(
+                    "config: policy {}, cache bounds {} entries / {} bytes, \
+                     shard min {} tilings, chunk {}",
+                    report.policy.label(),
+                    bound(report.max_entries),
+                    bound(report.max_bytes),
+                    report.shard.min_tilings,
+                    match report.shard.chunk_tilings {
+                        Some(n) => n.to_string(),
+                        None => format!("auto ({}x/worker)", report.shard.chunks_per_worker),
+                    },
+                );
+                if let Some(store) = report.store {
+                    println!(
+                        "store: {} live entries in {} bytes ({} dead records)",
+                        store.live_entries, store.file_bytes, store.dead_records,
+                    );
+                }
+            }
+            AdminCmd::SetPolicy(policy) => {
+                let previous = client
+                    .set_policy(*policy)
+                    .map_err(|e| format!("set-policy: {e}"))?;
+                println!("set-policy: {} (was {})", policy.label(), previous.label());
+            }
+            AdminCmd::SetShardPolicy(update) => {
+                let policy = client
+                    .set_shard_policy(*update)
+                    .map_err(|e| format!("set-shard-policy: {e}"))?;
+                println!(
+                    "set-shard-policy: min_tilings {}, chunks_per_worker {}, chunk_tilings {}",
+                    policy.min_tilings,
+                    policy.chunks_per_worker,
+                    match policy.chunk_tilings {
+                        Some(n) => n.to_string(),
+                        None => "auto".to_owned(),
+                    },
+                );
+            }
+            AdminCmd::CacheClear => {
+                client
+                    .cache_clear()
+                    .map_err(|e| format!("cache-clear: {e}"))?;
+                println!("cache-clear: done");
+            }
+            AdminCmd::CacheWarm(limit) => {
+                let loaded = client
+                    .cache_warm(*limit)
+                    .map_err(|e| format!("cache-warm: {e}"))?;
+                println!("cache-warm: {loaded} entries promoted");
+            }
+            AdminCmd::StoreCompact => {
+                let report = client
+                    .compact_store()
+                    .map_err(|e| format!("store-compact: {e}"))?;
+                println!(
+                    "store-compact: {} -> {} bytes ({} records dropped, {} live)",
+                    report.bytes_before,
+                    report.bytes_after,
+                    report.dropped_records,
+                    report.live_records,
+                );
+            }
+            AdminCmd::Shutdown => {
+                client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+                println!("shutdown: acknowledged");
+            }
+        }
+    }
+    Ok(())
 }
 
 fn load_specs(args: &Args) -> Result<Vec<JobSpec>, String> {
@@ -205,11 +375,12 @@ fn batch_of(specs: &[JobSpec], repeat: usize) -> Vec<JobSpec> {
 fn run_timed(
     workers: usize,
     cache: CacheConfig,
+    shard: ShardPolicy,
     store: Option<Arc<drmap_store::store::Store>>,
     batch: &[JobSpec],
 ) -> Result<(Vec<JobResult>, Duration, Arc<ServiceState>), ServiceError> {
     let state = ServiceState::with_cache_and_store(cache, store)?;
-    let pool = DsePool::new(Arc::clone(&state), workers);
+    let pool = DsePool::with_shard_policy(Arc::clone(&state), workers, shard);
     let start = Instant::now();
     let results = pool
         .run_batch(batch)
@@ -310,6 +481,13 @@ fn run_connected(args: &Args, batch: &[JobSpec]) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if let Some(commands) = &args.admin {
+        let addr = args
+            .connect
+            .as_deref()
+            .expect("parse_args checked --connect");
+        return run_admin(addr, args.binary, commands);
+    }
     let specs = load_specs(&args)?;
     let batch = batch_of(&specs, args.repeat);
     if args.connect.is_some() {
@@ -324,7 +502,8 @@ fn run() -> Result<(), String> {
         None => None,
     };
     let (results, elapsed, state) =
-        run_timed(args.workers, args.cache, store.clone(), &batch).map_err(|e| e.to_string())?;
+        run_timed(args.workers, args.cache, args.shard, store.clone(), &batch)
+            .map_err(|e| e.to_string())?;
     print_results(&results);
 
     let layers: usize = results.iter().map(|r| r.layers.len()).sum();
@@ -364,7 +543,7 @@ fn run() -> Result<(), String> {
         // The comparison run gets no store: it measures raw
         // single-worker exploration, not disk reads.
         let (_, sequential, _) =
-            run_timed(1, args.cache, None, &batch).map_err(|e| e.to_string())?;
+            run_timed(1, args.cache, args.shard, None, &batch).map_err(|e| e.to_string())?;
         let seq_secs = sequential.as_secs_f64().max(1e-9);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!(
@@ -384,7 +563,7 @@ fn run() -> Result<(), String> {
 
         // Cache effect, independent of core count: resubmit the whole
         // batch on the already-warm pool state.
-        let warm_pool = DsePool::new(Arc::clone(&state), args.workers);
+        let warm_pool = DsePool::with_shard_policy(Arc::clone(&state), args.workers, args.shard);
         let start = Instant::now();
         let warm: Result<Vec<_>, _> = warm_pool.run_batch(&batch).into_iter().collect();
         let warm = warm.map_err(|e| e.to_string())?;

@@ -3,16 +3,21 @@
 //! ```text
 //! drmap-serve [--addr HOST:PORT] [--workers N]
 //!             [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost]
+//!             [--shard-min-tilings N] [--shard-chunk N]
 //!             [--store PATH] [--warm N]
 //!             [--max-inflight N] [--max-inflight-global N]
 //! ```
 //!
-//! Speaks pipelined JSON over TCP (newline-delimited text or binary
-//! frames); see the `drmap_service` crate docs for the protocol. The
-//! cache flags bound the layer memo cache; without them the cache is
-//! unbounded. `--cache-policy cost` evicts the cheapest-to-recompute
-//! entry first (using each entry's recorded exploration duration)
-//! instead of the least recently used. `--store PATH` opens (or creates) a
+//! Speaks the typed, versioned protocol (plus the legacy shim) over
+//! pipelined TCP — newline-delimited text or binary frames; see
+//! `docs/PROTOCOL.md`. The cache flags bound the layer memo cache;
+//! without them the cache is unbounded. `--cache-policy cost` evicts
+//! the cheapest-to-recompute entry first (using each entry's recorded
+//! exploration duration) instead of the least recently used — and can
+//! be swapped at runtime with the `set-policy` admin verb.
+//! `--shard-min-tilings` sets the intra-layer sharding threshold and
+//! `--shard-chunk` pins an explicit chunk size (both retunable live via
+//! `set-shard-policy`). `--store PATH` opens (or creates) a
 //! persistent result log beneath the cache — results survive restarts,
 //! and on boot the most recent stored results warm the cache (`--warm`
 //! caps how many; default: up to the cache's entry bound, or all of
@@ -29,9 +34,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use drmap_service::cache::CacheConfig;
-use drmap_service::cli::{parse_cache_policy, parse_positive as positive};
+use drmap_service::cli::{apply_shard_flag, parse_cache_policy, parse_positive as positive};
 use drmap_service::engine::{default_workers, ServiceState};
-use drmap_service::pool::DsePool;
+use drmap_service::pool::{DsePool, ShardPolicy};
 use drmap_service::server::{JobServer, ServerConfig};
 use drmap_store::store::Store;
 
@@ -39,6 +44,7 @@ struct Args {
     addr: String,
     workers: usize,
     cache: CacheConfig,
+    shard: ShardPolicy,
     store: Option<String>,
     warm: Option<usize>,
     server: ServerConfig,
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_owned(),
         workers: default_workers(),
         cache: CacheConfig::unbounded(),
+        shard: ShardPolicy::default(),
         store: None,
         warm: None,
         server: ServerConfig::default(),
@@ -59,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--workers" => args.workers = positive("--workers", &value("--workers")?)?,
+            f @ ("--shard-min-tilings" | "--shard-chunk") => {
+                apply_shard_flag(&mut args.shard, f, &value(f)?)?;
+            }
             "--cache-entries" => {
                 args.cache.max_entries =
                     Some(positive("--cache-entries", &value("--cache-entries")?)?);
@@ -85,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
                      [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost] \
+                     [--shard-min-tilings N] [--shard-chunk N] \
                      [--store PATH] [--warm N] \
                      [--max-inflight N] [--max-inflight-global N]"
                 );
@@ -124,7 +135,7 @@ fn main() -> ExitCode {
                 println!("drmap-serve: warm-started {warmed} cached results from the store");
             }
         }
-        let pool = Arc::new(DsePool::new(state, args.workers));
+        let pool = Arc::new(DsePool::with_shard_policy(state, args.workers, args.shard));
         JobServer::with_config(&args.addr, pool, args.server)
     });
     let server = match server {
@@ -142,12 +153,18 @@ fn main() -> ExitCode {
             };
             println!(
                 "drmap-serve: listening on {addr} with {} workers \
-                 (cache: {} entries, {} bytes, {} eviction; store: {}; \
+                 (cache: {} entries, {} bytes, {} eviction; \
+                 shard: min {} tilings, chunk {}; store: {}; \
                  in-flight: {}/conn, {} global)",
                 args.workers,
                 bound(args.cache.max_entries),
                 bound(args.cache.max_bytes),
                 args.cache.policy.label(),
+                args.shard.min_tilings,
+                match args.shard.chunk_tilings {
+                    Some(n) => n.to_string(),
+                    None => format!("auto ({}x/worker)", args.shard.chunks_per_worker),
+                },
                 args.store.as_deref().unwrap_or("none"),
                 args.server.max_inflight,
                 bound(args.server.max_inflight_global),

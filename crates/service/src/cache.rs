@@ -52,6 +52,7 @@ use drmap_core::error::DseError;
 use drmap_store::store::Store;
 
 use crate::error::panic_message;
+use crate::spec::CacheMode;
 use crate::sync::lock_recovered;
 
 /// Which resident entry a full cache sacrifices.
@@ -88,6 +89,11 @@ impl EvictionPolicy {
 }
 
 /// Capacity bounds for a [`DseCache`]. `None` means unbounded.
+///
+/// `policy` is only the *initial* eviction policy: a live cache can be
+/// retuned at runtime via [`DseCache::set_policy`] (the `set-policy`
+/// admin verb); [`DseCache::policy`] reports the one currently in
+/// force.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Maximum number of resident entries.
@@ -147,6 +153,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lookups answered by waiting on an in-flight computation.
     pub coalesced: u64,
+    /// Lookups that skipped the cache entirely ([`CacheMode::Bypass`]):
+    /// computed fresh, stored nothing, counted in no other bucket.
+    pub bypasses: u64,
+    /// Lookups that skipped the read path but kept the write path
+    /// ([`CacheMode::Refresh`]): computed fresh and replaced the cached
+    /// entry. A subset of `misses`.
+    pub refreshes: u64,
     /// Entries evicted to satisfy the capacity bounds.
     pub evictions: u64,
     /// Evictions whose victim was chosen by the cost-aware policy
@@ -241,9 +254,15 @@ struct Inner {
     bytes: usize,
     /// key → in-flight computation for single-flight coalescing.
     inflight: HashMap<String, Arc<Flight>>,
+    /// The eviction policy currently in force (initialized from
+    /// [`CacheConfig::policy`], swappable at runtime via
+    /// [`DseCache::set_policy`]).
+    policy: EvictionPolicy,
     hits: u64,
     misses: u64,
     coalesced: u64,
+    bypasses: u64,
+    refreshes: u64,
     evictions: u64,
     cost_evictions: u64,
     store_hits: u64,
@@ -255,11 +274,12 @@ struct Inner {
 }
 
 impl Inner {
-    fn new() -> Self {
+    fn new(policy: EvictionPolicy) -> Self {
         Inner {
             head: NIL,
             tail: NIL,
             free: NIL,
+            policy,
             ..Inner::default()
         }
     }
@@ -428,7 +448,10 @@ impl Inner {
 
     fn enforce_bounds(&mut self, config: &CacheConfig) {
         while self.over_bounds(config) && self.tail != NIL {
-            let victim = match config.policy {
+            // The *live* policy, not the construction-time one: an
+            // operator's `set-policy` takes effect on the very next
+            // eviction.
+            let victim = match self.policy {
                 EvictionPolicy::Lru => self.tail,
                 EvictionPolicy::Cost => {
                     self.cost_evictions += 1;
@@ -460,7 +483,7 @@ impl DseCache {
     /// An empty cache with the given capacity bounds.
     pub fn with_config(config: CacheConfig) -> Self {
         DseCache {
-            inner: Mutex::new(Inner::new()),
+            inner: Mutex::new(Inner::new(config.policy)),
             config,
             store: None,
         }
@@ -473,15 +496,29 @@ impl DseCache {
     /// results.
     pub fn with_store(config: CacheConfig, store: Arc<Store>) -> Self {
         DseCache {
-            inner: Mutex::new(Inner::new()),
+            inner: Mutex::new(Inner::new(config.policy)),
             config,
             store: Some(store),
         }
     }
 
-    /// The configured capacity bounds.
+    /// The configured capacity bounds (and *initial* policy — see
+    /// [`DseCache::policy`] for the live one).
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The eviction policy currently in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        lock_recovered(&self.inner).policy
+    }
+
+    /// Swap the eviction policy on the live cache, effective on the
+    /// next eviction — no restart, no flush; resident entries and every
+    /// counter survive. Returns the policy that was previously in
+    /// force. This is the `set-policy` admin verb's backing operation.
+    pub fn set_policy(&self, policy: EvictionPolicy) -> EvictionPolicy {
+        std::mem::replace(&mut lock_recovered(&self.inner).policy, policy)
     }
 
     /// The persistent store tier, if one is attached.
@@ -517,6 +554,16 @@ impl DseCache {
         lock_recovered(&self.inner).insert(key, result, 0, &self.config);
     }
 
+    /// Block (without the cache lock) until a flight's leader publishes
+    /// a result or an error, and return a copy of it.
+    fn await_flight(flight: &Flight) -> Result<LayerDseResult, DseError> {
+        let mut done = lock_recovered(&flight.done);
+        while done.is_none() {
+            done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        done.clone().expect("loop exits only when done is set")
+    }
+
     /// Look up `key`; on a miss, compute it exactly once across all
     /// concurrent callers. The first caller to miss (the leader) first
     /// consults the persistent store tier (when attached): a store hit
@@ -548,38 +595,98 @@ impl DseCache {
     where
         F: FnOnce() -> Result<LayerDseResult, DseError>,
     {
-        let (flight, is_leader) = {
-            let mut inner = lock_recovered(&self.inner);
-            if let Some(index) = inner.map.get(key).copied() {
-                inner.hits += 1;
-                inner.touch(index);
-                return Ok((inner.entry(index).value.clone(), CacheOutcome::Hit));
-            }
-            if let Some(flight) = inner.inflight.get(key).map(Arc::clone) {
-                inner.coalesced += 1;
-                (flight, false)
-            } else {
-                inner.misses += 1;
-                let flight = Arc::new(Flight {
-                    done: Mutex::new(None),
-                    cv: Condvar::new(),
-                });
-                inner.inflight.insert(key.to_owned(), Arc::clone(&flight));
-                (flight, true)
+        self.get_or_compute_with(key, CacheMode::Default, compute)
+    }
+
+    /// [`DseCache::get_or_compute`] with an explicit [`CacheMode`] —
+    /// the per-job cache-option hook:
+    ///
+    /// * [`CacheMode::Default`] — the documented lookup above.
+    /// * [`CacheMode::Bypass`] — run `compute` directly: no resident or
+    ///   store lookup, no insertion, no write-through, no single-flight
+    ///   registration (a bypassing caller must not block Default
+    ///   callers, nor serve them a result the cache never saw). Counted
+    ///   only in [`CacheStats::bypasses`].
+    /// * [`CacheMode::Refresh`] — skip the read path (resident entry
+    ///   and store tier are ignored) but keep the write path: the fresh
+    ///   result replaces the resident entry and is written through.
+    ///   A refresh **always performs its own computation**: if another
+    ///   computation of the same key is already in flight, the refresh
+    ///   waits for it to finish and then recomputes anyway (the
+    ///   in-flight one may be serving the very stale result the refresh
+    ///   exists to replace). Until the refresh lands, Default lookups
+    ///   that still find the old resident entry are served it — refresh
+    ///   replaces, it does not invalidate-in-advance; Default lookups
+    ///   that *miss* the resident tier coalesce onto the refreshed
+    ///   computation. Counted in [`CacheStats::refreshes`] (and
+    ///   `misses`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` failures (to the leader and every waiter
+    /// coalesced onto it).
+    pub fn get_or_compute_with<F>(
+        &self,
+        key: &str,
+        mode: CacheMode,
+        compute: F,
+    ) -> Result<(LayerDseResult, CacheOutcome), DseError>
+    where
+        F: FnOnce() -> Result<LayerDseResult, DseError>,
+    {
+        if mode == CacheMode::Bypass {
+            lock_recovered(&self.inner).bypasses += 1;
+            let result = match std::panic::catch_unwind(AssertUnwindSafe(compute)) {
+                Ok(result) => result,
+                Err(payload) => Err(DseError::new(format!(
+                    "layer exploration panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            };
+            return result.map(|value| (value, CacheOutcome::Miss));
+        }
+        let (flight, is_leader) = loop {
+            let existing = {
+                let mut inner = lock_recovered(&self.inner);
+                if mode == CacheMode::Default {
+                    if let Some(index) = inner.map.get(key).copied() {
+                        inner.hits += 1;
+                        inner.touch(index);
+                        return Ok((inner.entry(index).value.clone(), CacheOutcome::Hit));
+                    }
+                }
+                match inner.inflight.get(key).map(Arc::clone) {
+                    Some(flight) if mode != CacheMode::Refresh => {
+                        inner.coalesced += 1;
+                        break (flight, false);
+                    }
+                    Some(flight) => Some(flight),
+                    None => {
+                        inner.misses += 1;
+                        if mode == CacheMode::Refresh {
+                            inner.refreshes += 1;
+                        }
+                        let flight = Arc::new(Flight {
+                            done: Mutex::new(None),
+                            cv: Condvar::new(),
+                        });
+                        inner.inflight.insert(key.to_owned(), Arc::clone(&flight));
+                        break (flight, true);
+                    }
+                }
+            };
+            // Refresh found a computation already in flight. Coalescing
+            // onto it would silently serve whatever that leader produces
+            // — possibly the very stale store-served value this refresh
+            // exists to replace. Wait it out (result discarded, errors
+            // included) and retry for leadership of a fresh computation.
+            if let Some(flight) = existing {
+                let _ = Self::await_flight(&flight);
             }
         };
 
         if !is_leader {
-            // Waiter: block (without the cache lock) until the leader
-            // publishes a result or an error.
-            let mut done = lock_recovered(&flight.done);
-            while done.is_none() {
-                done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
-            }
-            return done
-                .clone()
-                .expect("loop exits only when done is set")
-                .map(|value| (value, CacheOutcome::Coalesced));
+            return Self::await_flight(&flight).map(|value| (value, CacheOutcome::Coalesced));
         }
 
         // Leader: consult the store tier, then compute if needed — all
@@ -588,7 +695,9 @@ impl DseCache {
         let mut outcome = CacheOutcome::Miss;
         let compute_ns;
         let computed = 'produce: {
-            if let Some(store) = &self.store {
+            // A refresh exists to *replace* what the tiers hold, so
+            // only a Default-mode leader may be served from the store.
+            if let (CacheMode::Default, Some(store)) = (mode, &self.store) {
                 match store.get(key) {
                     Ok(Some(bytes)) => match decode_stored_result(&bytes) {
                         Ok((value, stored_ns)) => {
@@ -654,6 +763,8 @@ impl DseCache {
             hits: inner.hits,
             misses: inner.misses,
             coalesced: inner.coalesced,
+            bypasses: inner.bypasses,
+            refreshes: inner.refreshes,
             evictions: inner.evictions,
             cost_evictions: inner.cost_evictions,
             entries: inner.map.len(),
@@ -728,6 +839,8 @@ impl DseCache {
         inner.hits = 0;
         inner.misses = 0;
         inner.coalesced = 0;
+        inner.bypasses = 0;
+        inner.refreshes = 0;
         inner.evictions = 0;
         inner.cost_evictions = 0;
         inner.store_hits = 0;
@@ -739,13 +852,28 @@ impl DseCache {
     }
 }
 
+/// Fixed per-entry overhead the byte accounting charges on top of the
+/// structures it can measure directly: the `HashMap`'s load-factor
+/// slack (hashbrown keeps at most 7/8 of its slots occupied, so every
+/// resident entry drags ~1/7 of a spare `(String, usize)` slot plus
+/// control bytes), and malloc rounding on the entry's three heap
+/// allocations (two key `String`s and the value's `Vec`s, each rounded
+/// up to an allocator size class — typically up to 16 bytes each).
+/// A single constant keeps the accounting O(1) and honest on average;
+/// see `byte_bound_is_never_exceeded` for the invariant it protects.
+const PER_ENTRY_OVERHEAD_BYTES: usize = 56;
+
 /// Approximate resident footprint of one entry: both copies of the key
-/// (map key + reverse-lookup copy in the entry), the fixed-size parts,
-/// and every heap allocation hanging off the value.
+/// (map key + reverse-lookup copy in the entry), the map slot that
+/// holds the key copy and slab index, the fixed-size parts, every heap
+/// allocation hanging off the value, and the fixed
+/// [`PER_ENTRY_OVERHEAD_BYTES`] for what the allocator and `HashMap`
+/// add beyond them.
 fn approx_entry_bytes(key: &str, value: &LayerDseResult) -> usize {
     let fixed = std::mem::size_of::<Entry>()
-        + std::mem::size_of::<usize>() // map slot for the index
-        + key.len() * 2;
+        + std::mem::size_of::<(String, usize)>() // the map's (key, index) slot
+        + key.len() * 2
+        + PER_ENTRY_OVERHEAD_BYTES;
     let pareto: usize = value
         .pareto
         .iter()
@@ -986,6 +1114,140 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.cost_evictions, 0);
+    }
+
+    #[test]
+    fn set_policy_takes_effect_on_the_next_eviction_without_a_restart() {
+        let cache = DseCache::with_config(CacheConfig::unbounded().with_max_entries(2));
+        assert_eq!(cache.policy(), EvictionPolicy::Lru);
+        compute_with_cost(&cache, "expensive-a", true);
+        compute_with_cost(&cache, "expensive-b", true);
+        compute_with_cost(&cache, "cheap-1", false);
+        // Under LRU the cheap entry (most recent) survives.
+        assert!(cache.get("cheap-1").is_some());
+        assert_eq!(cache.stats().cost_evictions, 0);
+
+        // Flip the live cache to cost-aware eviction: entries, counters
+        // and recency all survive the swap.
+        assert_eq!(cache.set_policy(EvictionPolicy::Cost), EvictionPolicy::Lru);
+        assert_eq!(cache.policy(), EvictionPolicy::Cost);
+        let before = cache.stats();
+        compute_with_cost(&cache, "cheap-2", false);
+        let after = cache.stats();
+        assert_eq!(after.cost_evictions, before.cost_evictions + 1);
+        assert!(
+            cache.get("expensive-b").is_some(),
+            "cost policy keeps the expensive entry an LRU would have dropped"
+        );
+
+        // And back again: evictions return to pure recency.
+        cache.set_policy(EvictionPolicy::Lru);
+        compute_with_cost(&cache, "cheap-3", false);
+        assert_eq!(cache.stats().cost_evictions, after.cost_evictions);
+    }
+
+    #[test]
+    fn bypass_mode_neither_reads_nor_writes_the_cache() {
+        let store = temp_store();
+        let cache = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        cache.get_or_compute("k", || Ok(result("cached"))).unwrap();
+        let baseline = cache.stats();
+
+        // Bypass computes fresh even though a resident entry exists…
+        let (value, outcome) = cache
+            .get_or_compute_with("k", CacheMode::Bypass, || Ok(result("fresh")))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(value.layer_name, "fresh");
+        // …leaves the resident entry and the store untouched…
+        assert_eq!(cache.get("k").unwrap().layer_name, "cached");
+        let (stored, _) = decode_stored_result(&store.get("k").unwrap().unwrap()).unwrap();
+        assert_eq!(stored.layer_name, "cached");
+        // …and is invisible to every counter except its own.
+        let stats = cache.stats();
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!(stats.misses, baseline.misses);
+        assert_eq!(stats.entries, baseline.entries);
+        // A bypass panic is converted, not propagated.
+        let err = cache
+            .get_or_compute_with("k", CacheMode::Bypass, || panic!("bug"))
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn refresh_mode_replaces_the_cached_and_persisted_entry() {
+        let store = temp_store();
+        let cache = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        cache.get_or_compute("k", || Ok(result("stale"))).unwrap();
+
+        let (value, outcome) = cache
+            .get_or_compute_with("k", CacheMode::Refresh, || Ok(result("fresh")))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "refresh recomputes");
+        assert_eq!(value.layer_name, "fresh");
+        // Both tiers now hold the refreshed value.
+        assert_eq!(cache.get("k").unwrap().layer_name, "fresh");
+        let (stored, _) = decode_stored_result(&store.get("k").unwrap().unwrap()).unwrap();
+        assert_eq!(stored.layer_name, "fresh");
+        let stats = cache.stats();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.entries, 1);
+        // A later Default lookup is a plain hit on the fresh value.
+        let (_, outcome) = cache
+            .get_or_compute("k", || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn refresh_never_coalesces_onto_an_inflight_computation() {
+        use std::sync::Barrier;
+        // A leader is mid-flight producing the value the operator wants
+        // replaced; the refresh must NOT ride along and return it — it
+        // waits the leader out and computes its own.
+        let cache = Arc::new(DseCache::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                cache.get_or_compute("k", move || {
+                    barrier.wait(); // the refresher is now on its way
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Ok(result("stale"))
+                })
+            })
+        };
+        barrier.wait();
+        let (value, outcome) = cache
+            .get_or_compute_with("k", CacheMode::Refresh, || Ok(result("fresh")))
+            .unwrap();
+        leader.join().unwrap().unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(value.layer_name, "fresh", "refresh computed its own value");
+        assert_eq!(cache.stats().refreshes, 1);
+        assert_eq!(
+            cache.get("k").unwrap().layer_name,
+            "fresh",
+            "the refreshed value replaced the in-flight leader's"
+        );
+    }
+
+    #[test]
+    fn byte_accounting_charges_keys_map_slot_and_overhead() {
+        let bytes = approx_entry_bytes("0123456789", &result("x"));
+        assert!(
+            bytes
+                >= std::mem::size_of::<Entry>()
+                    + std::mem::size_of::<(String, usize)>()
+                    + 20
+                    + PER_ENTRY_OVERHEAD_BYTES,
+            "{bytes} undercounts the fixed footprint"
+        );
+        // Longer keys cost more: both resident copies are charged.
+        let longer = approx_entry_bytes("0123456789abcdef", &result("x"));
+        assert_eq!(longer - bytes, 12);
     }
 
     #[test]

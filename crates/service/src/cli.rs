@@ -1,7 +1,10 @@
 //! Small argument-parsing helpers shared by the `drmap-serve` and
-//! `drmap-batch` binaries.
+//! `drmap-batch` binaries: flag values, shard-policy flags, and the
+//! `drmap-batch --admin` command language.
 
 use crate::cache::EvictionPolicy;
+use crate::pool::ShardPolicy;
+use crate::proto::ShardPolicyUpdate;
 
 /// Parse a `--cache-policy` value: `lru` or `cost`.
 ///
@@ -28,9 +31,188 @@ pub fn parse_positive(flag: &str, value: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("invalid {flag} value {value:?}"))
 }
 
+/// Apply one shard-policy flag (`--shard-min-tilings N` or
+/// `--shard-chunk N`) to a [`ShardPolicy`] — the same struct the
+/// `set-shard-policy` admin verb retunes at runtime, so boot flags and
+/// live updates cannot drift apart.
+///
+/// # Errors
+///
+/// Returns `"invalid <flag> value …"` for non-positive values, and
+/// `Err(None)`-style pass-through is not used: unknown flags are the
+/// caller's business (it returns `Ok(false)` for them).
+pub fn apply_shard_flag(policy: &mut ShardPolicy, flag: &str, value: &str) -> Result<bool, String> {
+    match flag {
+        "--shard-min-tilings" => {
+            policy.min_tilings = parse_positive(flag, value)?;
+            Ok(true)
+        }
+        "--shard-chunk" => {
+            policy.chunk_tilings = Some(parse_positive(flag, value)?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// One `drmap-batch --admin` command, parsed from its token form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminCmd {
+    /// `hello` — handshake; print version + capabilities.
+    Hello,
+    /// `ping` — liveness.
+    Ping,
+    /// `stats` — extended stats with the active configuration.
+    Stats,
+    /// `set-policy=lru|cost` — swap the eviction policy.
+    SetPolicy(EvictionPolicy),
+    /// `set-shard-policy=key:value[,key:value…]` — retune sharding
+    /// (keys: `min_tilings`, `chunks_per_worker`, `chunk_tilings`;
+    /// `chunk_tilings:0` clears the explicit chunk size).
+    SetShardPolicy(ShardPolicyUpdate),
+    /// `cache-clear` — drop the resident cache tier.
+    CacheClear,
+    /// `cache-warm[=N]` — promote stored results into the cache.
+    CacheWarm(Option<usize>),
+    /// `store-compact` — rewrite the store log.
+    StoreCompact,
+    /// `shutdown` — stop the server accepting connections.
+    Shutdown,
+}
+
+/// Parse one `--admin` command token (see [`AdminCmd`] for the
+/// language).
+///
+/// # Errors
+///
+/// Returns a usage message for unknown commands or malformed values.
+pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
+    let (name, value) = match token.split_once('=') {
+        Some((name, value)) => (name, Some(value)),
+        None => (token, None),
+    };
+    let no_value = |cmd: AdminCmd| match value {
+        None => Ok(cmd),
+        Some(_) => Err(format!("admin command {name:?} takes no value")),
+    };
+    match name {
+        "hello" => no_value(AdminCmd::Hello),
+        "ping" => no_value(AdminCmd::Ping),
+        "stats" => no_value(AdminCmd::Stats),
+        "cache-clear" => no_value(AdminCmd::CacheClear),
+        "store-compact" => no_value(AdminCmd::StoreCompact),
+        "shutdown" => no_value(AdminCmd::Shutdown),
+        "cache-warm" => match value {
+            None => Ok(AdminCmd::CacheWarm(None)),
+            Some(v) => Ok(AdminCmd::CacheWarm(Some(parse_positive("cache-warm", v)?))),
+        },
+        "set-policy" => {
+            let value = value.ok_or("set-policy needs a value (set-policy=lru|cost)")?;
+            Ok(AdminCmd::SetPolicy(parse_cache_policy(
+                "set-policy",
+                value,
+            )?))
+        }
+        "set-shard-policy" => {
+            let value = value.ok_or(
+                "set-shard-policy needs a value, e.g. \
+                 set-shard-policy=min_tilings:64,chunks_per_worker:3",
+            )?;
+            let mut update = ShardPolicyUpdate::default();
+            for pair in value.split(',') {
+                let (key, n) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("set-shard-policy field {pair:?} is not key:value"))?;
+                match key {
+                    "min_tilings" => update.min_tilings = Some(parse_positive(key, n)?),
+                    "chunks_per_worker" => {
+                        update.chunks_per_worker = Some(parse_positive(key, n)?);
+                    }
+                    // 0 is meaningful here: it clears the explicit
+                    // chunk-size override.
+                    "chunk_tilings" => {
+                        update.chunk_tilings = Some(n.parse().map_err(|_| {
+                            format!("invalid chunk_tilings value {n:?} (integer, 0 clears)")
+                        })?);
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown set-shard-policy field {other:?} (expected min_tilings, \
+                             chunks_per_worker, or chunk_tilings)"
+                        ))
+                    }
+                }
+            }
+            if update == ShardPolicyUpdate::default() {
+                return Err("set-shard-policy changed nothing".to_owned());
+            }
+            Ok(AdminCmd::SetShardPolicy(update))
+        }
+        other => Err(format!(
+            "unknown admin command {other:?} (expected hello, ping, stats, set-policy, \
+             set-shard-policy, cache-clear, cache-warm, store-compact, or shutdown)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_flags_update_the_same_struct_the_admin_verb_uses() {
+        let mut policy = ShardPolicy::default();
+        assert_eq!(
+            apply_shard_flag(&mut policy, "--shard-min-tilings", "128"),
+            Ok(true)
+        );
+        assert_eq!(
+            apply_shard_flag(&mut policy, "--shard-chunk", "16"),
+            Ok(true)
+        );
+        assert_eq!(policy.min_tilings, 128);
+        assert_eq!(policy.chunk_tilings, Some(16));
+        assert_eq!(apply_shard_flag(&mut policy, "--workers", "4"), Ok(false));
+        assert!(apply_shard_flag(&mut policy, "--shard-chunk", "0").is_err());
+    }
+
+    #[test]
+    fn admin_commands_parse_and_reject_garbage() {
+        assert_eq!(parse_admin_command("hello"), Ok(AdminCmd::Hello));
+        assert_eq!(
+            parse_admin_command("cache-warm"),
+            Ok(AdminCmd::CacheWarm(None))
+        );
+        assert_eq!(
+            parse_admin_command("cache-warm=50"),
+            Ok(AdminCmd::CacheWarm(Some(50)))
+        );
+        assert_eq!(
+            parse_admin_command("set-policy=cost"),
+            Ok(AdminCmd::SetPolicy(EvictionPolicy::Cost))
+        );
+        assert_eq!(
+            parse_admin_command("set-shard-policy=min_tilings:32,chunk_tilings:0"),
+            Ok(AdminCmd::SetShardPolicy(ShardPolicyUpdate {
+                min_tilings: Some(32),
+                chunks_per_worker: None,
+                chunk_tilings: Some(0),
+            }))
+        );
+        for bad in [
+            "reboot",
+            "set-policy",
+            "set-policy=mru",
+            "set-shard-policy=min_tilings",
+            "set-shard-policy=min_tilings:0",
+            "set-shard-policy=chunk:4",
+            "set-shard-policy=",
+            "ping=1",
+            "cache-warm=zero",
+        ] {
+            assert!(parse_admin_command(bad).is_err(), "accepted {bad:?}");
+        }
+    }
 
     #[test]
     fn cache_policy_parses_both_labels() {

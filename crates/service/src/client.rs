@@ -1,6 +1,6 @@
-//! A blocking client for the pipelined JSON-over-TCP protocol.
+//! A blocking client for the pipelined TCP protocol.
 //!
-//! Two usage styles:
+//! Three usage styles:
 //!
 //! * **One at a time** — [`Client::submit`], [`Client::ping`],
 //!   [`Client::stats`]: send a request, block for its response.
@@ -11,6 +11,12 @@
 //!   window concurrently on its worker pool, so a pipelined batch
 //!   finishes in roughly the time of its slowest job rather than the
 //!   sum of all of them.
+//! * **Typed / admin** — the versioned protocol of [`crate::proto`]:
+//!   [`Client::hello`] opens the handshake, [`Client::submit_with`]
+//!   attaches per-job options, and [`Client::set_policy`],
+//!   [`Client::set_shard_policy`], [`Client::cache_clear`],
+//!   [`Client::cache_warm`], [`Client::compact_store`], and
+//!   [`Client::stats_report`] drive a live server's control plane.
 //!
 //! [`Client::set_binary`] switches outgoing requests to the
 //! length-prefixed binary frame encoding (see [`crate::wire`]), which
@@ -21,10 +27,32 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use drmap_store::store::CompactReport;
+
 use crate::error::ServiceError;
 use crate::json::Json;
-use crate::spec::{JobResult, JobSpec};
-use crate::wire;
+use crate::pool::ShardPolicy;
+use crate::proto::{Request, Response, ShardPolicyUpdate, StatsReport, PROTOCOL_VERSION};
+use crate::spec::{JobOptions, JobResult, JobSpec};
+use crate::wire::{self, Encoding};
+
+/// What a server said hello back with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloInfo {
+    /// Protocol version the server speaks.
+    pub version: u64,
+    /// Server identification string.
+    pub server: String,
+    /// Capability labels (see [`crate::proto::capabilities`]).
+    pub capabilities: Vec<String>,
+}
+
+impl HelloInfo {
+    /// Whether the server advertised a capability.
+    pub fn has(&self, capability: &str) -> bool {
+        self.capabilities.iter().any(|c| c == capability)
+    }
+}
 
 /// Cache/pool statistics as reported by a server's `stats` command.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +89,7 @@ pub struct ServerStats {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
-    binary: bool,
+    encoding: Encoding,
 }
 
 impl Client {
@@ -75,7 +103,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
-            binary: false,
+            encoding: Encoding::Text,
         })
     }
 
@@ -84,7 +112,11 @@ impl Client {
     /// Incoming responses self-describe and are always accepted in
     /// either encoding.
     pub fn set_binary(&mut self, binary: bool) {
-        self.binary = binary;
+        self.encoding = if binary {
+            Encoding::Binary
+        } else {
+            Encoding::Text
+        };
     }
 
     /// Write one request to the wire (in the current encoding) without
@@ -94,7 +126,7 @@ impl Client {
     ///
     /// Propagates I/O failures.
     pub fn send(&mut self, payload: &Json) -> Result<(), ServiceError> {
-        wire::write_message(&mut self.writer, &payload.render(), self.binary)
+        wire::write_message(&mut self.writer, &payload.render(), self.encoding)
     }
 
     /// Read the next response from the wire, whichever request it
@@ -142,13 +174,167 @@ impl Client {
         JobResult::from_json(result)
     }
 
-    /// Submit a job and wait for its result.
+    /// Submit a job and wait for its result. Sends the *legacy* bare
+    /// job form (no `"type"`), exercising the compatibility shim on
+    /// every call; [`Client::submit_with`] speaks the typed protocol.
     ///
     /// # Errors
     ///
     /// Surfaces server-side job failures as protocol errors.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobResult, ServiceError> {
         Self::job_result(self.request(&spec.to_json())?)
+    }
+
+    // -----------------------------------------------------------------
+    // Typed protocol
+    // -----------------------------------------------------------------
+
+    /// Send one typed request and decode its typed response, surfacing
+    /// a server-side error response as `Err`.
+    fn typed_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        wire::write_request(&mut self.writer, request, self.encoding)?;
+        match wire::read_response(&mut self.reader)? {
+            Some((Response::Error { message, .. }, _)) => Err(ServiceError::protocol(message)),
+            Some((response, _)) => Ok(response),
+            None => Err(ServiceError::protocol("server closed the connection")),
+        }
+    }
+
+    fn unexpected(verb: &str, response: &Response) -> ServiceError {
+        ServiceError::protocol(format!("{verb} got an unexpected response: {response:?}"))
+    }
+
+    /// Open the versioned-protocol handshake: advertise
+    /// [`PROTOCOL_VERSION`] and this crate's identity, and return the
+    /// server's version and capability list.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server rejects the version (the connection remains
+    /// usable) or answers malformed.
+    pub fn hello(&mut self) -> Result<HelloInfo, ServiceError> {
+        let request = Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: Some(concat!("drmap-service/", env!("CARGO_PKG_VERSION")).to_owned()),
+        };
+        match self.typed_request(&request)? {
+            Response::Hello {
+                version,
+                server,
+                capabilities,
+            } => Ok(HelloInfo {
+                version,
+                server,
+                capabilities,
+            }),
+            other => Err(Self::unexpected("hello", &other)),
+        }
+    }
+
+    /// Submit a job with explicit per-job options (cache mode,
+    /// Pareto-point retention, shard-chunk hint) over the typed
+    /// protocol, and wait for its result.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces server-side job failures as protocol errors.
+    pub fn submit_with(
+        &mut self,
+        spec: &JobSpec,
+        options: JobOptions,
+    ) -> Result<JobResult, ServiceError> {
+        let spec = spec.clone().with_options(options);
+        match self.typed_request(&Request::Submit(spec))? {
+            Response::Job { result } => Ok(result),
+            other => Err(Self::unexpected("submit", &other)),
+        }
+    }
+
+    /// Swap the live server's cache eviction policy. Returns the policy
+    /// that was previously in force.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses or server-side errors.
+    pub fn set_policy(
+        &mut self,
+        policy: crate::cache::EvictionPolicy,
+    ) -> Result<crate::cache::EvictionPolicy, ServiceError> {
+        match self.typed_request(&Request::SetPolicy { id: None, policy })? {
+            Response::PolicySet { previous, .. } => Ok(previous),
+            other => Err(Self::unexpected("set-policy", &other)),
+        }
+    }
+
+    /// Retune the running pool's shard policy (absent fields keep their
+    /// current values). Returns the full policy now in force.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses or server-side errors.
+    pub fn set_shard_policy(
+        &mut self,
+        update: ShardPolicyUpdate,
+    ) -> Result<ShardPolicy, ServiceError> {
+        match self.typed_request(&Request::SetShardPolicy { id: None, update })? {
+            Response::ShardPolicySet { policy, .. } => Ok(policy),
+            other => Err(Self::unexpected("set-shard-policy", &other)),
+        }
+    }
+
+    /// Drop every resident cache entry on the server (the persistent
+    /// store tier is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses or server-side errors.
+    pub fn cache_clear(&mut self) -> Result<(), ServiceError> {
+        match self.typed_request(&Request::CacheClear { id: None })? {
+            Response::CacheCleared { .. } => Ok(()),
+            other => Err(Self::unexpected("cache-clear", &other)),
+        }
+    }
+
+    /// Promote up to `limit` stored results into the server's resident
+    /// cache tier; returns how many were loaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server has no store attached, or on malformed
+    /// responses.
+    pub fn cache_warm(&mut self, limit: Option<usize>) -> Result<usize, ServiceError> {
+        match self.typed_request(&Request::CacheWarm { id: None, limit })? {
+            Response::CacheWarmed { loaded, .. } => Ok(loaded),
+            other => Err(Self::unexpected("cache-warm", &other)),
+        }
+    }
+
+    /// Compact the server's persistent result store, returning what the
+    /// rewrite accomplished.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server has no store attached, or on malformed
+    /// responses.
+    pub fn compact_store(&mut self) -> Result<CompactReport, ServiceError> {
+        match self.typed_request(&Request::StoreCompact { id: None })? {
+            Response::StoreCompacted { report, .. } => Ok(report),
+            other => Err(Self::unexpected("store-compact", &other)),
+        }
+    }
+
+    /// Fetch the typed stats report: every counter plus the **active
+    /// configuration** (live eviction policy, cache bounds, shard
+    /// policy). The legacy [`Client::stats`] carries counters only.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses.
+    pub fn stats_report(&mut self) -> Result<StatsReport, ServiceError> {
+        match self.typed_request(&Request::Stats { id: None })? {
+            Response::Stats { report, .. } => Ok(report),
+            other => Err(Self::unexpected("stats", &other)),
+        }
     }
 
     /// How many jobs this client keeps on the wire at once in

@@ -22,7 +22,7 @@ use drmap_dram::timing::DramArch;
 
 use crate::cache::{CacheConfig, CacheOutcome, DseCache};
 use crate::error::ServiceError;
-use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome};
+use crate::spec::{CacheMode, EngineSpec, JobResult, JobSpec, LayerOutcome};
 
 /// Builds [`DseEngine`]s on demand, memoizing the profiled cost tables.
 #[derive(Debug)]
@@ -67,6 +67,15 @@ impl EngineFactory {
     /// Build an engine for `spec`, profiling the architecture on first
     /// use and reusing the memoized cost table afterwards.
     pub fn engine(&self, spec: &EngineSpec) -> DseEngine {
+        self.engine_with(spec, false)
+    }
+
+    /// [`EngineFactory::engine`] with the sweep's Pareto-point
+    /// retention selected per job ([`JobOptions::keep_points`]
+    /// (crate::spec::JobOptions)). The setting is part of the sweep
+    /// fingerprint, so point-keeping and point-free results never share
+    /// a cache entry.
+    pub fn engine_with(&self, spec: &EngineSpec, keep_points: bool) -> DseEngine {
         // Profile *outside* the lock: the cycle-level profiler is the
         // expensive part, and holding the map mutex across it would
         // stall every concurrent engine construction — including ones
@@ -86,6 +95,7 @@ impl EngineFactory {
         };
         let config = DseConfig {
             objective: spec.objective,
+            keep_points,
             ..DseConfig::default()
         };
         DseEngine::new(EdpModel::new(self.geometry, table, self.acc), config)
@@ -177,17 +187,22 @@ impl ServiceState {
         tag: &str,
         layer: &Layer,
     ) -> Result<(LayerDseResult, CacheOutcome), DseError> {
-        self.explore_layer_cached_with(engine, tag, layer, || engine.explore_layer(layer))
+        self.explore_layer_cached_with(engine, tag, layer, CacheMode::Default, || {
+            engine.explore_layer(layer)
+        })
     }
 
     /// [`ServiceState::explore_layer_cached`] with a caller-supplied
-    /// exploration strategy: `explore` runs only when the lookup misses
-    /// both cache tiers and no equivalent computation is in flight. The
-    /// worker pool uses this to shard an oversized layer's tiling range
-    /// across workers; the strategy must return exactly what
-    /// [`DseEngine::explore_layer`] would (sharded merges are exact, so
-    /// this holds by construction), or cached and computed results
-    /// would diverge.
+    /// cache mode and exploration strategy: `explore` runs only when
+    /// `mode` says the lookup should fall through to computation (for
+    /// [`CacheMode::Default`], when both cache tiers miss and no
+    /// equivalent computation is in flight; always for
+    /// [`CacheMode::Bypass`]/[`CacheMode::Refresh`]). The worker pool
+    /// uses this to shard an oversized layer's tiling range across
+    /// workers and to honor per-job cache options; the strategy must
+    /// return exactly what [`DseEngine::explore_layer`] would (sharded
+    /// merges are exact, so this holds by construction), or cached and
+    /// computed results would diverge.
     ///
     /// # Errors
     ///
@@ -198,6 +213,7 @@ impl ServiceState {
         engine: &DseEngine,
         tag: &str,
         layer: &Layer,
+        mode: CacheMode,
         explore: F,
     ) -> Result<(LayerDseResult, CacheOutcome), DseError>
     where
@@ -205,7 +221,7 @@ impl ServiceState {
     {
         let acc = engine.model().traffic_model().accelerator();
         let key = layer_cache_key(tag, layer, acc, engine.config());
-        let (mut result, outcome) = self.cache.get_or_compute(&key, explore)?;
+        let (mut result, outcome) = self.cache.get_or_compute_with(&key, mode, explore)?;
         if result.layer_name != layer.name {
             result.layer_name.clone_from(&layer.name);
         }
@@ -219,12 +235,17 @@ impl ServiceState {
     ///
     /// Propagates the first per-layer failure.
     pub fn run_job(&self, spec: &JobSpec) -> Result<JobResult, ServiceError> {
-        let engine = self.factory.engine(&spec.engine);
+        let engine = self
+            .factory
+            .engine_with(&spec.engine, spec.options.keep_points);
         let tag = self.factory.engine_tag(&spec.engine);
         let mut outcomes = Vec::with_capacity(spec.workload.layers().len());
         let mut total = drmap_core::edp::EdpEstimate::zero(engine.model().table().t_ck_ns);
         for layer in spec.workload.layers() {
-            let (result, outcome) = self.explore_layer_cached(&engine, &tag, layer)?;
+            let (result, outcome) =
+                self.explore_layer_cached_with(&engine, &tag, layer, spec.options.cache, || {
+                    engine.explore_layer(layer)
+                })?;
             total.accumulate(&result.best.estimate);
             outcomes.push(outcome_from_result(result, outcome));
         }
@@ -249,6 +270,7 @@ pub(crate) fn outcome_from_result(result: LayerDseResult, outcome: CacheOutcome)
         cached: outcome == CacheOutcome::Hit,
         coalesced: outcome == CacheOutcome::Coalesced,
         store_hit: outcome == CacheOutcome::StoreHit,
+        pareto: result.pareto,
     }
 }
 

@@ -40,11 +40,19 @@
 //!   resident misses consult the store before computing, fresh results
 //!   write through, and restarts warm-start from disk — each
 //!   fingerprint is explored once, *ever*;
+//! * [`proto`] — the typed, versioned protocol: [`Request`](proto::Request)
+//!   /[`Response`](proto::Response) enums with one JSON codec, a `hello`
+//!   handshake advertising [`PROTOCOL_VERSION`](proto::PROTOCOL_VERSION)
+//!   and capabilities, admin verbs (`set-policy`, `set-shard-policy`,
+//!   `cache-clear`/`cache-warm`, `store-compact`), per-job options, and
+//!   a legacy shim keeping pre-versioning clients byte-compatible;
 //! * [`server`]/[`client`] — a hand-rolled, std-only, **pipelined**
-//!   JSON-over-TCP front-end: submit many jobs tagged by `id`, receive
-//!   responses out of order as they complete;
-//! * [`wire`] — the transport: newline-delimited text plus a
-//!   length-prefixed binary frame mode for large inline networks;
+//!   TCP front-end: submit many jobs tagged by `id`, receive responses
+//!   out of order as they complete; the client grows typed admin
+//!   methods (`hello`, `set_policy`, `set_shard_policy`, …);
+//! * [`wire`] — the one codec over both encodings: newline-delimited
+//!   text plus a length-prefixed binary frame mode for large inline
+//!   networks;
 //! * [`json`] — the dependency-free JSON layer (floats round-trip
 //!   bit-exactly).
 //!
@@ -80,6 +88,7 @@ pub mod engine;
 pub mod error;
 pub mod json;
 pub mod pool;
+pub mod proto;
 pub mod server;
 pub mod spec;
 mod sync;
@@ -93,8 +102,14 @@ pub mod prelude {
     pub use crate::error::ServiceError;
     pub use crate::json::Json;
     pub use crate::pool::{DsePool, PendingJob, ShardPolicy};
+    pub use crate::proto::{
+        Dialect, Request, Response, ShardPolicyUpdate, StatsReport, PROTOCOL_VERSION,
+    };
     pub use crate::server::{JobServer, ServerConfig};
-    pub use crate::spec::{EngineSpec, JobResult, JobSpec, LayerOutcome, Workload};
+    pub use crate::spec::{
+        CacheMode, EngineSpec, JobOptions, JobResult, JobSpec, LayerOutcome, Workload,
+    };
+    pub use crate::wire::Encoding;
     pub use drmap_cnn::network::Network;
     pub use drmap_store::store::Store;
 }

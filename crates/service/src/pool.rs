@@ -49,7 +49,7 @@ use drmap_core::tiling::{enumerate_tilings, Tiling};
 use crate::cache::CacheOutcome;
 use crate::engine::{outcome_from_result, ServiceState};
 use crate::error::{panic_message, ServiceError};
-use crate::spec::{JobResult, JobSpec};
+use crate::spec::{JobOptions, JobResult, JobSpec};
 use crate::sync::lock_recovered;
 
 type LayerReply = (usize, Result<(LayerDseResult, CacheOutcome), DseError>);
@@ -60,6 +60,7 @@ struct LayerTask {
     tag: Arc<str>,
     layer: Layer,
     index: usize,
+    options: JobOptions,
     reply: Sender<LayerReply>,
 }
 
@@ -71,6 +72,10 @@ enum Task {
 }
 
 /// When and how finely the pool shards one layer's tiling range.
+///
+/// The policy is **live**: [`DsePool::set_shard_policy`] retunes it on
+/// a running pool (the `set-shard-policy` admin verb), taking effect on
+/// the next layer a worker picks up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPolicy {
     /// Only layers with at least this many feasible tilings shard;
@@ -80,6 +85,12 @@ pub struct ShardPolicy {
     /// 3) keeps the chunks short enough that late-joining helpers still
     /// find work and stragglers don't serialize the merge.
     pub chunks_per_worker: usize,
+    /// Explicit chunk size (tilings per chunk), overriding the
+    /// `chunks_per_worker` derivation when set. `None` (the default)
+    /// derives the chunk size from the worker count; jobs can override
+    /// either with their own hint
+    /// ([`JobOptions::shard_chunk`](crate::spec::JobOptions)).
+    pub chunk_tilings: Option<usize>,
 }
 
 impl Default for ShardPolicy {
@@ -87,7 +98,22 @@ impl Default for ShardPolicy {
         ShardPolicy {
             min_tilings: 64,
             chunks_per_worker: 3,
+            chunk_tilings: None,
         }
+    }
+}
+
+impl ShardPolicy {
+    /// The chunk size (in tilings) this policy yields for a layer with
+    /// `count` feasible tilings on a `workers`-worker pool, after
+    /// applying an optional per-job override: the job's hint wins, then
+    /// the policy's explicit [`ShardPolicy::chunk_tilings`], then the
+    /// `chunks_per_worker` derivation. Always at least 1.
+    pub fn chunk_size(&self, count: usize, workers: usize, job_hint: Option<usize>) -> usize {
+        job_hint
+            .or(self.chunk_tilings)
+            .unwrap_or_else(|| count.div_ceil(workers.max(1) * self.chunks_per_worker.max(1)))
+            .max(1)
     }
 }
 
@@ -98,8 +124,17 @@ impl Default for ShardPolicy {
 /// open and the shutdown join would hang.
 struct PoolShared {
     workers: usize,
-    policy: ShardPolicy,
+    /// The live sharding policy — a mutex, not a plain field, so
+    /// `set-shard-policy` can retune a running pool. Read once per
+    /// layer (never held across exploration work).
+    policy: Mutex<ShardPolicy>,
     helper: Mutex<Option<Sender<Task>>>,
+}
+
+impl PoolShared {
+    fn policy(&self) -> ShardPolicy {
+        *lock_recovered(&self.policy)
+    }
 }
 
 /// One sharded layer exploration in flight: chunked tiling ranges
@@ -207,10 +242,15 @@ fn explore_maybe_sharded(
     engine: &SharedEngine,
     layer: &Layer,
     shared: &PoolShared,
+    chunk_hint: Option<usize>,
 ) -> Result<LayerDseResult, DseError> {
     if shared.workers <= 1 {
         return engine.explore_layer(layer);
     }
+    // One consistent snapshot of the live policy per layer: a
+    // concurrent `set-shard-policy` affects the *next* layer, never a
+    // half-chunked one.
+    let policy = shared.policy();
     // Enumerate once; sharded chunks sweep subranges of this one list,
     // and the unsharded fallback sweeps it whole — either way the
     // candidate domain is walked a single time.
@@ -222,12 +262,10 @@ fn explore_maybe_sharded(
             .explore_tilings_range(layer, &tilings, 0..count)?
             .into_result(layer.name.clone()))
     };
-    if count < shared.policy.min_tilings.max(2) {
+    if count < policy.min_tilings.max(2) {
         return whole(engine);
     }
-    let chunk = count
-        .div_ceil(shared.workers * shared.policy.chunks_per_worker.max(1))
-        .max(1);
+    let chunk = policy.chunk_size(count, shared.workers, chunk_hint);
     let chunks: Vec<Range<usize>> = (0..count)
         .step_by(chunk)
         .map(|start| start..(start + chunk).min(count))
@@ -302,7 +340,7 @@ impl DsePool {
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(PoolShared {
             workers,
-            policy,
+            policy: Mutex::new(policy),
             helper: Mutex::new(Some(queue.clone())),
         });
         let handles = (0..workers)
@@ -321,9 +359,18 @@ impl DsePool {
         }
     }
 
-    /// The sharding policy in force.
+    /// The sharding policy currently in force.
     pub fn shard_policy(&self) -> ShardPolicy {
-        self.shared.policy
+        self.shared.policy()
+    }
+
+    /// Retune the sharding policy on the running pool, effective for
+    /// the next layer any worker picks up — in-flight layers finish
+    /// under the snapshot they started with. Returns the policy that
+    /// was previously in force. This is the `set-shard-policy` admin
+    /// verb's backing operation.
+    pub fn set_shard_policy(&self, policy: ShardPolicy) -> ShardPolicy {
+        std::mem::replace(&mut lock_recovered(&self.shared.policy), policy)
     }
 
     /// The shared state this pool executes against.
@@ -337,9 +384,17 @@ impl DsePool {
     }
 
     /// Enqueue a job's layers and return a handle to await the result.
-    /// Submission never blocks on exploration work.
+    /// Submission never blocks on exploration work. The job's
+    /// [`JobOptions`] travel with every layer task: the cache mode and
+    /// shard-chunk hint steer the worker's leader path, and
+    /// `keep_points` selects a Pareto-retaining engine (cache-keyed
+    /// separately from point-free sweeps).
     pub fn submit(&self, spec: &JobSpec) -> PendingJob {
-        let engine = self.state.factory().engine(&spec.engine).into_shared();
+        let engine = self
+            .state
+            .factory()
+            .engine_with(&spec.engine, spec.options.keep_points)
+            .into_shared();
         let tag: Arc<str> = self.state.factory().engine_tag(&spec.engine).into();
         let t_ck_ns = engine.model().table().t_ck_ns;
         let layers = spec.workload.layers();
@@ -351,6 +406,7 @@ impl DsePool {
                 tag: Arc::clone(&tag),
                 layer: layer.clone(),
                 index,
+                options: spec.options,
                 reply: reply.clone(),
             };
             // The queue lives as long as the pool and workers never exit
@@ -427,10 +483,20 @@ fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
         // (`explore_layer_cached_with` already converts panics inside
         // the exploration itself; this guards everything else.)
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            task.state
-                .explore_layer_cached_with(&task.engine, &task.tag, &task.layer, || {
-                    explore_maybe_sharded(&task.engine, &task.layer, shared)
-                })
+            task.state.explore_layer_cached_with(
+                &task.engine,
+                &task.tag,
+                &task.layer,
+                task.options.cache,
+                || {
+                    explore_maybe_sharded(
+                        &task.engine,
+                        &task.layer,
+                        shared,
+                        task.options.shard_chunk,
+                    )
+                },
+            )
         }))
         .unwrap_or_else(|payload| {
             Err(DseError::new(format!(
@@ -575,6 +641,7 @@ mod tests {
         ShardPolicy {
             min_tilings: 2,
             chunks_per_worker: 2,
+            chunk_tilings: None,
         }
     }
 
@@ -634,6 +701,70 @@ mod tests {
             result.layers[0].estimate.cycles.to_bits(),
             direct.best.estimate.cycles.to_bits()
         );
+    }
+
+    #[test]
+    fn chunk_size_prefers_job_hint_then_policy_override_then_derivation() {
+        let derived = ShardPolicy::default();
+        // 4 workers x 3 chunks/worker over 120 tilings -> chunks of 10.
+        assert_eq!(derived.chunk_size(120, 4, None), 10);
+        assert_eq!(derived.chunk_size(120, 4, Some(7)), 7, "job hint wins");
+        let pinned = ShardPolicy {
+            chunk_tilings: Some(25),
+            ..ShardPolicy::default()
+        };
+        assert_eq!(pinned.chunk_size(120, 4, None), 25);
+        assert_eq!(pinned.chunk_size(120, 4, Some(7)), 7, "hint beats override");
+        // Degenerate inputs still yield a workable chunk.
+        assert_eq!(derived.chunk_size(0, 0, None), 1);
+    }
+
+    #[test]
+    fn live_shard_policy_retune_applies_and_stays_bit_identical() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::new(Arc::clone(&state), 4);
+        let previous = pool.set_shard_policy(always_shard());
+        assert_eq!(previous, ShardPolicy::default());
+        assert_eq!(pool.shard_policy(), always_shard());
+
+        // A job sharded under the retuned policy still merges exactly.
+        let layer = drmap_cnn::layer::Layer::conv("BIG", 13, 13, 64, 32, 3, 3, 1);
+        let spec = JobSpec::layer(31, EngineSpec::default(), layer.clone());
+        let retuned = pool.submit(&spec).wait().unwrap();
+        let direct = state
+            .factory()
+            .engine(&spec.engine)
+            .explore_layer(&layer)
+            .unwrap();
+        assert_eq!(
+            retuned.layers[0].estimate.energy.to_bits(),
+            direct.best.estimate.energy.to_bits()
+        );
+        assert_eq!(retuned.layers[0].evaluations as usize, direct.evaluations);
+    }
+
+    #[test]
+    fn per_job_chunk_hint_is_bit_identical_to_sequential() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::with_shard_policy(Arc::clone(&state), 4, always_shard());
+        let layer = drmap_cnn::layer::Layer::conv("BIG", 13, 13, 64, 32, 3, 3, 1);
+        let spec = JobSpec::layer(41, EngineSpec::default(), layer.clone()).with_options(
+            crate::spec::JobOptions {
+                shard_chunk: Some(3),
+                ..Default::default()
+            },
+        );
+        let hinted = pool.submit(&spec).wait().unwrap();
+        let direct = state
+            .factory()
+            .engine(&spec.engine)
+            .explore_layer(&layer)
+            .unwrap();
+        assert_eq!(
+            hinted.layers[0].estimate.energy.to_bits(),
+            direct.best.estimate.energy.to_bits()
+        );
+        assert_eq!(hinted.layers[0].evaluations as usize, direct.evaluations);
     }
 
     #[test]

@@ -1,0 +1,1210 @@
+//! The typed, versioned service protocol: every message the server and
+//! client exchange, as Rust enums with one JSON codec.
+//!
+//! ## Versioning
+//!
+//! The protocol version is a single integer, [`PROTOCOL_VERSION`].
+//! A client *may* open a connection with a [`Request::Hello`]
+//! advertising the version it speaks; the server answers with a
+//! [`Response::Hello`] carrying its own version and capability list, or
+//! an error naming the version it supports (the connection stays usable
+//! — a multi-version client can downgrade and continue). The handshake
+//! is optional: requests are self-describing, so a client that knows
+//! what it speaks may skip straight to business.
+//!
+//! Compatibility rules:
+//!
+//! * Additions (new verbs, new optional request fields, new response
+//!   fields) do **not** bump the version — unknown response fields must
+//!   be ignored by clients, and unknown verbs answer with a typed
+//!   error.
+//! * Changes to the meaning or shape of an *existing* field bump
+//!   [`PROTOCOL_VERSION`]; servers reject hellos for versions they do
+//!   not speak.
+//!
+//! ## Dialects
+//!
+//! Two request dialects share the wire, distinguished per message:
+//!
+//! * **Typed (v1)** — objects carrying a `"type"` field naming the
+//!   verb. Responses to typed requests carry `"type"` too.
+//! * **Legacy** — the pre-versioning protocol: bare job objects (no
+//!   `"type"`, no `"cmd"`) and `{"cmd": "ping"|"stats"|"shutdown"}`
+//!   control verbs. Responses to legacy requests are rendered
+//!   **byte-identically** to the pre-versioning server, so deployed
+//!   clients keep working unchanged.
+//!
+//! Either dialect travels in either encoding of [`crate::wire`]
+//! (newline-delimited JSON text or length-prefixed binary frames); a
+//! response always uses the encoding of its request.
+//!
+//! See `docs/PROTOCOL.md` for the full verb-by-verb reference.
+
+use drmap_store::store::{CompactReport, StoreStats};
+
+use crate::cache::{CacheStats, EvictionPolicy};
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::pool::ShardPolicy;
+use crate::spec::{JobResult, JobSpec};
+
+/// The protocol version this build speaks. See the module docs for
+/// when it bumps.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Which request dialect a message arrived in — the server answers in
+/// kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// Pre-versioning messages: bare job objects and `{"cmd": …}`
+    /// verbs. Responses render byte-identically to the old server.
+    Legacy,
+    /// `{"type": …}` messages of the versioned protocol.
+    V1,
+}
+
+/// The capability strings a server advertises in its hello response.
+/// `store` appears only when a persistent result store is attached
+/// (without it, `cache-warm` and `store-compact` answer with errors).
+pub fn capabilities(store_attached: bool) -> Vec<String> {
+    let mut caps = vec![
+        "jobs".to_owned(),
+        "pipelining".to_owned(),
+        "binary-frames".to_owned(),
+        "per-job-options".to_owned(),
+        "admin".to_owned(),
+    ];
+    if store_attached {
+        caps.push("store".to_owned());
+    }
+    caps
+}
+
+/// A partial [`ShardPolicy`] update: absent fields keep the running
+/// pool's current value, so an operator can retune one knob without
+/// restating the rest. `chunk_tilings` uses `0` on the wire to clear
+/// the explicit chunk-size override (returning to the
+/// `chunks_per_worker` derivation), since "absent" already means
+/// "keep".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardPolicyUpdate {
+    /// New sharding threshold, if given.
+    pub min_tilings: Option<usize>,
+    /// New chunks-per-worker target, if given.
+    pub chunks_per_worker: Option<usize>,
+    /// New explicit chunk size; `Some(0)` clears the override.
+    pub chunk_tilings: Option<usize>,
+}
+
+impl ShardPolicyUpdate {
+    /// The policy that results from applying this update to `current`.
+    pub fn apply(&self, current: ShardPolicy) -> ShardPolicy {
+        ShardPolicy {
+            min_tilings: self.min_tilings.unwrap_or(current.min_tilings),
+            chunks_per_worker: self.chunks_per_worker.unwrap_or(current.chunks_per_worker),
+            chunk_tilings: match self.chunk_tilings {
+                None => current.chunk_tilings,
+                Some(0) => None,
+                Some(n) => Some(n),
+            },
+        }
+    }
+}
+
+/// Everything a client can ask of the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open the conversation: advertise the protocol version the
+    /// client speaks (and optionally who it is, for server logs).
+    Hello {
+        /// Protocol version the client speaks.
+        version: u64,
+        /// Free-form client identification, e.g. `drmap-batch/0.1.0`.
+        client: Option<String>,
+    },
+    /// Liveness check.
+    Ping {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Fetch counters plus the **active configuration** (live eviction
+    /// policy, cache bounds, shard policy, protocol version).
+    Stats {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Stop accepting connections.
+    Shutdown {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Swap the cache's eviction policy on the live server.
+    SetPolicy {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// The policy to switch to.
+        policy: EvictionPolicy,
+    },
+    /// Retune the running pool's intra-layer sharding policy.
+    SetShardPolicy {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Partial update; absent fields keep their current values.
+        update: ShardPolicyUpdate,
+    },
+    /// Drop every resident cache entry and zero the counters (the
+    /// persistent store tier is untouched).
+    CacheClear {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Promote stored results into the resident cache tier.
+    CacheWarm {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// At most this many entries (`None`: up to the cache's entry
+        /// bound, or everything).
+        limit: Option<usize>,
+    },
+    /// Rewrite the persistent store's log, dropping superseded records.
+    StoreCompact {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Run a DSE job (the job's own `id` is the correlation key).
+    Submit(JobSpec),
+}
+
+/// A snapshot of the server's counters **and active configuration**,
+/// carried by the typed `stats` response. The legacy `{"cmd":"stats"}`
+/// rendering exposes only the counter subset the old protocol had.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsReport {
+    /// Cache counters and sizes.
+    pub cache: CacheStats,
+    /// The eviction policy currently in force (live, not the boot
+    /// value).
+    pub policy: EvictionPolicy,
+    /// Resident-entry bound, if any.
+    pub max_entries: Option<usize>,
+    /// Approximate-byte bound, if any.
+    pub max_bytes: Option<usize>,
+    /// The sharding policy currently in force.
+    pub shard: ShardPolicy,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Persistent-store counters, when a store is attached.
+    pub store: Option<StoreStats>,
+}
+
+/// Everything the server can answer.
+// The size spread (a stats report is ~an order of magnitude bigger than
+// a pong) is fine here: responses are transient — built, rendered to
+// JSON, and dropped — never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello {
+        /// Protocol version the server speaks.
+        version: u64,
+        /// Server identification, e.g. `drmap-service/0.1.0`.
+        server: String,
+        /// What this server can do (see [`capabilities`]).
+        capabilities: Vec<String>,
+    },
+    /// `ping` answer.
+    Pong {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// `stats` answer.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Counters plus active configuration.
+        report: StatsReport,
+    },
+    /// `shutdown` acknowledged: the server stops accepting.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// `set-policy` applied.
+    PolicySet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The policy now in force.
+        policy: EvictionPolicy,
+        /// The policy that was in force before.
+        previous: EvictionPolicy,
+    },
+    /// `set-shard-policy` applied.
+    ShardPolicySet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The full policy now in force (after merging the update).
+        policy: ShardPolicy,
+        /// The policy that was in force before.
+        previous: ShardPolicy,
+    },
+    /// `cache clear` done.
+    CacheCleared {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// `cache warm` done.
+    CacheWarmed {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Entries promoted into the resident tier.
+        loaded: usize,
+    },
+    /// `store compact` done.
+    StoreCompacted {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// What the compaction accomplished.
+        report: CompactReport,
+    },
+    /// A job finished successfully.
+    Job {
+        /// The job's result (its `id` is the correlation key).
+        result: JobResult,
+    },
+    /// Anything that failed.
+    Error {
+        /// Echoed request/job id, when one was recognizable.
+        id: Option<u64>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// A request that could not be decoded, with enough context to answer
+/// in the right dialect with the right correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// The request's id, when one was recognizable.
+    pub id: Option<u64>,
+    /// The dialect the malformed request appeared to be in (errors are
+    /// answered in kind).
+    pub dialect: Dialect,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn new(id: Option<u64>, dialect: Dialect, message: impl Into<String>) -> Self {
+        DecodeError {
+            id,
+            dialect,
+            message: message.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------
+
+fn push_id(pairs: &mut Vec<(String, Json)>, id: Option<u64>) {
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::num_u64(id)));
+    }
+}
+
+fn typed(kind: &str, id: Option<u64>, rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![("type".to_owned(), Json::str(kind))];
+    push_id(&mut pairs, id);
+    pairs.extend(rest);
+    Json::Obj(pairs)
+}
+
+impl Request {
+    /// The typed (v1) wire form. Legacy forms are only *parsed* (the
+    /// compatibility shim); new writers always emit typed messages.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Hello { version, client } => {
+                let mut rest = vec![("version".to_owned(), Json::num_u64(*version))];
+                if let Some(client) = client {
+                    rest.push(("client".to_owned(), Json::str(client)));
+                }
+                typed("hello", None, rest)
+            }
+            Request::Ping { id } => typed("ping", *id, vec![]),
+            Request::Stats { id } => typed("stats", *id, vec![]),
+            Request::Shutdown { id } => typed("shutdown", *id, vec![]),
+            Request::SetPolicy { id, policy } => typed(
+                "set-policy",
+                *id,
+                vec![("policy".to_owned(), Json::str(policy.label()))],
+            ),
+            Request::SetShardPolicy { id, update } => {
+                let mut rest = Vec::new();
+                if let Some(n) = update.min_tilings {
+                    rest.push(("min_tilings".to_owned(), Json::num_usize(n)));
+                }
+                if let Some(n) = update.chunks_per_worker {
+                    rest.push(("chunks_per_worker".to_owned(), Json::num_usize(n)));
+                }
+                if let Some(n) = update.chunk_tilings {
+                    rest.push(("chunk_tilings".to_owned(), Json::num_usize(n)));
+                }
+                typed("set-shard-policy", *id, rest)
+            }
+            Request::CacheClear { id } => typed("cache-clear", *id, vec![]),
+            Request::CacheWarm { id, limit } => {
+                let mut rest = Vec::new();
+                if let Some(limit) = limit {
+                    rest.push(("limit".to_owned(), Json::num_usize(*limit)));
+                }
+                typed("cache-warm", *id, rest)
+            }
+            Request::StoreCompact { id } => typed("store-compact", *id, vec![]),
+            Request::Submit(spec) => match spec.to_json() {
+                Json::Obj(pairs) => {
+                    let mut all = vec![("type".to_owned(), Json::str("submit"))];
+                    all.extend(pairs);
+                    Json::Obj(all)
+                }
+                _ => unreachable!("JobSpec::to_json builds an object"),
+            },
+        }
+    }
+
+    /// Decode one request in either dialect.
+    ///
+    /// * `"type"` present → typed (v1) verbs.
+    /// * `"cmd"` present → the legacy control shim (`ping`, `stats`,
+    ///   `shutdown` — exactly the verbs the old protocol had).
+    /// * neither → a legacy bare job object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] carrying the dialect and any
+    /// recognizable id, so the caller can answer in kind.
+    pub fn decode(v: &Json) -> Result<(Request, Dialect), DecodeError> {
+        let id = v.get("id").and_then(Json::as_u64);
+        if let Some(kind) = v.get("type") {
+            let kind = kind
+                .as_str()
+                .ok_or_else(|| DecodeError::new(id, Dialect::V1, "\"type\" must be a string"))?;
+            return Self::decode_typed(kind, id, v).map(|r| (r, Dialect::V1));
+        }
+        if let Some(cmd) = v.get("cmd") {
+            let cmd = cmd
+                .as_str()
+                .ok_or_else(|| DecodeError::new(id, Dialect::Legacy, "\"cmd\" must be a string"))?;
+            let request = match cmd {
+                "ping" => Request::Ping { id },
+                "stats" => Request::Stats { id },
+                "shutdown" => Request::Shutdown { id },
+                other => {
+                    // Exactly the old server's message, byte for byte.
+                    return Err(DecodeError::new(
+                        id,
+                        Dialect::Legacy,
+                        format!("unknown command {other:?}"),
+                    ));
+                }
+            };
+            return Ok((request, Dialect::Legacy));
+        }
+        match JobSpec::from_json(v) {
+            Ok(spec) => Ok((Request::Submit(spec), Dialect::Legacy)),
+            Err(e) => Err(DecodeError::new(id, Dialect::Legacy, e.to_string())),
+        }
+    }
+
+    fn decode_typed(kind: &str, id: Option<u64>, v: &Json) -> Result<Request, DecodeError> {
+        let bad = |message: String| DecodeError::new(id, Dialect::V1, message);
+        let opt_usize = |field: &str| -> Result<Option<usize>, DecodeError> {
+            match v.get(field) {
+                None | Some(Json::Null) => Ok(None),
+                Some(n) => n
+                    .as_usize()
+                    .map(Some)
+                    .ok_or_else(|| bad(format!("{field:?} must be a non-negative integer"))),
+            }
+        };
+        match kind {
+            "hello" => {
+                let version = v
+                    .get("version")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("hello needs an integer \"version\"".to_owned()))?;
+                let client = match v.get("client") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .ok_or_else(|| bad("\"client\" must be a string".to_owned()))?
+                            .to_owned(),
+                    ),
+                };
+                Ok(Request::Hello { version, client })
+            }
+            "ping" => Ok(Request::Ping { id }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "set-policy" => {
+                let label = v
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("set-policy needs a string \"policy\"".to_owned()))?;
+                let policy = EvictionPolicy::from_label(label).ok_or_else(|| {
+                    bad(format!(
+                        "unknown eviction policy {label:?} (expected \"lru\" or \"cost\")"
+                    ))
+                })?;
+                Ok(Request::SetPolicy { id, policy })
+            }
+            "set-shard-policy" => {
+                let update = ShardPolicyUpdate {
+                    min_tilings: opt_usize("min_tilings")?,
+                    chunks_per_worker: opt_usize("chunks_per_worker")?,
+                    chunk_tilings: opt_usize("chunk_tilings")?,
+                };
+                if update.min_tilings == Some(0) || update.chunks_per_worker == Some(0) {
+                    return Err(bad(
+                        "min_tilings and chunks_per_worker must be positive".to_owned()
+                    ));
+                }
+                Ok(Request::SetShardPolicy { id, update })
+            }
+            "cache-clear" => Ok(Request::CacheClear { id }),
+            "cache-warm" => Ok(Request::CacheWarm {
+                id,
+                limit: opt_usize("limit")?,
+            }),
+            "store-compact" => Ok(Request::StoreCompact { id }),
+            "submit" => JobSpec::from_json(v)
+                .map(Request::Submit)
+                .map_err(|e| bad(e.to_string())),
+            other => Err(bad(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------
+
+fn shard_policy_to_json(policy: &ShardPolicy) -> Json {
+    Json::obj([
+        ("min_tilings", Json::num_usize(policy.min_tilings)),
+        (
+            "chunks_per_worker",
+            Json::num_usize(policy.chunks_per_worker),
+        ),
+        (
+            "chunk_tilings",
+            match policy.chunk_tilings {
+                Some(n) => Json::num_usize(n),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn shard_policy_from_json(v: &Json) -> Result<ShardPolicy, ServiceError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ServiceError::protocol(format!("shard policy missing {name:?}")))
+    };
+    Ok(ShardPolicy {
+        min_tilings: field("min_tilings")?,
+        chunks_per_worker: field("chunks_per_worker")?,
+        chunk_tilings: match v.get("chunk_tilings") {
+            None | Some(Json::Null) => None,
+            Some(n) => Some(n.as_usize().ok_or_else(|| {
+                ServiceError::protocol("\"chunk_tilings\" must be an integer or null")
+            })?),
+        },
+    })
+}
+
+fn store_stats_to_json(s: &StoreStats) -> Json {
+    Json::obj([
+        ("live_entries", Json::num_usize(s.live_entries)),
+        ("records", Json::num_u64(s.records)),
+        ("dead_records", Json::num_u64(s.dead_records)),
+        ("file_bytes", Json::num_u64(s.file_bytes)),
+        ("live_value_bytes", Json::num_u64(s.live_value_bytes)),
+        ("dead_bytes", Json::num_u64(s.dead_bytes)),
+        ("appends", Json::num_u64(s.appends)),
+        ("gets", Json::num_u64(s.gets)),
+        ("hits", Json::num_u64(s.hits)),
+        ("compactions", Json::num_u64(s.compactions)),
+        ("recovered_bytes", Json::num_u64(s.recovered_bytes)),
+    ])
+}
+
+fn store_stats_from_json(v: &Json) -> Result<StoreStats, ServiceError> {
+    let int = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::protocol(format!("store stats missing {name:?}")))
+    };
+    Ok(StoreStats {
+        live_entries: int("live_entries")? as usize,
+        records: int("records")?,
+        dead_records: int("dead_records")?,
+        file_bytes: int("file_bytes")?,
+        live_value_bytes: int("live_value_bytes")?,
+        dead_bytes: int("dead_bytes")?,
+        appends: int("appends")?,
+        gets: int("gets")?,
+        hits: int("hits")?,
+        compactions: int("compactions")?,
+        recovered_bytes: int("recovered_bytes")?,
+    })
+}
+
+impl StatsReport {
+    /// The counter fields the legacy `{"cmd":"stats"}` response carried,
+    /// in their exact historical order — the byte-compatibility
+    /// contract with pre-versioning clients.
+    fn legacy_fields(&self) -> Vec<(String, Json)> {
+        let stats = &self.cache;
+        let mut fields = vec![
+            ("hits".to_owned(), Json::num_u64(stats.hits)),
+            ("misses".to_owned(), Json::num_u64(stats.misses)),
+            ("coalesced".to_owned(), Json::num_u64(stats.coalesced)),
+            ("evictions".to_owned(), Json::num_u64(stats.evictions)),
+            (
+                "cost_evictions".to_owned(),
+                Json::num_u64(stats.cost_evictions),
+            ),
+            ("entries".to_owned(), Json::num_usize(stats.entries)),
+            ("bytes".to_owned(), Json::num_usize(stats.bytes)),
+            ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
+            ("workers".to_owned(), Json::num_usize(self.workers)),
+            ("store_hits".to_owned(), Json::num_u64(stats.store_hits)),
+            ("store_misses".to_owned(), Json::num_u64(stats.store_misses)),
+            ("store_errors".to_owned(), Json::num_u64(stats.store_errors)),
+            (
+                "compute_ns_min".to_owned(),
+                Json::num_u64(stats.compute_ns_min),
+            ),
+            (
+                "compute_ns_max".to_owned(),
+                Json::num_u64(stats.compute_ns_max),
+            ),
+            (
+                "compute_ns_total".to_owned(),
+                Json::num_u64(stats.compute_ns_total),
+            ),
+        ];
+        if let Some(s) = &self.store {
+            fields.push((
+                "store".to_owned(),
+                Json::obj([
+                    ("live_entries", Json::num_usize(s.live_entries)),
+                    ("records", Json::num_u64(s.records)),
+                    ("dead_records", Json::num_u64(s.dead_records)),
+                    ("file_bytes", Json::num_u64(s.file_bytes)),
+                    ("appends", Json::num_u64(s.appends)),
+                    ("gets", Json::num_u64(s.gets)),
+                    ("hits", Json::num_u64(s.hits)),
+                ]),
+            ));
+        }
+        fields
+    }
+
+    /// The legacy stats object (counters only).
+    pub fn to_legacy_json(&self) -> Json {
+        Json::Obj(self.legacy_fields())
+    }
+
+    /// The extended (v1) stats object: the legacy counters plus the
+    /// bypass/refresh counters and the **active configuration**.
+    pub fn to_json(&self) -> Json {
+        let mut fields = self.legacy_fields();
+        // The store sub-object (when present) stays last for readers;
+        // insert the extensions just before it.
+        let config_at = fields
+            .iter()
+            .position(|(k, _)| k == "store")
+            .unwrap_or(fields.len());
+        let extensions = vec![
+            ("bypasses".to_owned(), Json::num_u64(self.cache.bypasses)),
+            ("refreshes".to_owned(), Json::num_u64(self.cache.refreshes)),
+            ("policy".to_owned(), Json::str(self.policy.label())),
+            (
+                "max_entries".to_owned(),
+                match self.max_entries {
+                    Some(n) => Json::num_usize(n),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "max_bytes".to_owned(),
+                match self.max_bytes {
+                    Some(n) => Json::num_usize(n),
+                    None => Json::Null,
+                },
+            ),
+            ("shard".to_owned(), shard_policy_to_json(&self.shard)),
+            (
+                "protocol_version".to_owned(),
+                Json::num_u64(PROTOCOL_VERSION),
+            ),
+        ];
+        // Replace the legacy partial store object with the full one.
+        if let Some(s) = &self.store {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "store") {
+                slot.1 = store_stats_to_json(s);
+            }
+        }
+        fields.splice(config_at..config_at, extensions);
+        Json::Obj(fields)
+    }
+
+    /// Parse the extended (v1) stats object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for missing counters or
+    /// configuration fields.
+    pub fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        let int = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::protocol(format!("stats missing {name:?}")))
+        };
+        let opt = |name: &str| match v.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(n) => n.as_usize().map(Some).ok_or_else(|| {
+                ServiceError::protocol(format!("{name:?} must be an integer or null"))
+            }),
+        };
+        let cache = CacheStats {
+            hits: int("hits")?,
+            misses: int("misses")?,
+            coalesced: int("coalesced")?,
+            bypasses: int("bypasses")?,
+            refreshes: int("refreshes")?,
+            evictions: int("evictions")?,
+            cost_evictions: int("cost_evictions")?,
+            entries: int("entries")? as usize,
+            bytes: int("bytes")? as usize,
+            store_hits: int("store_hits")?,
+            store_misses: int("store_misses")?,
+            store_errors: int("store_errors")?,
+            compute_ns_min: int("compute_ns_min")?,
+            compute_ns_max: int("compute_ns_max")?,
+            compute_ns_total: int("compute_ns_total")?,
+        };
+        let label = v
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::protocol("stats missing \"policy\""))?;
+        let policy = EvictionPolicy::from_label(label)
+            .ok_or_else(|| ServiceError::protocol(format!("unknown eviction policy {label:?}")))?;
+        Ok(StatsReport {
+            cache,
+            policy,
+            max_entries: opt("max_entries")?,
+            max_bytes: opt("max_bytes")?,
+            shard: shard_policy_from_json(
+                v.get("shard")
+                    .ok_or_else(|| ServiceError::protocol("stats missing \"shard\""))?,
+            )?,
+            workers: int("workers")? as usize,
+            store: match v.get("store") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(store_stats_from_json(s)?),
+            },
+        })
+    }
+}
+
+fn legacy_error(id: Option<u64>, message: &str) -> Json {
+    let mut pairs = vec![("ok".to_owned(), Json::Bool(false))];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::num_u64(id)));
+    }
+    pairs.push(("error".to_owned(), Json::str(message)));
+    Json::Obj(pairs)
+}
+
+fn typed_ok(kind: &str, id: Option<u64>, rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("type".to_owned(), Json::str(kind)),
+        ("ok".to_owned(), Json::Bool(true)),
+    ];
+    push_id(&mut pairs, id);
+    pairs.extend(rest);
+    Json::Obj(pairs)
+}
+
+impl Response {
+    /// Render for the wire in the given dialect. Legacy renderings are
+    /// byte-identical to the pre-versioning server's responses; typed
+    /// renderings carry a `"type"` field. Admin responses have no
+    /// legacy form (the old protocol had no such verbs) and render
+    /// typed in both dialects.
+    pub fn render(&self, dialect: Dialect) -> Json {
+        match (self, dialect) {
+            (Response::Pong { .. }, Dialect::Legacy) => {
+                Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])
+            }
+            (Response::Pong { id }, Dialect::V1) => typed_ok("pong", *id, vec![]),
+            (Response::Stats { report, .. }, Dialect::Legacy) => {
+                Json::obj([("ok", Json::Bool(true)), ("stats", report.to_legacy_json())])
+            }
+            (Response::Stats { id, report }, Dialect::V1) => {
+                typed_ok("stats", *id, vec![("stats".to_owned(), report.to_json())])
+            }
+            (Response::Shutdown { .. }, Dialect::Legacy) => {
+                Json::obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))])
+            }
+            (Response::Shutdown { id }, Dialect::V1) => typed_ok(
+                "shutdown",
+                *id,
+                vec![("shutdown".to_owned(), Json::Bool(true))],
+            ),
+            (Response::Job { result }, Dialect::Legacy) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("id", Json::num_u64(result.id)),
+                ("result", result.to_json()),
+            ]),
+            (Response::Job { result }, Dialect::V1) => Json::obj([
+                ("type", Json::str("job")),
+                ("ok", Json::Bool(true)),
+                ("id", Json::num_u64(result.id)),
+                ("result", result.to_json()),
+            ]),
+            (Response::Error { id, message }, Dialect::Legacy) => legacy_error(*id, message),
+            (Response::Error { id, message }, Dialect::V1) => {
+                let mut pairs = vec![
+                    ("type".to_owned(), Json::str("error")),
+                    ("ok".to_owned(), Json::Bool(false)),
+                ];
+                push_id(&mut pairs, *id);
+                pairs.push(("error".to_owned(), Json::str(message)));
+                Json::Obj(pairs)
+            }
+            (
+                Response::Hello {
+                    version,
+                    server,
+                    capabilities,
+                },
+                _,
+            ) => typed_ok(
+                "hello",
+                None,
+                vec![
+                    ("version".to_owned(), Json::num_u64(*version)),
+                    ("server".to_owned(), Json::str(server)),
+                    (
+                        "capabilities".to_owned(),
+                        Json::Arr(capabilities.iter().map(|c| Json::str(c.as_str())).collect()),
+                    ),
+                ],
+            ),
+            (
+                Response::PolicySet {
+                    id,
+                    policy,
+                    previous,
+                },
+                _,
+            ) => typed_ok(
+                "policy-set",
+                *id,
+                vec![
+                    ("policy".to_owned(), Json::str(policy.label())),
+                    ("previous".to_owned(), Json::str(previous.label())),
+                ],
+            ),
+            (
+                Response::ShardPolicySet {
+                    id,
+                    policy,
+                    previous,
+                },
+                _,
+            ) => typed_ok(
+                "shard-policy-set",
+                *id,
+                vec![
+                    ("policy".to_owned(), shard_policy_to_json(policy)),
+                    ("previous".to_owned(), shard_policy_to_json(previous)),
+                ],
+            ),
+            (Response::CacheCleared { id }, _) => typed_ok("cache-cleared", *id, vec![]),
+            (Response::CacheWarmed { id, loaded }, _) => typed_ok(
+                "cache-warmed",
+                *id,
+                vec![("loaded".to_owned(), Json::num_usize(*loaded))],
+            ),
+            (Response::StoreCompacted { id, report }, _) => typed_ok(
+                "store-compacted",
+                *id,
+                vec![
+                    (
+                        "live_records".to_owned(),
+                        Json::num_u64(report.live_records),
+                    ),
+                    (
+                        "dropped_records".to_owned(),
+                        Json::num_u64(report.dropped_records),
+                    ),
+                    (
+                        "bytes_before".to_owned(),
+                        Json::num_u64(report.bytes_before),
+                    ),
+                    ("bytes_after".to_owned(), Json::num_u64(report.bytes_after)),
+                ],
+            ),
+        }
+    }
+
+    /// Decode a typed (v1) response. Legacy responses have no `"type"`
+    /// field and are parsed by their own pre-versioning readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for unknown types or missing
+    /// fields.
+    pub fn decode(v: &Json) -> Result<Response, ServiceError> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::protocol("response carries no \"type\""))?;
+        let id = v.get("id").and_then(Json::as_u64);
+        let policy_field = |name: &str| {
+            let label = v
+                .get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServiceError::protocol(format!("response missing {name:?}")))?;
+            EvictionPolicy::from_label(label)
+                .ok_or_else(|| ServiceError::protocol(format!("unknown eviction policy {label:?}")))
+        };
+        let int = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::protocol(format!("response missing {name:?}")))
+        };
+        match kind {
+            "hello" => Ok(Response::Hello {
+                version: int("version")?,
+                server: v
+                    .get("server")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ServiceError::protocol("hello missing \"server\""))?
+                    .to_owned(),
+                capabilities: v
+                    .get("capabilities")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ServiceError::protocol("hello missing \"capabilities\""))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| ServiceError::protocol("capabilities must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "pong" => Ok(Response::Pong { id }),
+            "stats" => Ok(Response::Stats {
+                id,
+                report: StatsReport::from_json(
+                    v.get("stats")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"stats\""))?,
+                )?,
+            }),
+            "shutdown" => Ok(Response::Shutdown { id }),
+            "policy-set" => Ok(Response::PolicySet {
+                id,
+                policy: policy_field("policy")?,
+                previous: policy_field("previous")?,
+            }),
+            "shard-policy-set" => Ok(Response::ShardPolicySet {
+                id,
+                policy: shard_policy_from_json(
+                    v.get("policy")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"policy\""))?,
+                )?,
+                previous: shard_policy_from_json(
+                    v.get("previous")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"previous\""))?,
+                )?,
+            }),
+            "cache-cleared" => Ok(Response::CacheCleared { id }),
+            "cache-warmed" => Ok(Response::CacheWarmed {
+                id,
+                loaded: int("loaded")? as usize,
+            }),
+            "store-compacted" => Ok(Response::StoreCompacted {
+                id,
+                report: CompactReport {
+                    live_records: int("live_records")?,
+                    dropped_records: int("dropped_records")?,
+                    bytes_before: int("bytes_before")?,
+                    bytes_after: int("bytes_after")?,
+                },
+            }),
+            "job" => Ok(Response::Job {
+                result: JobResult::from_json(
+                    v.get("result")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"result\""))?,
+                )?,
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                message: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ServiceError::protocol("error response missing \"error\""))?
+                    .to_owned(),
+            }),
+            other => Err(ServiceError::protocol(format!(
+                "unknown response type {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EngineSpec;
+    use drmap_cnn::network::Network;
+
+    #[test]
+    fn typed_requests_round_trip() {
+        let requests = vec![
+            Request::Hello {
+                version: 1,
+                client: Some("test/1".into()),
+            },
+            Request::Ping { id: Some(7) },
+            Request::Stats { id: None },
+            Request::Shutdown { id: Some(0) },
+            Request::SetPolicy {
+                id: Some(3),
+                policy: EvictionPolicy::Cost,
+            },
+            Request::SetShardPolicy {
+                id: None,
+                update: ShardPolicyUpdate {
+                    min_tilings: Some(32),
+                    chunks_per_worker: None,
+                    chunk_tilings: Some(0),
+                },
+            },
+            Request::CacheClear { id: Some(9) },
+            Request::CacheWarm {
+                id: None,
+                limit: Some(100),
+            },
+            Request::StoreCompact { id: Some(2) },
+            Request::Submit(JobSpec::network(5, EngineSpec::default(), Network::tiny())),
+        ];
+        for request in requests {
+            let rendered = request.to_json().render();
+            let (decoded, dialect) = Request::decode(&Json::parse(&rendered).unwrap())
+                .unwrap_or_else(|e| {
+                    panic!("failed to decode {rendered}: {e:?}");
+                });
+            assert_eq!(dialect, Dialect::V1, "{rendered}");
+            assert_eq!(decoded, request, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn legacy_requests_decode_through_the_shim() {
+        let (req, dialect) = Request::decode(&Json::parse(r#"{"cmd":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(req, Request::Ping { id: None });
+        assert_eq!(dialect, Dialect::Legacy);
+
+        let (req, dialect) =
+            Request::decode(&Json::parse(r#"{"id":4,"network":{"model":"tiny"}}"#).unwrap())
+                .unwrap();
+        assert!(matches!(req, Request::Submit(spec) if spec.id == 4));
+        assert_eq!(dialect, Dialect::Legacy);
+
+        let err = Request::decode(&Json::parse(r#"{"cmd":"reboot","id":6}"#).unwrap()).unwrap_err();
+        assert_eq!(err.dialect, Dialect::Legacy);
+        assert_eq!(err.id, Some(6));
+        assert_eq!(err.message, "unknown command \"reboot\"");
+    }
+
+    #[test]
+    fn shard_policy_updates_merge_field_by_field() {
+        let current = ShardPolicy {
+            min_tilings: 64,
+            chunks_per_worker: 3,
+            chunk_tilings: Some(16),
+        };
+        let keep_all = ShardPolicyUpdate::default();
+        assert_eq!(keep_all.apply(current), current);
+        let retune = ShardPolicyUpdate {
+            min_tilings: Some(128),
+            chunks_per_worker: None,
+            chunk_tilings: Some(0), // clears the override
+        };
+        assert_eq!(
+            retune.apply(current),
+            ShardPolicy {
+                min_tilings: 128,
+                chunks_per_worker: 3,
+                chunk_tilings: None,
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_renderings_match_the_pre_versioning_bytes() {
+        assert_eq!(
+            Response::Pong { id: Some(3) }
+                .render(Dialect::Legacy)
+                .render(),
+            r#"{"ok":true,"pong":true}"#
+        );
+        assert_eq!(
+            Response::Shutdown { id: None }
+                .render(Dialect::Legacy)
+                .render(),
+            r#"{"ok":true,"shutdown":true}"#
+        );
+        assert_eq!(
+            Response::Error {
+                id: Some(6),
+                message: "unknown command \"reboot\"".into()
+            }
+            .render(Dialect::Legacy)
+            .render(),
+            r#"{"ok":false,"id":6,"error":"unknown command \"reboot\""}"#
+        );
+        // A fresh report renders the exact legacy stats field set.
+        let report = StatsReport {
+            cache: CacheStats::default(),
+            policy: EvictionPolicy::Lru,
+            max_entries: None,
+            max_bytes: None,
+            shard: ShardPolicy::default(),
+            workers: 2,
+            store: None,
+        };
+        assert_eq!(
+            Response::Stats { id: None, report }
+                .render(Dialect::Legacy)
+                .render(),
+            "{\"ok\":true,\"stats\":{\"hits\":0,\"misses\":0,\"coalesced\":0,\
+             \"evictions\":0,\"cost_evictions\":0,\"entries\":0,\"bytes\":0,\
+             \"hit_rate\":0,\"workers\":2,\"store_hits\":0,\"store_misses\":0,\
+             \"store_errors\":0,\"compute_ns_min\":0,\"compute_ns_max\":0,\
+             \"compute_ns_total\":0}}"
+        );
+    }
+
+    #[test]
+    fn typed_responses_round_trip() {
+        let report = StatsReport {
+            cache: CacheStats {
+                hits: 10,
+                misses: 4,
+                coalesced: 2,
+                bypasses: 1,
+                refreshes: 1,
+                evictions: 3,
+                cost_evictions: 2,
+                entries: 5,
+                bytes: 4096,
+                store_hits: 1,
+                store_misses: 3,
+                store_errors: 0,
+                compute_ns_min: 1_000,
+                compute_ns_max: 9_000,
+                compute_ns_total: 20_000,
+            },
+            policy: EvictionPolicy::Cost,
+            max_entries: Some(512),
+            max_bytes: None,
+            shard: ShardPolicy {
+                min_tilings: 32,
+                chunks_per_worker: 4,
+                chunk_tilings: Some(8),
+            },
+            workers: 8,
+            store: Some(StoreStats {
+                live_entries: 5,
+                records: 9,
+                dead_records: 4,
+                file_bytes: 8192,
+                live_value_bytes: 4000,
+                dead_bytes: 2000,
+                appends: 9,
+                gets: 12,
+                hits: 7,
+                compactions: 1,
+                recovered_bytes: 0,
+            }),
+        };
+        let responses = vec![
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+                server: "drmap-service/test".into(),
+                capabilities: capabilities(true),
+            },
+            Response::Pong { id: Some(1) },
+            Response::Stats {
+                id: Some(2),
+                report,
+            },
+            Response::Shutdown { id: None },
+            Response::PolicySet {
+                id: Some(4),
+                policy: EvictionPolicy::Cost,
+                previous: EvictionPolicy::Lru,
+            },
+            Response::ShardPolicySet {
+                id: None,
+                policy: ShardPolicy::default(),
+                previous: ShardPolicy {
+                    chunk_tilings: Some(4),
+                    ..ShardPolicy::default()
+                },
+            },
+            Response::CacheCleared { id: Some(5) },
+            Response::CacheWarmed {
+                id: None,
+                loaded: 42,
+            },
+            Response::StoreCompacted {
+                id: Some(6),
+                report: CompactReport {
+                    live_records: 5,
+                    dropped_records: 4,
+                    bytes_before: 8192,
+                    bytes_after: 4501,
+                },
+            },
+            Response::Error {
+                id: Some(7),
+                message: "no store attached".into(),
+            },
+        ];
+        for response in responses {
+            let rendered = response.render(Dialect::V1).render();
+            let decoded = Response::decode(&Json::parse(&rendered).unwrap())
+                .unwrap_or_else(|e| panic!("failed to decode {rendered}: {e}"));
+            assert_eq!(decoded, response, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn capability_list_reflects_the_store() {
+        assert!(!capabilities(false).contains(&"store".to_owned()));
+        assert!(capabilities(true).contains(&"store".to_owned()));
+        assert!(capabilities(false).contains(&"admin".to_owned()));
+    }
+}

@@ -1,4 +1,5 @@
-//! The pipelined JSON-over-TCP front-end.
+//! The pipelined TCP front-end, dispatching the typed protocol of
+//! [`crate::proto`].
 //!
 //! Each accepted connection gets its own handler; job execution itself
 //! happens on the shared [`DsePool`], so many light connections share
@@ -7,42 +8,17 @@
 //! are delivered **as jobs complete — possibly out of submission
 //! order** — matched back to requests by their client-chosen `id`.
 //!
-//! ## Protocol
+//! Requests arrive in either dialect (typed `{"type": …}` messages, or
+//! the legacy shim: bare job objects and `{"cmd": …}` verbs) and either
+//! encoding of [`crate::wire`]; a response always uses the dialect and
+//! encoding of its request. Dispatch is an exhaustive `match` over
+//! [`Request`] — adding a verb without handling it does not compile.
 //!
-//! Messages travel in either of the two encodings of [`crate::wire`]
-//! (newline-delimited JSON text, or `0x00`-marked length-prefixed
-//! binary frames for large inline networks); a response always uses
-//! the encoding of its request.
-//!
-//! Job request — a [`JobSpec`](crate::spec::JobSpec) object:
-//!
-//! ```text
-//! {"id": 1, "engine": {"arch": "SALP-2", "objective": "edp"}, "network": {"model": "alexnet"}}
-//! ```
-//!
-//! → `{"ok": true, "id": 1, "result": {<JobResult>}}`
-//!
-//! The `id` is the correlation key: responses to concurrently submitted
-//! jobs arrive in completion order, each echoing its job's `id` at the
-//! top level. Clients that pipeline must use distinct ids per
-//! connection; blocking one-at-a-time clients may ignore ordering
-//! entirely.
-//!
-//! Control requests (answered in arrival order, but they may overtake
-//! or be overtaken by in-flight *job* responses):
-//!
-//! ```text
-//! {"cmd": "ping"}      -> {"ok": true, "pong": true}
-//! {"cmd": "stats"}     -> {"ok": true, "stats": {"hits": …, "misses": …, "coalesced": …,
-//!                          "evictions": …, "cost_evictions": …, "entries": …, "bytes": …,
-//!                          "hit_rate": …, "workers": …,
-//!                          "store_hits": …, "store_misses": …, "store_errors": …,
-//!                          "compute_ns_min": …, "compute_ns_max": …, "compute_ns_total": …,
-//!                          "store": {…}?}}   ("store" present iff a persistent tier is attached)
-//! {"cmd": "shutdown"}  -> {"ok": true, "shutdown": true}   (server stops accepting)
-//! ```
-//!
-//! Any failure → `{"ok": false, "id": <echoed if known>, "error": "…"}`.
+//! Control and admin requests (`hello`, `ping`, `stats`, `set-policy`,
+//! `set-shard-policy`, `cache-clear`, `cache-warm`, `store-compact`,
+//! `shutdown`) answer inline in arrival order, but they may overtake or
+//! be overtaken by in-flight *job* responses. See `docs/PROTOCOL.md`
+//! for every verb with example request/response pairs.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -53,8 +29,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::DsePool;
-use crate::spec::JobSpec;
-use crate::wire;
+use crate::proto::{capabilities, Dialect, Request, Response, StatsReport, PROTOCOL_VERSION};
+use crate::wire::{self, Encoding};
 
 /// Default cap on in-flight requests per connection (see
 /// [`ServerConfig::max_inflight`]).
@@ -315,7 +291,7 @@ fn serve_connection(
     shutdown: &ConnectionShutdown,
 ) -> Result<(), ServiceError> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let (tx, rx) = channel::<(Json, bool)>();
+    let (tx, rx) = channel::<(Json, Encoding)>();
     let writer = {
         let slots = slots.clone();
         std::thread::spawn(move || {
@@ -325,8 +301,8 @@ fn serve_connection(
             // the reader (possibly blocked in `acquire`) can run its
             // loop to the connection error and exit.
             let mut dead = false;
-            while let Ok((response, binary)) = rx.recv() {
-                if !dead && wire::write_message(&mut out, &response.render(), binary).is_err() {
+            while let Ok((response, encoding)) = rx.recv() {
+                if !dead && wire::write_message(&mut out, &response.render(), encoding).is_err() {
                     dead = true;
                 }
                 slots.release_local();
@@ -336,8 +312,8 @@ fn serve_connection(
     let mut stop = false;
     let result = loop {
         match wire::read_message(&mut reader) {
-            Ok(Some((payload, binary))) => {
-                if dispatch_message(pool, &payload, binary, &tx, &slots) {
+            Ok(Some((payload, encoding))) => {
+                if dispatch_message(pool, &payload, encoding, &tx, &slots) {
                     stop = true;
                     break Ok(());
                 }
@@ -358,175 +334,209 @@ fn serve_connection(
     result
 }
 
-/// Dispatch one request: control commands answer inline, job requests
-/// are submitted to the pool and answered from a waiter thread when
-/// they complete. Every response path takes both gate slots *before*
-/// queueing; the global slot frees when the response is queued, the
-/// local slot only after the writer thread has put it on the socket
-/// (see [`InflightSlots`]). Returns `true` if the server should shut
-/// down.
+/// Dispatch one request: control and admin verbs answer inline, job
+/// submissions are handed to the pool and answered from a waiter thread
+/// when they complete. Every response path takes both gate slots
+/// *before* queueing; the global slot frees when the response is
+/// queued, the local slot only after the writer thread has put it on
+/// the socket (see [`InflightSlots`]). Returns `true` if the server
+/// should shut down.
 fn dispatch_message(
     pool: &Arc<DsePool>,
     payload: &str,
-    binary: bool,
-    tx: &Sender<(Json, bool)>,
+    encoding: Encoding,
+    tx: &Sender<(Json, Encoding)>,
     slots: &InflightSlots,
 ) -> bool {
     let parsed = match Json::parse(payload) {
         Ok(v) => v,
         Err(e) => {
+            let response = Response::Error {
+                id: None,
+                message: e.to_string(),
+            };
             slots.acquire();
-            let _ = tx.send((error_response(None, e.to_string()), binary));
+            let _ = tx.send((response.render(Dialect::Legacy), encoding));
             slots.release_global();
             return false;
         }
     };
-    let id = parsed.get("id").and_then(Json::as_u64);
-    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
-        let (response, stop) = control_response(pool, cmd, id);
-        slots.acquire();
-        let _ = tx.send((response, binary));
-        slots.release_global();
-        return stop;
-    }
-    let job = match JobSpec::from_json(&parsed) {
-        Ok(job) => job,
+    let (request, dialect) = match Request::decode(&parsed) {
+        Ok(decoded) => decoded,
         Err(e) => {
+            let response = Response::Error {
+                id: e.id,
+                message: e.message,
+            };
             slots.acquire();
-            let _ = tx.send((error_response(id, e.to_string()), binary));
+            let _ = tx.send((response.render(e.dialect), encoding));
             slots.release_global();
             return false;
         }
     };
+    // Job submissions get a waiter thread; everything else answers
+    // inline through the exhaustive control match.
+    if let Request::Submit(job) = request {
+        slots.acquire();
+        let pending = pool.submit(&job);
+        let tx = tx.clone();
+        let job_id = job.id;
+        let slots = slots.clone();
+        std::thread::spawn(move || {
+            let response = match pending.wait() {
+                Ok(result) => Response::Job { result },
+                Err(e) => Response::Error {
+                    id: Some(job_id),
+                    message: e.to_string(),
+                },
+            };
+            let _ = tx.send((response.render(dialect), encoding));
+            slots.release_global();
+        });
+        return false;
+    }
+    let (response, stop) = control_response(pool, &request);
     slots.acquire();
-    let pending = pool.submit(&job);
-    let tx = tx.clone();
-    let job_id = job.id;
-    let slots = slots.clone();
-    std::thread::spawn(move || {
-        let response = match pending.wait() {
-            Ok(result) => Json::obj([
-                ("ok", Json::Bool(true)),
-                ("id", Json::num_u64(result.id)),
-                ("result", result.to_json()),
-            ]),
-            Err(e) => error_response(Some(job_id), e.to_string()),
-        };
-        let _ = tx.send((response, binary));
-        slots.release_global();
-    });
-    false
+    let _ = tx.send((response.render(dialect), encoding));
+    slots.release_global();
+    stop
 }
 
-fn error_response(id: Option<u64>, message: String) -> Json {
-    let mut pairs = vec![("ok".to_owned(), Json::Bool(false))];
-    if let Some(id) = id {
-        pairs.push(("id".to_owned(), Json::num_u64(id)));
+/// A consistent snapshot of the server's counters and **active**
+/// configuration (live eviction policy, cache bounds, shard policy),
+/// as carried by the typed `stats` response.
+pub fn stats_report(pool: &DsePool) -> StatsReport {
+    let cache = pool.state().cache();
+    let config = cache.config();
+    StatsReport {
+        cache: cache.stats(),
+        policy: cache.policy(),
+        max_entries: config.max_entries,
+        max_bytes: config.max_bytes,
+        shard: pool.shard_policy(),
+        workers: pool.workers(),
+        store: cache.store().map(|s| s.stats()),
     }
-    pairs.push(("error".to_owned(), Json::Str(message)));
-    Json::Obj(pairs)
 }
 
-/// Answer one control command. The boolean asks the caller to shut the
-/// server down after responding.
-fn control_response(pool: &DsePool, cmd: &str, id: Option<u64>) -> (Json, bool) {
-    match cmd {
-        "ping" => (
-            Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-            false,
-        ),
-        "stats" => {
-            let cache = pool.state().cache();
-            let stats = cache.stats();
-            let mut fields = vec![
-                ("hits".to_owned(), Json::num_u64(stats.hits)),
-                ("misses".to_owned(), Json::num_u64(stats.misses)),
-                ("coalesced".to_owned(), Json::num_u64(stats.coalesced)),
-                ("evictions".to_owned(), Json::num_u64(stats.evictions)),
-                (
-                    "cost_evictions".to_owned(),
-                    Json::num_u64(stats.cost_evictions),
-                ),
-                ("entries".to_owned(), Json::num_usize(stats.entries)),
-                ("bytes".to_owned(), Json::num_usize(stats.bytes)),
-                ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
-                ("workers".to_owned(), Json::num_usize(pool.workers())),
-                ("store_hits".to_owned(), Json::num_u64(stats.store_hits)),
-                ("store_misses".to_owned(), Json::num_u64(stats.store_misses)),
-                ("store_errors".to_owned(), Json::num_u64(stats.store_errors)),
-                (
-                    "compute_ns_min".to_owned(),
-                    Json::num_u64(stats.compute_ns_min),
-                ),
-                (
-                    "compute_ns_max".to_owned(),
-                    Json::num_u64(stats.compute_ns_max),
-                ),
-                (
-                    "compute_ns_total".to_owned(),
-                    Json::num_u64(stats.compute_ns_total),
-                ),
-            ];
-            if let Some(store) = cache.store() {
-                let s = store.stats();
-                fields.push((
-                    "store".to_owned(),
-                    Json::obj([
-                        ("live_entries", Json::num_usize(s.live_entries)),
-                        ("records", Json::num_u64(s.records)),
-                        ("dead_records", Json::num_u64(s.dead_records)),
-                        ("file_bytes", Json::num_u64(s.file_bytes)),
-                        ("appends", Json::num_u64(s.appends)),
-                        ("gets", Json::num_u64(s.gets)),
-                        ("hits", Json::num_u64(s.hits)),
-                    ]),
-                ));
+/// Answer one non-job request — an **exhaustive** match over
+/// [`Request`], so a verb added to the protocol without a handler here
+/// is a compile error. The boolean asks the caller to shut the server
+/// down after responding.
+fn control_response(pool: &DsePool, request: &Request) -> (Response, bool) {
+    let response = match request {
+        Request::Hello { version, client: _ } => {
+            if *version == PROTOCOL_VERSION {
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    server: concat!("drmap-service/", env!("CARGO_PKG_VERSION")).to_owned(),
+                    capabilities: capabilities(pool.state().cache().store().is_some()),
+                }
+            } else {
+                // Graceful reject: name the version we do speak and
+                // keep the connection open so the client can downgrade.
+                Response::Error {
+                    id: None,
+                    message: format!(
+                        "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                    ),
+                }
             }
-            (
-                Json::obj([("ok", Json::Bool(true)), ("stats", Json::Obj(fields))]),
-                false,
-            )
         }
-        "shutdown" => (
-            Json::obj([("ok", Json::Bool(true)), ("shutdown", Json::Bool(true))]),
-            true,
-        ),
-        other => (
-            error_response(id, format!("unknown command {other:?}")),
-            false,
-        ),
-    }
+        Request::Ping { id } => Response::Pong { id: *id },
+        Request::Stats { id } => Response::Stats {
+            id: *id,
+            report: stats_report(pool),
+        },
+        Request::Shutdown { id } => return (Response::Shutdown { id: *id }, true),
+        Request::SetPolicy { id, policy } => {
+            let previous = pool.state().cache().set_policy(*policy);
+            Response::PolicySet {
+                id: *id,
+                policy: *policy,
+                previous,
+            }
+        }
+        Request::SetShardPolicy { id, update } => {
+            let merged = update.apply(pool.shard_policy());
+            let previous = pool.set_shard_policy(merged);
+            Response::ShardPolicySet {
+                id: *id,
+                policy: merged,
+                previous,
+            }
+        }
+        Request::CacheClear { id } => {
+            pool.state().cache().clear();
+            Response::CacheCleared { id: *id }
+        }
+        Request::CacheWarm { id, limit } => match pool.state().cache().store() {
+            Some(_) => Response::CacheWarmed {
+                id: *id,
+                loaded: pool.state().cache().warm_from_store(*limit),
+            },
+            None => Response::Error {
+                id: *id,
+                message: "cache-warm needs a persistent store (start with --store)".to_owned(),
+            },
+        },
+        Request::StoreCompact { id } => match pool.state().cache().store() {
+            Some(store) => match store.compact() {
+                Ok(report) => Response::StoreCompacted { id: *id, report },
+                Err(e) => Response::Error {
+                    id: *id,
+                    message: format!("compaction failed: {e}"),
+                },
+            },
+            None => Response::Error {
+                id: *id,
+                message: "store-compact needs a persistent store (start with --store)".to_owned(),
+            },
+        },
+        Request::Submit(_) => unreachable!("job submissions are dispatched before control verbs"),
+    };
+    (response, false)
 }
 
 /// Dispatch one request line to a response, blocking until the job (if
 /// any) completes. The boolean asks the caller to shut the server down
 /// after responding. This is the sequential building block the
 /// pipelined connection handler decomposes; it is exposed for direct
-/// testing and embedding.
+/// testing and embedding, and accepts both dialects (answering in
+/// kind) exactly like a live connection.
 pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
     let parsed = match Json::parse(line) {
         Ok(v) => v,
-        Err(e) => return (error_response(None, e.to_string()), false),
+        Err(e) => {
+            let response = Response::Error {
+                id: None,
+                message: e.to_string(),
+            };
+            return (response.render(Dialect::Legacy), false);
+        }
     };
-    let id = parsed.get("id").and_then(Json::as_u64);
-    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
-        return control_response(pool, cmd, id);
-    }
-    let job = match JobSpec::from_json(&parsed) {
-        Ok(job) => job,
-        Err(e) => return (error_response(id, e.to_string()), false),
+    let (request, dialect) = match Request::decode(&parsed) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            let response = Response::Error {
+                id: e.id,
+                message: e.message,
+            };
+            return (response.render(e.dialect), false);
+        }
     };
-    match pool.submit(&job).wait() {
-        Ok(result) => (
-            Json::obj([
-                ("ok", Json::Bool(true)),
-                ("id", Json::num_u64(result.id)),
-                ("result", result.to_json()),
-            ]),
-            false,
-        ),
-        Err(e) => (error_response(Some(job.id), e.to_string()), false),
+    if let Request::Submit(job) = request {
+        let response = match pool.submit(&job).wait() {
+            Ok(result) => Response::Job { result },
+            Err(e) => Response::Error {
+                id: Some(job.id),
+                message: e.to_string(),
+            },
+        };
+        return (response.render(dialect), false);
     }
+    let (response, stop) = control_response(pool, &request);
+    (response.render(dialect), stop)
 }
 
 #[cfg(test)]

@@ -12,11 +12,123 @@ use drmap_cnn::layer::{Layer, LayerKind};
 use drmap_cnn::network::Network;
 use drmap_core::dse::Objective;
 use drmap_core::edp::EdpEstimate;
+use drmap_core::pareto::DesignPoint;
 use drmap_core::tiling::Tiling;
 use drmap_dram::timing::DramArch;
 
 use crate::error::ServiceError;
 use crate::json::Json;
+
+/// How a job interacts with the shared layer memo cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Normal lookup: resident tier, then store tier, then compute
+    /// (the pre-options behavior).
+    #[default]
+    Default,
+    /// Skip the cache entirely: compute fresh, store nothing. For
+    /// measurement jobs that must not disturb (or be served by) the
+    /// cache.
+    Bypass,
+    /// Skip the lookup but keep the write path: compute fresh, then
+    /// replace the cached (and persisted) entry. For invalidating a
+    /// result an operator no longer trusts.
+    Refresh,
+}
+
+impl CacheMode {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::Default => "default",
+            CacheMode::Bypass => "bypass",
+            CacheMode::Refresh => "refresh",
+        }
+    }
+
+    /// Parse a [`CacheMode::label`] string.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "default" => Some(CacheMode::Default),
+            "bypass" => Some(CacheMode::Bypass),
+            "refresh" => Some(CacheMode::Refresh),
+            _ => None,
+        }
+    }
+}
+
+/// Per-job execution options, carried in a job request's `options`
+/// object. Everything defaults to the pre-options behavior, and the
+/// wire representation omits default fields — a job with default
+/// options serializes byte-identically to a pre-options job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobOptions {
+    /// How this job's layers interact with the memo cache.
+    pub cache: CacheMode,
+    /// Keep the per-layer Pareto front over (energy, latency) and
+    /// return it in the result (`pareto` on each layer outcome). Keyed
+    /// into the cache separately from point-free sweeps.
+    pub keep_points: bool,
+    /// Explicit tiling-chunk size for intra-layer sharding, overriding
+    /// the pool's [`ShardPolicy`](crate::pool::ShardPolicy) for this
+    /// job (clamped to at least 1; `None` defers to the pool).
+    pub shard_chunk: Option<usize>,
+}
+
+impl JobOptions {
+    /// Wire representation; `None` when every field is the default (so
+    /// default-option jobs serialize exactly as before options existed).
+    pub fn to_json(&self) -> Option<Json> {
+        if *self == JobOptions::default() {
+            return None;
+        }
+        let mut pairs = Vec::new();
+        if self.cache != CacheMode::Default {
+            pairs.push(("cache".to_owned(), Json::str(self.cache.label())));
+        }
+        if self.keep_points {
+            pairs.push(("keep_points".to_owned(), Json::Bool(true)));
+        }
+        if let Some(chunk) = self.shard_chunk {
+            pairs.push(("shard_chunk".to_owned(), Json::num_usize(chunk)));
+        }
+        Some(Json::Obj(pairs))
+    }
+
+    /// Parse the wire representation. Every field is optional; a field
+    /// that is *present* must be well-formed (a malformed cache mode
+    /// must not silently run with the default and pollute the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for mistyped fields or
+    /// unknown cache-mode labels.
+    pub fn from_json(v: &Json) -> Result<Self, ServiceError> {
+        let mut options = JobOptions::default();
+        if let Some(field) = v.get("cache") {
+            let label = field
+                .as_str()
+                .ok_or_else(|| ServiceError::protocol("\"cache\" must be a string"))?;
+            options.cache = CacheMode::from_label(label).ok_or_else(|| {
+                ServiceError::protocol(format!(
+                    "unknown cache mode {label:?} (expected default/bypass/refresh)"
+                ))
+            })?;
+        }
+        if let Some(field) = v.get("keep_points") {
+            options.keep_points = field
+                .as_bool()
+                .ok_or_else(|| ServiceError::protocol("\"keep_points\" must be a boolean"))?;
+        }
+        if let Some(field) = v.get("shard_chunk") {
+            let chunk = field.as_usize().filter(|&n| n > 0).ok_or_else(|| {
+                ServiceError::protocol("\"shard_chunk\" must be a positive integer")
+            })?;
+            options.shard_chunk = Some(chunk);
+        }
+        Ok(options)
+    }
+}
 
 /// Which profiled engine a job runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,25 +331,36 @@ pub struct JobSpec {
     pub engine: EngineSpec,
     /// What to explore.
     pub workload: Workload,
+    /// Per-job execution options (cache mode, Pareto retention,
+    /// shard-chunk hint); defaults reproduce the pre-options behavior.
+    pub options: JobOptions,
 }
 
 impl JobSpec {
-    /// A network-exploration job.
+    /// A network-exploration job with default options.
     pub fn network(id: u64, engine: EngineSpec, network: Network) -> Self {
         JobSpec {
             id,
             engine,
             workload: Workload::Network(network),
+            options: JobOptions::default(),
         }
     }
 
-    /// A single-layer job.
+    /// A single-layer job with default options.
     pub fn layer(id: u64, engine: EngineSpec, layer: Layer) -> Self {
         JobSpec {
             id,
             engine,
             workload: Workload::Layer(layer),
+            options: JobOptions::default(),
         }
+    }
+
+    /// The same job with the given options.
+    pub fn with_options(mut self, options: JobOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Wire representation (see crate docs for the schema).
@@ -267,6 +390,9 @@ impl JobSpec {
                 pairs.push(("network".to_owned(), net_json));
             }
             Workload::Layer(l) => pairs.push(("layer".to_owned(), layer_to_json(l))),
+        }
+        if let Some(options) = self.options.to_json() {
+            pairs.push(("options".to_owned(), options));
         }
         Json::Obj(pairs)
     }
@@ -303,10 +429,15 @@ impl JobSpec {
                 ))
             }
         };
+        let options = match v.get("options") {
+            Some(o) => JobOptions::from_json(o)?,
+            None => JobOptions::default(),
+        };
         Ok(JobSpec {
             id,
             engine,
             workload,
+            options,
         })
     }
 }
@@ -358,11 +489,16 @@ pub struct LayerOutcome {
     /// True if this layer was served from the persistent result store
     /// (computed by some earlier process, revived from disk).
     pub store_hit: bool,
+    /// Pareto front over (energy, latency), present only when the job
+    /// asked for it ([`JobOptions::keep_points`]); empty otherwise and
+    /// omitted from the wire when empty, so point-free responses stay
+    /// byte-identical to the pre-options protocol.
+    pub pareto: Vec<DesignPoint>,
 }
 
 impl LayerOutcome {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut json = Json::obj([
             ("name", Json::str(&self.name)),
             ("mapping", Json::str(&self.mapping)),
             ("scheme", Json::str(&self.scheme)),
@@ -380,7 +516,24 @@ impl LayerOutcome {
             ("cached", Json::Bool(self.cached)),
             ("coalesced", Json::Bool(self.coalesced)),
             ("store", Json::Bool(self.store_hit)),
-        ])
+        ]);
+        if !self.pareto.is_empty() {
+            let points = self
+                .pareto
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("label", Json::str(&p.label)),
+                        ("estimate", estimate_to_json(&p.estimate)),
+                    ])
+                })
+                .collect();
+            match &mut json {
+                Json::Obj(pairs) => pairs.push(("pareto".to_owned(), Json::Arr(points))),
+                _ => unreachable!("LayerOutcome::to_json builds an object"),
+            }
+        }
+        json
     }
 
     fn from_json(v: &Json) -> Result<Self, ServiceError> {
@@ -411,6 +564,21 @@ impl LayerOutcome {
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
             coalesced: v.get("coalesced").and_then(Json::as_bool).unwrap_or(false),
             store_hit: v.get("store").and_then(Json::as_bool).unwrap_or(false),
+            pareto: match v.get("pareto").and_then(Json::as_array) {
+                Some(points) => points
+                    .iter()
+                    .map(|p| {
+                        let label = p.get("label").and_then(Json::as_str).ok_or_else(|| {
+                            ServiceError::protocol("pareto point missing \"label\"")
+                        })?;
+                        let estimate = estimate_from_json(p.get("estimate").ok_or_else(|| {
+                            ServiceError::protocol("pareto point missing \"estimate\"")
+                        })?)?;
+                        Ok(DesignPoint::new(label, estimate))
+                    })
+                    .collect::<Result<Vec<_>, ServiceError>>()?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -584,6 +752,55 @@ mod tests {
     }
 
     #[test]
+    fn job_options_round_trip_and_default_is_invisible_on_the_wire() {
+        // Default options must not appear in the rendered job at all —
+        // the byte-compatibility contract with pre-options clients.
+        let plain = JobSpec::network(3, EngineSpec::default(), Network::tiny());
+        assert!(!plain.to_json().render().contains("options"));
+        assert_eq!(JobSpec::from_json(&plain.to_json()).unwrap(), plain);
+
+        for options in [
+            JobOptions {
+                cache: CacheMode::Bypass,
+                ..JobOptions::default()
+            },
+            JobOptions {
+                cache: CacheMode::Refresh,
+                keep_points: true,
+                shard_chunk: Some(32),
+            },
+            JobOptions {
+                keep_points: true,
+                ..JobOptions::default()
+            },
+        ] {
+            let spec =
+                JobSpec::network(4, EngineSpec::default(), Network::tiny()).with_options(options);
+            let reparsed = JobSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(reparsed, spec);
+            assert_eq!(reparsed.options, options);
+        }
+    }
+
+    #[test]
+    fn malformed_job_options_are_errors_not_defaults() {
+        for bad in [
+            r#"{"network": {"model": "tiny"}, "options": {"cache": "sometimes"}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"cache": 1}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"keep_points": "yes"}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"shard_chunk": 0}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"shard_chunk": -4}}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");
+        }
+        for mode in [CacheMode::Default, CacheMode::Bypass, CacheMode::Refresh] {
+            assert_eq!(CacheMode::from_label(mode.label()), Some(mode));
+        }
+        assert_eq!(CacheMode::from_label("write-around"), None);
+    }
+
+    #[test]
     fn job_result_round_trips_bit_exactly() {
         let result = JobResult {
             id: 11,
@@ -607,6 +824,14 @@ mod tests {
                 cached: true,
                 coalesced: false,
                 store_hit: true,
+                pareto: vec![DesignPoint::new(
+                    "t13x13x16x16/ofms-reuse/Mapping-3 (DRMap)",
+                    EdpEstimate {
+                        cycles: 7.5,
+                        energy: 1.25e-9,
+                        t_ck_ns: 1.25,
+                    },
+                )],
             }],
         };
         let rendered = result.to_json().render();

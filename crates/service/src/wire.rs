@@ -1,24 +1,42 @@
-//! Message transport shared by the server and client: newline-delimited
-//! JSON text with an optional length-prefixed binary frame mode.
+//! The wire codec shared by the server and client: one serializer for
+//! the typed protocol of [`crate::proto`], writing either
+//! newline-delimited JSON text or length-prefixed binary frames.
 //!
 //! Every protocol message is a JSON document moving over TCP in one of
-//! two encodings, distinguishable by the first byte:
+//! two [`Encoding`]s, distinguishable by the first byte:
 //!
-//! * **Text**: the document on one line, terminated by `\n` — easy to
-//!   drive from `nc`. A JSON document can never start with byte `0x00`,
-//!   so text messages never collide with the frame marker.
-//! * **Binary frame**: marker byte `0x00`, a big-endian `u32` payload
-//!   length, then exactly that many bytes of JSON. Frames carry large
-//!   inline networks without line-scanning overhead and are capped at
-//!   [`MAX_FRAME_BYTES`] so an untrusted length header cannot force an
-//!   unbounded allocation.
+//! * [`Encoding::Text`]: the document on one line, terminated by `\n`
+//!   — easy to drive from `nc`. A JSON document can never start with
+//!   byte `0x00`, so text messages never collide with the frame marker.
+//! * [`Encoding::Binary`]: marker byte `0x00`, a big-endian `u32`
+//!   payload length, then exactly that many bytes of JSON. Frames carry
+//!   large inline networks without line-scanning overhead and are
+//!   capped at [`MAX_FRAME_BYTES`] so an untrusted length header cannot
+//!   force an unbounded allocation.
 //!
 //! Either side may switch encodings per message; a response uses the
-//! encoding of the request it answers.
+//! encoding of the request it answers. The typed layer sits directly on
+//! top: [`write_request`]/[`read_request`] and
+//! [`write_response`]/[`read_response`] move [`Request`]s and
+//! [`Response`]s through **one codec** — the payload bytes are
+//! identical in both encodings, only the framing differs.
 
 use std::io::{BufRead, Write};
 
 use crate::error::ServiceError;
+use crate::json::Json;
+use crate::proto::{DecodeError, Dialect, Request, Response};
+
+/// How a message is framed on the wire. The JSON payload is the same in
+/// both; auto-detected per message on read from the first byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Encoding {
+    /// Newline-delimited JSON text (the default).
+    #[default]
+    Text,
+    /// `0x00`-marked, length-prefixed binary frames.
+    Binary,
+}
 
 /// First byte of a binary frame. `0x00` can never begin a JSON text
 /// message.
@@ -37,21 +55,24 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 pub fn write_message(
     writer: &mut impl Write,
     payload: &str,
-    binary: bool,
+    encoding: Encoding,
 ) -> Result<(), ServiceError> {
-    if binary {
-        if payload.len() > MAX_FRAME_BYTES {
-            return Err(ServiceError::protocol(format!(
-                "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
-                payload.len()
-            )));
+    match encoding {
+        Encoding::Binary => {
+            if payload.len() > MAX_FRAME_BYTES {
+                return Err(ServiceError::protocol(format!(
+                    "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                    payload.len()
+                )));
+            }
+            writer.write_all(&[FRAME_MARKER])?;
+            writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+            writer.write_all(payload.as_bytes())?;
         }
-        writer.write_all(&[FRAME_MARKER])?;
-        writer.write_all(&(payload.len() as u32).to_be_bytes())?;
-        writer.write_all(payload.as_bytes())?;
-    } else {
-        writer.write_all(payload.as_bytes())?;
-        writer.write_all(b"\n")?;
+        Encoding::Text => {
+            writer.write_all(payload.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
     }
     writer.flush()?;
     Ok(())
@@ -59,14 +80,13 @@ pub fn write_message(
 
 /// Read one message, auto-detecting its encoding from the first byte.
 /// Returns `None` on a clean end-of-stream; blank lines are skipped.
-/// The returned flag is `true` for a binary frame, so the caller can
-/// answer in kind.
+/// The returned [`Encoding`] lets the caller answer in kind.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; rejects oversized frames and non-UTF-8
 /// frame payloads.
-pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, bool)>, ServiceError> {
+pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, Encoding)>, ServiceError> {
     loop {
         let first = {
             let buf = reader.fill_buf()?;
@@ -90,7 +110,7 @@ pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, bool)>,
                 reader.read_exact(&mut payload)?;
                 let text = String::from_utf8(payload)
                     .map_err(|_| ServiceError::protocol("frame payload is not UTF-8"))?;
-                return Ok(Some((text, true)));
+                return Ok(Some((text, Encoding::Binary)));
             }
             b'\n' | b'\r' => {
                 reader.consume(1);
@@ -132,10 +152,85 @@ pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, bool)>,
                     .map_err(|_| ServiceError::protocol("text message is not UTF-8"))?;
                 let trimmed = text.trim();
                 if !trimmed.is_empty() {
-                    return Ok(Some((trimmed.to_owned(), false)));
+                    return Ok(Some((trimmed.to_owned(), Encoding::Text)));
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed layer: proto messages through the one codec
+// ---------------------------------------------------------------------
+
+/// Write one typed [`Request`] in the chosen encoding.
+///
+/// # Errors
+///
+/// Propagates I/O failures and the binary-frame size cap.
+pub fn write_request(
+    writer: &mut impl Write,
+    request: &Request,
+    encoding: Encoding,
+) -> Result<(), ServiceError> {
+    write_message(writer, &request.to_json().render(), encoding)
+}
+
+/// Read and decode one request in either dialect. Returns `None` on a
+/// clean end-of-stream. Decode failures come back as `Some(Err(…))`
+/// inside a successful read, so a server can answer them in the right
+/// dialect with the right id instead of dropping the connection.
+///
+/// # Errors
+///
+/// The outer `Err` is transport-level only (I/O, framing, non-UTF-8).
+#[allow(clippy::type_complexity)]
+pub fn read_request(
+    reader: &mut impl BufRead,
+) -> Result<Option<(Result<(Request, Dialect), DecodeError>, Encoding)>, ServiceError> {
+    let Some((payload, encoding)) = read_message(reader)? else {
+        return Ok(None);
+    };
+    let decoded = match Json::parse(&payload) {
+        Ok(v) => Request::decode(&v),
+        Err(e) => Err(DecodeError {
+            id: None,
+            dialect: Dialect::Legacy,
+            message: e.to_string(),
+        }),
+    };
+    Ok(Some((decoded, encoding)))
+}
+
+/// Write one [`Response`] in the given dialect and encoding.
+///
+/// # Errors
+///
+/// Propagates I/O failures and the binary-frame size cap.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    dialect: Dialect,
+    encoding: Encoding,
+) -> Result<(), ServiceError> {
+    write_message(writer, &response.render(dialect).render(), encoding)
+}
+
+/// Read and decode one typed (v1) response. Returns `None` on a clean
+/// end-of-stream.
+///
+/// # Errors
+///
+/// Fails on I/O errors, framing errors, or responses that do not parse
+/// as the typed protocol.
+pub fn read_response(
+    reader: &mut impl BufRead,
+) -> Result<Option<(Response, Encoding)>, ServiceError> {
+    match read_message(reader)? {
+        Some((payload, encoding)) => {
+            Ok(Some((Response::decode(&Json::parse(&payload)?)?, encoding)))
+        }
+        None => Ok(None),
     }
 }
 
@@ -147,17 +242,17 @@ mod tests {
     #[test]
     fn text_messages_round_trip_and_skip_blank_lines() {
         let mut out = Vec::new();
-        write_message(&mut out, r#"{"id":1}"#, false).unwrap();
+        write_message(&mut out, r#"{"id":1}"#, Encoding::Text).unwrap();
         out.extend_from_slice(b"\r\n\n");
-        write_message(&mut out, r#"{"id":2}"#, false).unwrap();
+        write_message(&mut out, r#"{"id":2}"#, Encoding::Text).unwrap();
         let mut reader = BufReader::new(&out[..]);
         assert_eq!(
             read_message(&mut reader).unwrap(),
-            Some((r#"{"id":1}"#.to_owned(), false))
+            Some((r#"{"id":1}"#.to_owned(), Encoding::Text))
         );
         assert_eq!(
             read_message(&mut reader).unwrap(),
-            Some((r#"{"id":2}"#.to_owned(), false))
+            Some((r#"{"id":2}"#.to_owned(), Encoding::Text))
         );
         assert_eq!(read_message(&mut reader).unwrap(), None);
     }
@@ -165,21 +260,21 @@ mod tests {
     #[test]
     fn binary_frames_round_trip_and_interleave_with_text() {
         let mut out = Vec::new();
-        write_message(&mut out, r#"{"id":1}"#, true).unwrap();
-        write_message(&mut out, r#"{"id":2}"#, false).unwrap();
-        write_message(&mut out, "{\"s\":\"line\\nbreak\"}", true).unwrap();
+        write_message(&mut out, r#"{"id":1}"#, Encoding::Binary).unwrap();
+        write_message(&mut out, r#"{"id":2}"#, Encoding::Text).unwrap();
+        write_message(&mut out, "{\"s\":\"line\\nbreak\"}", Encoding::Binary).unwrap();
         let mut reader = BufReader::new(&out[..]);
         assert_eq!(
             read_message(&mut reader).unwrap(),
-            Some((r#"{"id":1}"#.to_owned(), true))
+            Some((r#"{"id":1}"#.to_owned(), Encoding::Binary))
         );
         assert_eq!(
             read_message(&mut reader).unwrap(),
-            Some((r#"{"id":2}"#.to_owned(), false))
+            Some((r#"{"id":2}"#.to_owned(), Encoding::Text))
         );
         assert_eq!(
             read_message(&mut reader).unwrap(),
-            Some(("{\"s\":\"line\\nbreak\"}".to_owned(), true))
+            Some(("{\"s\":\"line\\nbreak\"}".to_owned(), Encoding::Binary))
         );
         assert_eq!(read_message(&mut reader).unwrap(), None);
     }

@@ -1,0 +1,321 @@
+//! Live control-plane integration tests: a running `JobServer` must
+//! accept `hello`, `set-policy`, `set-shard-policy`, `cache-clear`,
+//! `cache-warm`, and `store-compact` over TCP, with every change
+//! observable through `stats` **without a restart** — and per-job
+//! options (cache bypass/refresh, Pareto retention) must behave over
+//! the wire exactly as they do in-process.
+
+use std::sync::Arc;
+
+use drmap_service::cache::{CacheConfig, EvictionPolicy};
+use drmap_service::client::Client;
+use drmap_service::engine::ServiceState;
+use drmap_service::pool::DsePool;
+use drmap_service::proto::{ShardPolicyUpdate, PROTOCOL_VERSION};
+use drmap_service::server::JobServer;
+use drmap_service::spec::{CacheMode, EngineSpec, JobOptions, JobSpec};
+use drmap_store::store::Store;
+
+use drmap_cnn::layer::Layer;
+use drmap_cnn::network::Network;
+
+fn temp_store_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("drmap-admin-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.wal");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Boot a server (2 workers, entry-bounded cache, persistent store) on
+/// an ephemeral port; returns the address, its accept-loop handle, and
+/// the shared pool for server-side assertions.
+fn boot(
+    tag: &str,
+    cache: CacheConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<()>,
+    Arc<DsePool>,
+) {
+    let store = Arc::new(Store::open(temp_store_path(tag)).unwrap());
+    let state = ServiceState::with_cache_and_store(cache, Some(store)).unwrap();
+    let pool = Arc::new(DsePool::new(state, 2));
+    let server = JobServer::with_pool("127.0.0.1:0", Arc::clone(&pool)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, pool)
+}
+
+/// Distinctly shaped single-layer jobs (every shape gets its own cache
+/// entry).
+fn shaped_job(id: u64, j: usize) -> JobSpec {
+    JobSpec::layer(
+        id,
+        EngineSpec::default(),
+        Layer::conv(&format!("L{j}"), 8, 8, j, 8, 3, 3, 1),
+    )
+}
+
+#[test]
+fn set_policy_changes_eviction_on_a_live_server_observably() {
+    // Room for 2 entries: the third insertion always evicts.
+    let (addr, handle, _pool) = boot("set-policy", CacheConfig::unbounded().with_max_entries(2));
+    let mut client = Client::connect(addr).unwrap();
+
+    let info = client.hello().unwrap();
+    assert_eq!(info.version, PROTOCOL_VERSION);
+    assert!(info.has("admin"));
+    assert!(info.has("store"));
+
+    // Baseline: LRU evictions never consult the cost ranking.
+    for (id, j) in [(1, 8), (2, 16), (3, 24)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+    }
+    let before = client.stats_report().unwrap();
+    assert_eq!(before.policy, EvictionPolicy::Lru);
+    assert!(before.cache.evictions >= 1, "{:?}", before.cache);
+    assert_eq!(before.cache.cost_evictions, 0);
+
+    // Flip to cost-aware eviction on the live server...
+    let previous = client.set_policy(EvictionPolicy::Cost).unwrap();
+    assert_eq!(previous, EvictionPolicy::Lru);
+    // ...and the very next evictions are cost-chosen — same process,
+    // same connection, no restart, observed through stats.
+    for (id, j) in [(4, 32), (5, 40), (6, 48)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+    }
+    let after = client.stats_report().unwrap();
+    assert_eq!(after.policy, EvictionPolicy::Cost);
+    assert!(
+        after.cache.cost_evictions > 0,
+        "cost policy must drive the eviction order: {:?}",
+        after.cache
+    );
+    assert!(after.cache.evictions > before.cache.evictions);
+
+    // And back: cost_evictions stops growing.
+    assert_eq!(
+        client.set_policy(EvictionPolicy::Lru).unwrap(),
+        EvictionPolicy::Cost
+    );
+    for (id, j) in [(7, 56), (8, 64), (9, 72)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+    }
+    let reverted = client.stats_report().unwrap();
+    assert_eq!(reverted.policy, EvictionPolicy::Lru);
+    assert_eq!(reverted.cache.cost_evictions, after.cache.cost_evictions);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn set_shard_policy_retunes_the_live_pool_and_results_stay_identical() {
+    let (addr, handle, pool) = boot("set-shard", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+
+    let reference = client
+        .submit(&JobSpec::network(1, EngineSpec::default(), Network::tiny()))
+        .unwrap();
+
+    // Retune: shard everything, tiny chunks, pinned chunk size.
+    let policy = client
+        .set_shard_policy(ShardPolicyUpdate {
+            min_tilings: Some(2),
+            chunks_per_worker: Some(2),
+            chunk_tilings: Some(3),
+        })
+        .unwrap();
+    assert_eq!(policy.min_tilings, 2);
+    assert_eq!(policy.chunk_tilings, Some(3));
+    assert_eq!(pool.shard_policy(), policy, "the live pool was retuned");
+    let report = client.stats_report().unwrap();
+    assert_eq!(report.shard, policy, "stats reflect the change");
+
+    // Clear the cache so resubmission actually re-explores under the
+    // new sharding — and still merges bit-identically.
+    client.cache_clear().unwrap();
+    assert_eq!(client.stats_report().unwrap().cache.entries, 0);
+    let resharded = client
+        .submit(&JobSpec::network(2, EngineSpec::default(), Network::tiny()))
+        .unwrap();
+    assert_eq!(
+        resharded.total.energy.to_bits(),
+        reference.total.energy.to_bits()
+    );
+    assert_eq!(
+        resharded.total.cycles.to_bits(),
+        reference.total.cycles.to_bits()
+    );
+
+    // Partial update: only the threshold moves, the rest stays.
+    let partial = client
+        .set_shard_policy(ShardPolicyUpdate {
+            min_tilings: Some(100),
+            chunks_per_worker: None,
+            chunk_tilings: None,
+        })
+        .unwrap();
+    assert_eq!(partial.min_tilings, 100);
+    assert_eq!(partial.chunks_per_worker, 2);
+    assert_eq!(partial.chunk_tilings, Some(3));
+    // chunk_tilings:0 clears the pin.
+    let cleared = client
+        .set_shard_policy(ShardPolicyUpdate {
+            min_tilings: None,
+            chunks_per_worker: None,
+            chunk_tilings: Some(0),
+        })
+        .unwrap();
+    assert_eq!(cleared.chunk_tilings, None);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn cache_warm_and_store_compact_work_over_the_wire() {
+    let (addr, handle, _pool) = boot("warm-compact", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Populate the store: the tiny network plus one extra shape, then
+    // refresh that shape so the log carries a superseded record for
+    // compaction to drop.
+    let job = JobSpec::network(1, EngineSpec::default(), Network::tiny());
+    client.submit(&job).unwrap();
+    client.submit(&shaped_job(2, 26)).unwrap();
+    client
+        .submit_with(
+            &shaped_job(3, 26),
+            JobOptions {
+                cache: CacheMode::Refresh,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    let stats = client.stats_report().unwrap();
+    let live = stats.store.expect("server has a store").live_entries;
+    assert!(live >= 3, "{stats:?}");
+
+    // Clear memory, warm back from disk, and the resubmission is all
+    // resident hits — no exploration.
+    client.cache_clear().unwrap();
+    assert_eq!(client.stats_report().unwrap().cache.entries, 0);
+    let loaded = client.cache_warm(Some(2)).unwrap();
+    assert_eq!(loaded, 2, "warm honors its limit");
+    let loaded = client.cache_warm(None).unwrap();
+    assert_eq!(loaded, live, "a full warm promotes every stored result");
+    let warmed = client.submit(&job).unwrap();
+    assert_eq!(warmed.cache_hits(), warmed.layers.len());
+
+    // Compact drops the refreshed entry's superseded record.
+    let report = client.compact_store().unwrap();
+    assert!(report.dropped_records >= 1, "{report:?}");
+    assert!(report.bytes_after <= report.bytes_before);
+    let after = client.stats_report().unwrap().store.unwrap();
+    assert_eq!(after.dead_records, 0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn per_job_options_thread_through_the_wire() {
+    let (addr, handle, pool) = boot("job-options", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec = shaped_job(1, 16);
+    let first = client.submit(&spec).unwrap();
+    assert_eq!(first.cache_hits(), 0);
+
+    // Bypass: recomputes despite the resident entry, touches nothing.
+    let stats_before = client.stats_report().unwrap();
+    let bypassed = client
+        .submit_with(
+            &spec,
+            JobOptions {
+                cache: CacheMode::Bypass,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(bypassed.cache_hits(), 0, "bypass never reads the cache");
+    assert_eq!(
+        bypassed.total.energy.to_bits(),
+        first.total.energy.to_bits(),
+        "bypassed recomputation is bit-identical"
+    );
+    let stats_after = client.stats_report().unwrap();
+    assert_eq!(stats_after.cache.bypasses, stats_before.cache.bypasses + 1);
+    assert_eq!(stats_after.cache.hits, stats_before.cache.hits);
+
+    // Refresh: recomputes and replaces; counted distinctly.
+    let refreshed = client
+        .submit_with(
+            &spec,
+            JobOptions {
+                cache: CacheMode::Refresh,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(refreshed.cache_hits(), 0);
+    assert_eq!(client.stats_report().unwrap().cache.refreshes, 1);
+    // A plain resubmission now hits the refreshed entry.
+    let warm = client.submit(&spec).unwrap();
+    assert_eq!(warm.cache_hits(), 1);
+
+    // keep_points: the result carries the Pareto front, and is cached
+    // under its own key (the point-free entry still hits).
+    let with_points = client
+        .submit_with(
+            &spec,
+            JobOptions {
+                keep_points: true,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(
+        !with_points.layers[0].pareto.is_empty(),
+        "keep_points returns the front over the wire"
+    );
+    assert_eq!(with_points.cache_hits(), 0, "separate cache key");
+    let without = client.submit(&spec).unwrap();
+    assert!(without.layers[0].pareto.is_empty());
+    assert_eq!(without.cache_hits(), 1);
+
+    // shard_chunk hint: bit-identical results under forced chunking.
+    client
+        .set_shard_policy(ShardPolicyUpdate {
+            min_tilings: Some(2),
+            chunks_per_worker: None,
+            chunk_tilings: None,
+        })
+        .unwrap();
+    let hinted = client
+        .submit_with(
+            &shaped_job(9, 32),
+            JobOptions {
+                cache: CacheMode::Bypass,
+                shard_chunk: Some(2),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    let direct = pool
+        .state()
+        .factory()
+        .engine(&EngineSpec::default())
+        .explore_layer(&Layer::conv("L32", 8, 8, 32, 8, 3, 3, 1))
+        .unwrap();
+    assert_eq!(
+        hinted.layers[0].estimate.energy.to_bits(),
+        direct.best.estimate.energy.to_bits()
+    );
+    assert_eq!(hinted.layers[0].evaluations as usize, direct.evaluations);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
