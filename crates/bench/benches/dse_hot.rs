@@ -9,11 +9,14 @@
 //! oversized layer split across pool workers) and **verifies the
 //! sharded-vs-sequential bit-identity** before reporting anything: a
 //! mismatch fails the run with a non-zero exit, so CI catches identity
-//! regressions here as well as in the proptests.
+//! regressions here as well as in the proptests. A second hard gate
+//! bounds the cost of the service's telemetry instrumentation at <3%
+//! of the sweep's wall clock (see `verify_telemetry_overhead`).
 //!
 //! Writes `BENCH_dse.json` at the workspace root. Run with `--smoke`
 //! (as CI does) for a fast low-iteration pass.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
@@ -27,6 +30,7 @@ use drmap_core::tiling::enumerate_tilings;
 use drmap_service::engine::ServiceState;
 use drmap_service::json::Json;
 use drmap_service::pool::{DsePool, ShardPolicy};
+use drmap_service::prelude::{Counter, Histogram, Span};
 use drmap_service::spec::{EngineSpec, JobSpec};
 
 /// The keep-points sweep configuration both contenders run.
@@ -163,6 +167,76 @@ fn best_of<R>(repeats: usize, mut f: impl FnMut() -> R) -> Duration {
     best
 }
 
+/// The telemetry overhead gate: instrumentation on the AlexNet sweep
+/// must cost less than this fraction of the sweep's own wall clock.
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.03;
+
+/// Hard gate on telemetry cost, measured deterministically instead of
+/// by differencing two noisy wall-clock runs: run the AlexNet sweep
+/// through the instrumented service stack, count every telemetry
+/// operation it actually performed (each histogram sample is one span —
+/// two `Instant::now` calls plus an atomic bucket add; each counter
+/// unit is one atomic add), price the two operation kinds with tight
+/// calibration loops, and compare the total against the sweep's wall
+/// clock. Exits non-zero above [`MAX_TELEMETRY_OVERHEAD`].
+fn verify_telemetry_overhead() -> Json {
+    let state = ServiceState::new().unwrap();
+    let pool = DsePool::new(Arc::clone(&state), 1);
+    let spec = JobSpec::network(1, EngineSpec::default(), Network::alexnet());
+    let start = Instant::now();
+    pool.submit(&spec).wait().unwrap();
+    let wall = start.elapsed();
+
+    let snap = state.metrics().snapshot();
+    let span_ops: u64 = snap.histograms.iter().map(|(_, h)| h.count).sum();
+    let counter_ops: u64 = snap.counters.iter().map(|(_, v)| v).sum();
+
+    // Per-operation prices. The span probe pays the full RAII cost:
+    // enter (one `Instant::now`) plus drop (a second `Instant::now`
+    // and the histogram record).
+    let reps: u32 = 100_000;
+    let hist = Arc::new(Histogram::new());
+    let t = Instant::now();
+    for _ in 0..reps {
+        drop(std::hint::black_box(Span::enter("overhead_probe", &hist)));
+    }
+    let per_span_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(reps);
+    let counter = Counter::new();
+    let t = Instant::now();
+    for _ in 0..reps {
+        counter.inc();
+    }
+    std::hint::black_box(counter.get());
+    let per_counter_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(reps);
+
+    let overhead_ns = span_ops as f64 * per_span_ns + counter_ops as f64 * per_counter_ns;
+    let frac = overhead_ns / (wall.as_secs_f64() * 1e9).max(1.0);
+    println!(
+        "dse_hot: telemetry overhead on the AlexNet sweep: {span_ops} spans \
+         ({per_span_ns:.0} ns each) + {counter_ops} counter ops ({per_counter_ns:.1} ns each) \
+         over {:.3}s -> {:.5}% of wall clock",
+        wall.as_secs_f64(),
+        frac * 100.0,
+    );
+    if frac >= MAX_TELEMETRY_OVERHEAD {
+        eprintln!(
+            "dse_hot: TELEMETRY OVERHEAD FAILURE: {:.3}% >= {:.0}%",
+            frac * 100.0,
+            MAX_TELEMETRY_OVERHEAD * 100.0,
+        );
+        std::process::exit(1);
+    }
+    Json::obj([
+        ("span_ops", Json::num_u64(span_ops)),
+        ("counter_ops", Json::num_u64(counter_ops)),
+        ("per_span_ns", Json::Num(per_span_ns)),
+        ("per_counter_ns", Json::Num(per_counter_ns)),
+        ("sweep_wall_s", Json::Num(wall.as_secs_f64())),
+        ("overhead_frac", Json::Num(frac)),
+        ("max_overhead_frac", Json::Num(MAX_TELEMETRY_OVERHEAD)),
+    ])
+}
+
 fn bench_dse_hot(c: &mut Criterion) {
     let engine = hot_engine();
     let network = Network::alexnet();
@@ -248,6 +322,8 @@ fn emit_bench_json(smoke: bool) {
         },
     );
 
+    let telemetry = verify_telemetry_overhead();
+
     let secs = |d: Duration| Json::Num(d.as_secs_f64());
     let report = Json::obj([
         ("bench", Json::str("dse_hot")),
@@ -276,6 +352,7 @@ fn emit_bench_json(smoke: bool) {
                 ("speedup", Json::Num(shard_speedup)),
             ]),
         ),
+        ("telemetry_overhead", telemetry),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
     match std::fs::write(path, report.render() + "\n") {

@@ -170,8 +170,17 @@ fn emit_bench_json() {
     pipelined_server.join().unwrap();
 
     let secs = |d: Duration| Json::Num(d.as_secs_f64());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = Json::obj([
         ("bench", Json::str("service_throughput")),
+        (
+            "environment",
+            Json::obj([
+                ("cores_available", Json::num_usize(cores)),
+                ("workers", Json::num_usize(4)),
+                ("connections", Json::num_usize(1)),
+            ]),
+        ),
         ("layers_per_batch", Json::num_u64(layers)),
         (
             "cold_batch_s",

@@ -8,7 +8,7 @@
 //!             [--shard-min-tilings N] [--shard-chunk N]
 //!             [--store PATH]
 //!             [--connect HOST:PORT] [--binary]
-//!             [--connect HOST:PORT --admin CMD [CMD…]]
+//!             [--connect HOST:PORT --admin CMD [CMD…] [--text]]
 //! ```
 //!
 //! `SPEC_FILE` holds one JSON job per line (the server's request
@@ -39,7 +39,16 @@
 //! ```text
 //! drmap-batch --connect 127.0.0.1:7878 --admin hello set-policy=cost \
 //!     set-shard-policy=min_tilings:32,chunks_per_worker:4 \
-//!     cache-warm store-compact stats
+//!     set-bounds=entries:512 cache-warm store-compact stats
+//! ```
+//!
+//! The `metrics` admin command dumps the server's telemetry — request
+//! counters, latency histogram quantiles, and the slow-request log;
+//! with `--text` it prints Prometheus-style text exposition instead
+//! (see `docs/OBSERVABILITY.md`):
+//!
+//! ```text
+//! drmap-batch --connect 127.0.0.1:7878 --admin metrics --text
 //! ```
 
 use std::process::ExitCode;
@@ -71,6 +80,7 @@ struct Args {
     connect: Option<String>,
     binary: bool,
     admin: Option<Vec<AdminCmd>>,
+    text: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
         connect: None,
         binary: false,
         admin: None,
+        text: false,
     };
     // Flags that only apply to the in-process pool; rejected with
     // --connect rather than silently ignored.
@@ -158,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             "--admin" => {
                 args.admin.get_or_insert_with(Vec::new);
             }
+            "--text" => args.text = true,
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-batch [SPEC_FILE] [--models a,b,c] [--arch ARCH] \
@@ -165,7 +177,8 @@ fn parse_args() -> Result<Args, String> {
                      [--cache-entries N] [--cache-bytes BYTES] \
                      [--cache-policy lru|cost] \
                      [--shard-min-tilings N] [--shard-chunk N] [--store PATH] \
-                     [--connect HOST:PORT] [--binary] [--admin CMD [CMD...]]"
+                     [--connect HOST:PORT] [--binary] \
+                     [--admin CMD [CMD...] [--text]]"
                 );
                 std::process::exit(0);
             }
@@ -202,6 +215,9 @@ fn parse_args() -> Result<Args, String> {
             return Err("--repeat does not apply in --admin mode".to_owned());
         }
     }
+    if args.text && args.admin.is_none() {
+        return Err("--text only applies in --admin mode (with the metrics command)".to_owned());
+    }
     if args.connect.is_some() && !local_only.is_empty() {
         return Err(format!(
             "{} appl{} only to the in-process pool; with --connect the server's \
@@ -213,9 +229,18 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn bound_label(b: Option<usize>) -> String {
+    match b {
+        Some(n) => n.to_string(),
+        None => "unbounded".to_owned(),
+    }
+}
+
 /// Drive a sequence of admin commands over the typed protocol, printing
 /// each response; the first non-ok response aborts with its error.
-fn run_admin(addr: &str, binary: bool, commands: &[AdminCmd]) -> Result<(), String> {
+/// `text` makes the `metrics` command print Prometheus-style
+/// exposition instead of the human summary.
+fn run_admin(addr: &str, binary: bool, text: bool, commands: &[AdminCmd]) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
     client.set_binary(binary);
     for command in commands {
@@ -291,6 +316,60 @@ fn run_admin(addr: &str, binary: bool, commands: &[AdminCmd]) -> Result<(), Stri
                         None => "auto".to_owned(),
                     },
                 );
+            }
+            AdminCmd::SetBounds(update) => {
+                let (entries, bytes, evicted) = client
+                    .set_bounds(*update)
+                    .map_err(|e| format!("set-bounds: {e}"))?;
+                println!(
+                    "set-bounds: {} entries / {} bytes ({evicted} evicted)",
+                    bound_label(entries),
+                    bound_label(bytes),
+                );
+            }
+            AdminCmd::Metrics => {
+                let report = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+                if text {
+                    print!("{}", report.snapshot.to_prometheus());
+                } else {
+                    for (name, v) in &report.snapshot.counters {
+                        println!("counter  {name} = {v}");
+                    }
+                    for (name, v) in &report.snapshot.gauges {
+                        println!("gauge    {name} = {v}");
+                    }
+                    for (name, h) in &report.snapshot.histograms {
+                        if h.count == 0 {
+                            println!("hist     {name}: empty");
+                            continue;
+                        }
+                        println!(
+                            "hist     {name}: count {} p50 {} p95 {} p99 {} p999 {} max {} (ns)",
+                            h.count,
+                            h.p50(),
+                            h.p95(),
+                            h.p99(),
+                            h.p999(),
+                            h.max,
+                        );
+                    }
+                    if report.slow.is_empty() {
+                        println!("slow log: empty");
+                    }
+                    for entry in &report.slow {
+                        let stages = entry
+                            .stages
+                            .iter()
+                            .map(|(name, ns)| format!("{name} {:.2}ms", *ns as f64 / 1e6))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        println!(
+                            "slow job {}: {:.2}ms total ({stages})",
+                            entry.trace_id,
+                            entry.total_ns as f64 / 1e6,
+                        );
+                    }
+                }
             }
             AdminCmd::CacheClear => {
                 client
@@ -486,7 +565,7 @@ fn run() -> Result<(), String> {
             .connect
             .as_deref()
             .expect("parse_args checked --connect");
-        return run_admin(addr, args.binary, commands);
+        return run_admin(addr, args.binary, args.text, commands);
     }
     let specs = load_specs(&args)?;
     let batch = batch_of(&specs, args.repeat);

@@ -6,6 +6,7 @@
 //!             [--shard-min-tilings N] [--shard-chunk N]
 //!             [--store PATH] [--warm N]
 //!             [--max-inflight N] [--max-inflight-global N]
+//!             [--slow-ms N]
 //! ```
 //!
 //! Speaks the typed, versioned protocol (plus the legacy shim) over
@@ -23,7 +24,10 @@
 //! caps how many; default: up to the cache's entry bound, or all of
 //! them). `--max-inflight` bounds in-flight requests per connection;
 //! `--max-inflight-global` additionally bounds them across all
-//! connections. Try it with netcat:
+//! connections. `--slow-ms N` turns on the slow-request log: any job
+//! taking at least N ms is captured with its per-stage span breakdown
+//! and dumped by the `metrics` admin verb (`--slow-ms 0` logs every
+//! job; see `docs/OBSERVABILITY.md`). Try it with netcat:
 //!
 //! ```text
 //! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 --store results.wal &
@@ -91,13 +95,22 @@ fn parse_args() -> Result<Args, String> {
                     &value("--max-inflight-global")?,
                 )?);
             }
+            "--slow-ms" => {
+                // 0 is meaningful: it logs every request.
+                let v = value("--slow-ms")?;
+                args.server.slow_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --slow-ms value {v:?}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
                      [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost] \
                      [--shard-min-tilings N] [--shard-chunk N] \
                      [--store PATH] [--warm N] \
-                     [--max-inflight N] [--max-inflight-global N]"
+                     [--max-inflight N] [--max-inflight-global N] \
+                     [--slow-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -155,7 +168,7 @@ fn main() -> ExitCode {
                 "drmap-serve: listening on {addr} with {} workers \
                  (cache: {} entries, {} bytes, {} eviction; \
                  shard: min {} tilings, chunk {}; store: {}; \
-                 in-flight: {}/conn, {} global)",
+                 in-flight: {}/conn, {} global; slow log: {})",
                 args.workers,
                 bound(args.cache.max_entries),
                 bound(args.cache.max_bytes),
@@ -168,6 +181,10 @@ fn main() -> ExitCode {
                 args.store.as_deref().unwrap_or("none"),
                 args.server.max_inflight,
                 bound(args.server.max_inflight_global),
+                match args.server.slow_ms {
+                    Some(ms) => format!(">= {ms} ms"),
+                    None => "off".to_owned(),
+                },
             );
         }
         Err(e) => eprintln!("drmap-serve: {e}"),

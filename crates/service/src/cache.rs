@@ -43,17 +43,23 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use drmap_core::bytes::{decode_stored_result, encode_stored_result};
 use drmap_core::dse::LayerDseResult;
 use drmap_core::error::DseError;
 use drmap_store::store::Store;
+use drmap_telemetry::Histogram;
 
 use crate::error::panic_message;
 use crate::spec::CacheMode;
 use crate::sync::lock_recovered;
+
+/// Nanoseconds since `start`, saturating.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Which resident entry a full cache sacrifices.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -258,6 +264,14 @@ struct Inner {
     /// [`CacheConfig::policy`], swappable at runtime via
     /// [`DseCache::set_policy`]).
     policy: EvictionPolicy,
+    /// The entry cap currently in force (initialized from
+    /// [`CacheConfig::max_entries`], retunable at runtime via
+    /// [`DseCache::set_bounds`]).
+    max_entries: Option<usize>,
+    /// The approximate-byte cap currently in force (initialized from
+    /// [`CacheConfig::max_bytes`], retunable at runtime via
+    /// [`DseCache::set_bounds`]).
+    max_bytes: Option<usize>,
     hits: u64,
     misses: u64,
     coalesced: u64,
@@ -274,12 +288,14 @@ struct Inner {
 }
 
 impl Inner {
-    fn new(policy: EvictionPolicy) -> Self {
+    fn new(config: &CacheConfig) -> Self {
         Inner {
             head: NIL,
             tail: NIL,
             free: NIL,
-            policy,
+            policy: config.policy,
+            max_entries: config.max_entries,
+            max_bytes: config.max_bytes,
             ..Inner::default()
         }
     }
@@ -361,13 +377,7 @@ impl Inner {
     /// evict least-recently-used entries until the bounds hold. If the
     /// new entry alone exceeds the byte bound it is evicted too — the
     /// cache never exceeds its configured limits.
-    fn insert(
-        &mut self,
-        key: String,
-        value: LayerDseResult,
-        compute_ns: u64,
-        config: &CacheConfig,
-    ) {
+    fn insert(&mut self, key: String, value: LayerDseResult, compute_ns: u64) {
         // A nonzero duration is a measurement (fresh computation or
         // store revival): fold it into the monotonic aggregates. Kept
         // O(1) here so `stats()` never has to walk the slab under the
@@ -418,12 +428,12 @@ impl Inner {
             self.bytes += bytes;
             self.push_front(index);
         }
-        self.enforce_bounds(config);
+        self.enforce_bounds();
     }
 
-    fn over_bounds(&self, config: &CacheConfig) -> bool {
-        config.max_entries.is_some_and(|n| self.map.len() > n)
-            || config.max_bytes.is_some_and(|n| self.bytes > n)
+    fn over_bounds(&self) -> bool {
+        self.max_entries.is_some_and(|n| self.map.len() > n)
+            || self.max_bytes.is_some_and(|n| self.bytes > n)
     }
 
     /// The victim under the cost-aware policy: the entry with the
@@ -446,8 +456,11 @@ impl Inner {
         victim
     }
 
-    fn enforce_bounds(&mut self, config: &CacheConfig) {
-        while self.over_bounds(config) && self.tail != NIL {
+    /// Evict until the **live** bounds hold — the construction-time
+    /// config is consulted only at [`Inner::new`]; `set-bounds` retunes
+    /// the copies kept here.
+    fn enforce_bounds(&mut self) {
+        while self.over_bounds() && self.tail != NIL {
             // The *live* policy, not the construction-time one: an
             // operator's `set-policy` takes effect on the very next
             // eviction.
@@ -464,6 +477,23 @@ impl Inner {
     }
 }
 
+/// Latency histograms the cache records into once
+/// [`DseCache::attach_metrics`] is called: store-tier read/write
+/// durations (as the cache sees them, decode/encode included) and time
+/// spent blocked on another caller's in-flight computation.
+#[derive(Debug)]
+pub struct CacheMetrics {
+    /// Store-tier consultation on a resident miss (`store.get` +
+    /// decode), nanoseconds.
+    pub store_read_ns: Arc<Histogram>,
+    /// Write-through of a fresh result (encode + `store.put`),
+    /// nanoseconds.
+    pub store_write_ns: Arc<Histogram>,
+    /// Time a caller spent blocked on an in-flight computation it
+    /// coalesced onto (or that a refresh waited out), nanoseconds.
+    pub singleflight_wait_ns: Arc<Histogram>,
+}
+
 /// A thread-safe, capacity-bounded, single-flight memoization cache for
 /// single-layer DSE results, optionally backed by a persistent store
 /// tier.
@@ -472,6 +502,7 @@ pub struct DseCache {
     inner: Mutex<Inner>,
     config: CacheConfig,
     store: Option<Arc<Store>>,
+    metrics: OnceLock<CacheMetrics>,
 }
 
 impl DseCache {
@@ -483,9 +514,10 @@ impl DseCache {
     /// An empty cache with the given capacity bounds.
     pub fn with_config(config: CacheConfig) -> Self {
         DseCache {
-            inner: Mutex::new(Inner::new(config.policy)),
+            inner: Mutex::new(Inner::new(&config)),
             config,
             store: None,
+            metrics: OnceLock::new(),
         }
     }
 
@@ -496,16 +528,57 @@ impl DseCache {
     /// results.
     pub fn with_store(config: CacheConfig, store: Arc<Store>) -> Self {
         DseCache {
-            inner: Mutex::new(Inner::new(config.policy)),
+            inner: Mutex::new(Inner::new(&config)),
             config,
             store: Some(store),
+            metrics: OnceLock::new(),
         }
     }
 
-    /// The configured capacity bounds (and *initial* policy — see
-    /// [`DseCache::policy`] for the live one).
+    /// Attach latency histograms. Until this is called the cache runs
+    /// unobserved at zero cost; a second attachment is ignored.
+    pub fn attach_metrics(&self, metrics: CacheMetrics) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// The capacity bounds the cache was *constructed* with (and its
+    /// initial policy). Runtime retunes are visible through
+    /// [`DseCache::bounds`] and [`DseCache::policy`] instead.
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The `(max_entries, max_bytes)` bounds currently in force.
+    pub fn bounds(&self) -> (Option<usize>, Option<usize>) {
+        let inner = lock_recovered(&self.inner);
+        (inner.max_entries, inner.max_bytes)
+    }
+
+    /// Retune the live capacity bounds, effective immediately: if the
+    /// resident set exceeds a shrunk cap, entries are evicted (under
+    /// the live eviction policy) until the new bounds hold — no
+    /// restart, no flush of what still fits. For each bound, `None`
+    /// keeps the current value, `Some(None)` removes the cap, and
+    /// `Some(Some(n))` sets it. Returns the previous
+    /// `(max_entries, max_bytes)` and how many entries the shrink
+    /// evicted. This is the `set-bounds` admin verb's backing
+    /// operation.
+    pub fn set_bounds(
+        &self,
+        max_entries: Option<Option<usize>>,
+        max_bytes: Option<Option<usize>>,
+    ) -> ((Option<usize>, Option<usize>), u64) {
+        let mut inner = lock_recovered(&self.inner);
+        let previous = (inner.max_entries, inner.max_bytes);
+        if let Some(entries) = max_entries {
+            inner.max_entries = entries;
+        }
+        if let Some(bytes) = max_bytes {
+            inner.max_bytes = bytes;
+        }
+        let evictions_before = inner.evictions;
+        inner.enforce_bounds();
+        (previous, inner.evictions - evictions_before)
     }
 
     /// The eviction policy currently in force.
@@ -551,15 +624,21 @@ impl DseCache {
     /// last-write-wins is deterministic. Entries inserted this way carry
     /// no compute-duration measurement.
     pub fn insert(&self, key: String, result: LayerDseResult) {
-        lock_recovered(&self.inner).insert(key, result, 0, &self.config);
+        lock_recovered(&self.inner).insert(key, result, 0);
     }
 
     /// Block (without the cache lock) until a flight's leader publishes
-    /// a result or an error, and return a copy of it.
-    fn await_flight(flight: &Flight) -> Result<LayerDseResult, DseError> {
+    /// a result or an error, and return a copy of it. The time spent
+    /// blocked is recorded in the `singleflight_wait_ns` histogram when
+    /// metrics are attached.
+    fn await_flight(&self, flight: &Flight) -> Result<LayerDseResult, DseError> {
+        let start = Instant::now();
         let mut done = lock_recovered(&flight.done);
         while done.is_none() {
             done = flight.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(metrics) = self.metrics.get() {
+            metrics.singleflight_wait_ns.record(elapsed_ns(start));
         }
         done.clone().expect("loop exits only when done is set")
     }
@@ -681,12 +760,14 @@ impl DseCache {
             // exists to replace. Wait it out (result discarded, errors
             // included) and retry for leadership of a fresh computation.
             if let Some(flight) = existing {
-                let _ = Self::await_flight(&flight);
+                let _ = self.await_flight(&flight);
             }
         };
 
         if !is_leader {
-            return Self::await_flight(&flight).map(|value| (value, CacheOutcome::Coalesced));
+            return self
+                .await_flight(&flight)
+                .map(|value| (value, CacheOutcome::Coalesced));
         }
 
         // Leader: consult the store tier, then compute if needed — all
@@ -698,18 +779,25 @@ impl DseCache {
             // A refresh exists to *replace* what the tiers hold, so
             // only a Default-mode leader may be served from the store.
             if let (CacheMode::Default, Some(store)) = (mode, &self.store) {
-                match store.get(key) {
-                    Ok(Some(bytes)) => match decode_stored_result(&bytes) {
-                        Ok((value, stored_ns)) => {
-                            lock_recovered(&self.inner).store_hits += 1;
-                            outcome = CacheOutcome::StoreHit;
-                            compute_ns = stored_ns;
-                            break 'produce Ok(value);
-                        }
-                        Err(_) => lock_recovered(&self.inner).store_errors += 1,
-                    },
-                    Ok(None) => lock_recovered(&self.inner).store_misses += 1,
-                    Err(_) => lock_recovered(&self.inner).store_errors += 1,
+                let read_start = Instant::now();
+                let fetched = store.get(key);
+                let decoded = match &fetched {
+                    Ok(Some(bytes)) => Some(decode_stored_result(bytes)),
+                    _ => None,
+                };
+                if let Some(metrics) = self.metrics.get() {
+                    metrics.store_read_ns.record(elapsed_ns(read_start));
+                }
+                match (fetched, decoded) {
+                    (Ok(Some(_)), Some(Ok((value, stored_ns)))) => {
+                        lock_recovered(&self.inner).store_hits += 1;
+                        outcome = CacheOutcome::StoreHit;
+                        compute_ns = stored_ns;
+                        break 'produce Ok(value);
+                    }
+                    (Ok(Some(_)), _) => lock_recovered(&self.inner).store_errors += 1,
+                    (Ok(None), _) => lock_recovered(&self.inner).store_misses += 1,
+                    (Err(_), _) => lock_recovered(&self.inner).store_errors += 1,
                 }
             }
             let started = Instant::now();
@@ -726,7 +814,7 @@ impl DseCache {
         {
             let mut inner = lock_recovered(&self.inner);
             if let Ok(value) = &computed {
-                inner.insert(key.to_owned(), value.clone(), compute_ns, &self.config);
+                inner.insert(key.to_owned(), value.clone(), compute_ns);
             }
             inner.inflight.remove(key);
         }
@@ -742,9 +830,13 @@ impl DseCache {
         // restart".
         if outcome == CacheOutcome::Miss {
             if let (Some(store), Ok(value)) = (&self.store, &computed) {
+                let write_start = Instant::now();
                 let wrote = encode_stored_result(value, compute_ns)
                     .map_err(|_| ())
                     .and_then(|bytes| store.put(key, &bytes).map_err(|_| ()));
+                if let Some(metrics) = self.metrics.get() {
+                    metrics.store_write_ns.record(elapsed_ns(write_start));
+                }
                 if wrote.is_err() {
                     lock_recovered(&self.inner).store_errors += 1;
                 }
@@ -793,10 +885,10 @@ impl DseCache {
     /// counts one store error and warms nothing.
     pub fn warm_from_store(&self, limit: Option<usize>) -> usize {
         let Some(store) = &self.store else { return 0 };
-        let budget = limit
-            .or(self.config.max_entries)
-            .unwrap_or(usize::MAX)
-            .min(store.len());
+        // The *live* entry bound, so a warm start after `set-bounds`
+        // never loads more than the retuned cap would keep.
+        let entry_bound = lock_recovered(&self.inner).max_entries;
+        let budget = limit.or(entry_bound).unwrap_or(usize::MAX).min(store.len());
         let entries = match store.bulk_load(Some(budget)) {
             Ok(loaded) => {
                 if loaded.damaged > 0 {
@@ -815,7 +907,7 @@ impl DseCache {
         for (key, bytes) in entries.into_iter().rev() {
             match decode_stored_result(&bytes) {
                 Ok((value, compute_ns)) => {
-                    lock_recovered(&self.inner).insert(key, value, compute_ns, &self.config);
+                    lock_recovered(&self.inner).insert(key, value, compute_ns);
                     loaded += 1;
                 }
                 Err(_) => lock_recovered(&self.inner).store_errors += 1,

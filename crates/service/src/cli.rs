@@ -4,7 +4,7 @@
 
 use crate::cache::EvictionPolicy;
 use crate::pool::ShardPolicy;
-use crate::proto::ShardPolicyUpdate;
+use crate::proto::{BoundsUpdate, ShardPolicyUpdate};
 
 /// Parse a `--cache-policy` value: `lru` or `cost`.
 ///
@@ -70,6 +70,12 @@ pub enum AdminCmd {
     /// (keys: `min_tilings`, `chunks_per_worker`, `chunk_tilings`;
     /// `chunk_tilings:0` clears the explicit chunk size).
     SetShardPolicy(ShardPolicyUpdate),
+    /// `set-bounds=entries:N|bytes:N[,…]` — retune the cache bounds
+    /// (`0` clears a bound to unbounded).
+    SetBounds(BoundsUpdate),
+    /// `metrics` — dump the telemetry snapshot and slow-request log
+    /// (`--text` renders Prometheus-style exposition instead).
+    Metrics,
     /// `cache-clear` — drop the resident cache tier.
     CacheClear,
     /// `cache-warm[=N]` — promote stored results into the cache.
@@ -99,6 +105,7 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
         "hello" => no_value(AdminCmd::Hello),
         "ping" => no_value(AdminCmd::Ping),
         "stats" => no_value(AdminCmd::Stats),
+        "metrics" => no_value(AdminCmd::Metrics),
         "cache-clear" => no_value(AdminCmd::CacheClear),
         "store-compact" => no_value(AdminCmd::StoreCompact),
         "shutdown" => no_value(AdminCmd::Shutdown),
@@ -148,9 +155,40 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
             }
             Ok(AdminCmd::SetShardPolicy(update))
         }
+        "set-bounds" => {
+            let value = value.ok_or(
+                "set-bounds needs a value, e.g. set-bounds=entries:512,bytes:1048576 \
+                 (0 clears a bound)",
+            )?;
+            let mut update = BoundsUpdate::default();
+            for pair in value.split(',') {
+                let (key, n) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("set-bounds field {pair:?} is not key:value"))?;
+                // 0 is meaningful for both: it clears the bound to
+                // unbounded.
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("invalid {key} value {n:?} (integer, 0 clears)"))?;
+                match key {
+                    "entries" => update.max_entries = Some(n),
+                    "bytes" => update.max_bytes = Some(n),
+                    other => {
+                        return Err(format!(
+                            "unknown set-bounds field {other:?} (expected entries or bytes)"
+                        ))
+                    }
+                }
+            }
+            if update.is_empty() {
+                return Err("set-bounds changed nothing".to_owned());
+            }
+            Ok(AdminCmd::SetBounds(update))
+        }
         other => Err(format!(
             "unknown admin command {other:?} (expected hello, ping, stats, set-policy, \
-             set-shard-policy, cache-clear, cache-warm, store-compact, or shutdown)"
+             set-shard-policy, set-bounds, cache-clear, cache-warm, store-compact, metrics, \
+             or shutdown)"
         )),
     }
 }
@@ -199,6 +237,14 @@ mod tests {
                 chunk_tilings: Some(0),
             }))
         );
+        assert_eq!(parse_admin_command("metrics"), Ok(AdminCmd::Metrics));
+        assert_eq!(
+            parse_admin_command("set-bounds=entries:64,bytes:0"),
+            Ok(AdminCmd::SetBounds(BoundsUpdate {
+                max_entries: Some(64),
+                max_bytes: Some(0),
+            }))
+        );
         for bad in [
             "reboot",
             "set-policy",
@@ -209,6 +255,11 @@ mod tests {
             "set-shard-policy=",
             "ping=1",
             "cache-warm=zero",
+            "metrics=all",
+            "set-bounds",
+            "set-bounds=",
+            "set-bounds=rows:4",
+            "set-bounds=entries:x",
         ] {
             assert!(parse_admin_command(bad).is_err(), "accepted {bad:?}");
         }

@@ -14,9 +14,10 @@
 //! * **Typed / admin** — the versioned protocol of [`crate::proto`]:
 //!   [`Client::hello`] opens the handshake, [`Client::submit_with`]
 //!   attaches per-job options, and [`Client::set_policy`],
-//!   [`Client::set_shard_policy`], [`Client::cache_clear`],
-//!   [`Client::cache_warm`], [`Client::compact_store`], and
-//!   [`Client::stats_report`] drive a live server's control plane.
+//!   [`Client::set_shard_policy`], [`Client::set_bounds`],
+//!   [`Client::cache_clear`], [`Client::cache_warm`],
+//!   [`Client::compact_store`], [`Client::stats_report`], and
+//!   [`Client::metrics`] drive a live server's control plane.
 //!
 //! [`Client::set_binary`] switches outgoing requests to the
 //! length-prefixed binary frame encoding (see [`crate::wire`]), which
@@ -32,7 +33,10 @@ use drmap_store::store::CompactReport;
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::ShardPolicy;
-use crate::proto::{Request, Response, ShardPolicyUpdate, StatsReport, PROTOCOL_VERSION};
+use crate::proto::{
+    BoundsUpdate, MetricsReport, Request, Response, ShardPolicyUpdate, StatsReport,
+    PROTOCOL_VERSION,
+};
 use crate::spec::{JobOptions, JobResult, JobSpec};
 use crate::wire::{self, Encoding};
 
@@ -334,6 +338,50 @@ impl Client {
         match self.typed_request(&Request::Stats { id: None })? {
             Response::Stats { report, .. } => Ok(report),
             other => Err(Self::unexpected("stats", &other)),
+        }
+    }
+
+    /// Retune the live server's cache bounds (absent fields keep their
+    /// current values; `0` clears a bound to unbounded). Returns the
+    /// bounds now in force plus how many entries were evicted
+    /// immediately to honor a shrunk cap.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty updates (rejected client-side), malformed
+    /// responses, or server-side errors.
+    pub fn set_bounds(
+        &mut self,
+        update: BoundsUpdate,
+    ) -> Result<(Option<usize>, Option<usize>, u64), ServiceError> {
+        if update.is_empty() {
+            return Err(ServiceError::protocol(
+                "set-bounds needs at least one of max_entries or max_bytes",
+            ));
+        }
+        match self.typed_request(&Request::SetBounds { id: None, update })? {
+            Response::BoundsSet {
+                max_entries,
+                max_bytes,
+                evicted,
+                ..
+            } => Ok((max_entries, max_bytes, evicted)),
+            other => Err(Self::unexpected("set-bounds", &other)),
+        }
+    }
+
+    /// Fetch the server's telemetry: every counter, gauge, and latency
+    /// histogram, plus the slow-request log. Render the snapshot as
+    /// Prometheus-style text with
+    /// [`drmap_telemetry::MetricsSnapshot::to_prometheus`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ServiceError> {
+        match self.typed_request(&Request::Metrics { id: None })? {
+            Response::Metrics { report, .. } => Ok(report),
+            other => Err(Self::unexpected("metrics", &other)),
         }
     }
 

@@ -19,10 +19,14 @@ use drmap_core::error::DseError;
 use drmap_dram::geometry::Geometry;
 use drmap_dram::profiler::{AccessCostTable, Profiler};
 use drmap_dram::timing::DramArch;
+use drmap_telemetry::{Counter, Histogram, MetricsRegistry, SlowLog, Span, Trace};
 
-use crate::cache::{CacheConfig, CacheOutcome, DseCache};
+use crate::cache::{CacheConfig, CacheMetrics, CacheOutcome, DseCache};
 use crate::error::ServiceError;
 use crate::spec::{CacheMode, EngineSpec, JobResult, JobSpec, LayerOutcome};
+
+/// How many slow requests the [`SlowLog`] ring buffer retains.
+const SLOW_LOG_CAPACITY: usize = 32;
 
 /// Builds [`DseEngine`]s on demand, memoizing the profiled cost tables.
 #[derive(Debug)]
@@ -102,11 +106,59 @@ impl EngineFactory {
     }
 }
 
-/// The service's shared state: engine factory plus layer memo cache.
+/// Pre-resolved handles for every request-path stage metric, looked up
+/// once at [`ServiceState`] construction so hot paths never touch the
+/// registry's name maps. The span taxonomy is documented in
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug)]
+pub(crate) struct StageMetrics {
+    /// End-to-end latency of one submitted job (dispatch → response
+    /// queued).
+    pub(crate) request_ns: Arc<Histogram>,
+    /// Wire frame read + parse + request decode.
+    pub(crate) frame_decode_ns: Arc<Histogram>,
+    /// Response serialization + wire frame write.
+    pub(crate) frame_encode_ns: Arc<Histogram>,
+    /// Full cached layer lookup (contains `explore_ns` on a miss).
+    pub(crate) cache_lookup_ns: Arc<Histogram>,
+    /// The DSE sweep itself (cache misses only).
+    pub(crate) explore_ns: Arc<Histogram>,
+    /// One claimed chunk of a sharded layer sweep — the per-chunk
+    /// durations `ShardPolicy` auto-tuning will feed on.
+    pub(crate) shard_chunk_ns: Arc<Histogram>,
+    /// Folding shard partials (or per-layer outcomes) into a result.
+    pub(crate) merge_ns: Arc<Histogram>,
+    /// Jobs submitted through the pool.
+    pub(crate) jobs_total: Arc<Counter>,
+    /// Per-layer tasks processed by workers.
+    pub(crate) layers_total: Arc<Counter>,
+}
+
+impl StageMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        StageMetrics {
+            request_ns: registry.histogram("request_ns"),
+            frame_decode_ns: registry.histogram("frame_decode_ns"),
+            frame_encode_ns: registry.histogram("frame_encode_ns"),
+            cache_lookup_ns: registry.histogram("cache_lookup_ns"),
+            explore_ns: registry.histogram("explore_ns"),
+            shard_chunk_ns: registry.histogram("shard_chunk_ns"),
+            merge_ns: registry.histogram("merge_ns"),
+            jobs_total: registry.counter("jobs_total"),
+            layers_total: registry.counter("layers_total"),
+        }
+    }
+}
+
+/// The service's shared state: engine factory, layer memo cache, and
+/// the telemetry plane (metrics registry + slow-request log).
 #[derive(Debug)]
 pub struct ServiceState {
     factory: EngineFactory,
     cache: DseCache,
+    metrics: Arc<MetricsRegistry>,
+    stages: StageMetrics,
+    slow_log: SlowLog,
 }
 
 impl ServiceState {
@@ -142,13 +194,47 @@ impl ServiceState {
         config: CacheConfig,
         store: Option<Arc<drmap_store::store::Store>>,
     ) -> Result<Arc<Self>, ServiceError> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        if let Some(store) = &store {
+            store.attach_metrics(
+                metrics.histogram("wal_read_ns"),
+                metrics.histogram("wal_write_ns"),
+                metrics.histogram("wal_compact_ns"),
+            );
+        }
+        let cache = match store {
+            Some(store) => DseCache::with_store(config, store),
+            None => DseCache::with_config(config),
+        };
+        cache.attach_metrics(CacheMetrics {
+            store_read_ns: metrics.histogram("store_read_ns"),
+            store_write_ns: metrics.histogram("store_write_ns"),
+            singleflight_wait_ns: metrics.histogram("singleflight_wait_ns"),
+        });
+        let stages = StageMetrics::resolve(&metrics);
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
-            cache: match store {
-                Some(store) => DseCache::with_store(config, store),
-                None => DseCache::with_config(config),
-            },
+            cache,
+            metrics,
+            stages,
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
         }))
+    }
+
+    /// The metrics registry every layer of the stack records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The slow-request ring buffer (disabled until a threshold is
+    /// set, e.g. by `drmap-serve --slow-ms`).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// The pre-resolved request-path stage handles.
+    pub(crate) fn stages(&self) -> &StageMetrics {
+        &self.stages
     }
 
     /// Promote up to `limit` of the store tier's most recent results
@@ -219,9 +305,41 @@ impl ServiceState {
     where
         F: FnOnce() -> Result<LayerDseResult, DseError>,
     {
+        self.explore_layer_cached_traced(engine, tag, layer, mode, None, explore)
+    }
+
+    /// [`ServiceState::explore_layer_cached_with`] with an optional
+    /// per-request [`Trace`]: the whole lookup is timed as a
+    /// `cache_lookup` span and the computation (when the lookup falls
+    /// through) as a nested `explore` span, both recorded in the stage
+    /// histograms and — when a trace is attached — in that request's
+    /// stage breakdown. Instrumentation never touches the result, so
+    /// bit-identity across paths is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `explore` failures; failures are not cached.
+    pub(crate) fn explore_layer_cached_traced<F>(
+        &self,
+        engine: &DseEngine,
+        tag: &str,
+        layer: &Layer,
+        mode: CacheMode,
+        trace: Option<&Arc<Trace>>,
+        explore: F,
+    ) -> Result<(LayerDseResult, CacheOutcome), DseError>
+    where
+        F: FnOnce() -> Result<LayerDseResult, DseError>,
+    {
+        let _lookup = Span::enter("cache_lookup", &self.stages.cache_lookup_ns).traced(trace);
+        self.stages.layers_total.inc();
         let acc = engine.model().traffic_model().accelerator();
         let key = layer_cache_key(tag, layer, acc, engine.config());
-        let (mut result, outcome) = self.cache.get_or_compute_with(&key, mode, explore)?;
+        let stages = &self.stages;
+        let (mut result, outcome) = self.cache.get_or_compute_with(&key, mode, || {
+            let _explore = Span::enter("explore", &stages.explore_ns).traced(trace);
+            explore()
+        })?;
         if result.layer_name != layer.name {
             result.layer_name.clone_from(&layer.name);
         }

@@ -44,8 +44,9 @@
 //!   /[`Response`](proto::Response) enums with one JSON codec, a `hello`
 //!   handshake advertising [`PROTOCOL_VERSION`](proto::PROTOCOL_VERSION)
 //!   and capabilities, admin verbs (`set-policy`, `set-shard-policy`,
-//!   `cache-clear`/`cache-warm`, `store-compact`), per-job options, and
-//!   a legacy shim keeping pre-versioning clients byte-compatible;
+//!   `set-bounds`, `cache-clear`/`cache-warm`, `store-compact`,
+//!   `metrics`), per-job options, and a legacy shim keeping
+//!   pre-versioning clients byte-compatible;
 //! * [`server`]/[`client`] — a hand-rolled, std-only, **pipelined**
 //!   TCP front-end: submit many jobs tagged by `id`, receive responses
 //!   out of order as they complete; the client grows typed admin
@@ -55,6 +56,14 @@
 //!   networks;
 //! * [`json`] — the dependency-free JSON layer (floats round-trip
 //!   bit-exactly).
+//!
+//! Every layer is threaded with [`drmap_telemetry`]: lock-free latency
+//! histograms and counters for each request stage (frame decode, cache
+//! lookup, store read, single-flight wait, explore, shard chunks,
+//! merge, frame encode), per-request traces keyed by the wire `id`,
+//! and a slow-request ring buffer — all dumped by the `metrics` admin
+//! verb, structured or as Prometheus-style text. See
+//! `docs/OBSERVABILITY.md` for the metric taxonomy.
 //!
 //! Results are **bit-identical** across every path — direct
 //! [`DseEngine`](drmap_core::dse::DseEngine) call, sequential
@@ -103,7 +112,8 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::pool::{DsePool, PendingJob, ShardPolicy};
     pub use crate::proto::{
-        Dialect, Request, Response, ShardPolicyUpdate, StatsReport, PROTOCOL_VERSION,
+        BoundsUpdate, Dialect, MetricsReport, Request, Response, ShardPolicyUpdate, StatsReport,
+        PROTOCOL_VERSION,
     };
     pub use crate::server::{JobServer, ServerConfig};
     pub use crate::spec::{
@@ -112,4 +122,8 @@ pub mod prelude {
     pub use crate::wire::Encoding;
     pub use drmap_cnn::network::Network;
     pub use drmap_store::store::Store;
+    pub use drmap_telemetry::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SlowEntry,
+        SlowLog, Span, Trace,
+    };
 }

@@ -45,6 +45,7 @@ use drmap_core::dse::{LayerDseResult, LayerPartial, SharedEngine};
 use drmap_core::edp::EdpEstimate;
 use drmap_core::error::DseError;
 use drmap_core::tiling::{enumerate_tilings, Tiling};
+use drmap_telemetry::{Histogram, Span, Trace};
 
 use crate::cache::CacheOutcome;
 use crate::engine::{outcome_from_result, ServiceState};
@@ -61,6 +62,10 @@ struct LayerTask {
     layer: Layer,
     index: usize,
     options: JobOptions,
+    /// The submitting request's trace, when the front-end attached one:
+    /// the worker's cache-lookup/explore spans add themselves to its
+    /// per-stage breakdown.
+    trace: Option<Arc<Trace>>,
     reply: Sender<LayerReply>,
 }
 
@@ -149,6 +154,11 @@ struct Shard {
     next: AtomicUsize,
     progress: Mutex<ShardProgress>,
     done: Condvar,
+    /// Per-claimed-chunk sweep durations — the signal `ShardPolicy`
+    /// auto-tuning will feed on.
+    chunk_ns: Arc<Histogram>,
+    /// Leader-side partial-merge duration.
+    merge_ns: Arc<Histogram>,
 }
 
 struct ShardProgress {
@@ -162,6 +172,8 @@ impl Shard {
         layer: Layer,
         tilings: Vec<Tiling>,
         chunks: Vec<Range<usize>>,
+        chunk_ns: Arc<Histogram>,
+        merge_ns: Arc<Histogram>,
     ) -> Self {
         let progress = ShardProgress {
             partials: (0..chunks.len()).map(|_| None).collect(),
@@ -175,6 +187,8 @@ impl Shard {
             next: AtomicUsize::new(0),
             progress: Mutex::new(progress),
             done: Condvar::new(),
+            chunk_ns,
+            merge_ns,
         }
     }
 
@@ -189,6 +203,7 @@ impl Shard {
                 return;
             }
             let range = self.chunks[i].clone();
+            let chunk_span = Span::enter("shard_chunk", &self.chunk_ns);
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 self.engine
                     .explore_tilings_range(&self.layer, &self.tilings, range)
@@ -200,6 +215,9 @@ impl Shard {
                     panic_message(payload.as_ref())
                 )))
             });
+            // Close the chunk span before publishing: contention on the
+            // progress lock is not sweep time.
+            drop(chunk_span);
             let mut progress = lock_recovered(&self.progress);
             progress.partials[i] = Some(result);
             progress.finished += 1;
@@ -217,6 +235,7 @@ impl Shard {
         while progress.finished < self.chunks.len() {
             progress = self.done.wait(progress).unwrap_or_else(|e| e.into_inner());
         }
+        let _merge = Span::enter("merge", &self.merge_ns);
         let mut merged: Option<LayerPartial> = None;
         for slot in progress.partials.iter_mut() {
             let partial = slot.take().expect("a finished shard has every partial")?;
@@ -243,6 +262,7 @@ fn explore_maybe_sharded(
     layer: &Layer,
     shared: &PoolShared,
     chunk_hint: Option<usize>,
+    state: &ServiceState,
 ) -> Result<LayerDseResult, DseError> {
     if shared.workers <= 1 {
         return engine.explore_layer(layer);
@@ -274,11 +294,14 @@ fn explore_maybe_sharded(
         return whole(engine);
     }
     let invites = (shared.workers - 1).min(chunks.len() - 1);
+    let stages = state.stages();
     let shard = Arc::new(Shard::new(
         Arc::clone(engine),
         layer.clone(),
         tilings,
         chunks,
+        Arc::clone(&stages.shard_chunk_ns),
+        Arc::clone(&stages.merge_ns),
     ));
     // Invite idle workers. Tokens are requests, not assignments: one
     // arriving after the shard drained is a no-op, and if the queue is
@@ -390,6 +413,15 @@ impl DsePool {
     /// `keep_points` selects a Pareto-retaining engine (cache-keyed
     /// separately from point-free sweeps).
     pub fn submit(&self, spec: &JobSpec) -> PendingJob {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`DsePool::submit`] with an optional per-request [`Trace`] (the
+    /// TCP front-end creates one per submitted job, keyed by the wire
+    /// `id`): every layer task carries it, so worker-side spans land in
+    /// the request's stage breakdown as well as the global histograms.
+    pub fn submit_traced(&self, spec: &JobSpec, trace: Option<Arc<Trace>>) -> PendingJob {
+        self.state.stages().jobs_total.inc();
         let engine = self
             .state
             .factory()
@@ -407,6 +439,7 @@ impl DsePool {
                 layer: layer.clone(),
                 index,
                 options: spec.options,
+                trace: trace.clone(),
                 reply: reply.clone(),
             };
             // The queue lives as long as the pool and workers never exit
@@ -483,17 +516,19 @@ fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
         // (`explore_layer_cached_with` already converts panics inside
         // the exploration itself; this guards everything else.)
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            task.state.explore_layer_cached_with(
+            task.state.explore_layer_cached_traced(
                 &task.engine,
                 &task.tag,
                 &task.layer,
                 task.options.cache,
+                task.trace.as_ref(),
                 || {
                     explore_maybe_sharded(
                         &task.engine,
                         &task.layer,
                         shared,
                         task.options.shard_chunk,
+                        &task.state,
                     )
                 },
             )

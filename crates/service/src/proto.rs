@@ -41,6 +41,7 @@
 //! See `docs/PROTOCOL.md` for the full verb-by-verb reference.
 
 use drmap_store::store::{CompactReport, StoreStats};
+use drmap_telemetry::{HistogramSnapshot, MetricsSnapshot, SlowEntry};
 
 use crate::cache::{CacheStats, EvictionPolicy};
 use crate::error::ServiceError;
@@ -73,6 +74,8 @@ pub fn capabilities(store_attached: bool) -> Vec<String> {
         "binary-frames".to_owned(),
         "per-job-options".to_owned(),
         "admin".to_owned(),
+        "metrics".to_owned(),
+        "set-bounds".to_owned(),
     ];
     if store_attached {
         caps.push("store".to_owned());
@@ -107,6 +110,46 @@ impl ShardPolicyUpdate {
                 Some(0) => None,
                 Some(n) => Some(n),
             },
+        }
+    }
+}
+
+/// A partial cache-bounds update: absent fields keep the running
+/// cache's current bound. `0` on the wire clears a bound entirely
+/// (unbounded), since "absent" already means "keep" — the same
+/// convention [`ShardPolicyUpdate::chunk_tilings`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundsUpdate {
+    /// New resident-entry cap; `Some(0)` clears it (unbounded).
+    pub max_entries: Option<usize>,
+    /// New approximate-byte cap; `Some(0)` clears it (unbounded).
+    pub max_bytes: Option<usize>,
+}
+
+impl BoundsUpdate {
+    /// True when the update changes nothing. Clients reject empty
+    /// updates as usage errors rather than sending silent no-ops.
+    pub fn is_empty(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+
+    /// The entry-bound field in the cache's nested-option form:
+    /// `None` keeps, `Some(None)` clears to unbounded, `Some(Some(n))`
+    /// sets.
+    pub fn entries_action(&self) -> Option<Option<usize>> {
+        Self::action(self.max_entries)
+    }
+
+    /// As [`BoundsUpdate::entries_action`], for the byte bound.
+    pub fn bytes_action(&self) -> Option<Option<usize>> {
+        Self::action(self.max_bytes)
+    }
+
+    fn action(field: Option<usize>) -> Option<Option<usize>> {
+        match field {
+            None => None,
+            Some(0) => Some(None),
+            Some(n) => Some(Some(n)),
         }
     }
 }
@@ -171,6 +214,20 @@ pub enum Request {
         /// Optional correlation id, echoed in the response.
         id: Option<u64>,
     },
+    /// Fetch the telemetry snapshot: every counter, gauge, and latency
+    /// histogram, plus the slow-request log.
+    Metrics {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Retune the cache's resident bounds on the live server
+    /// (shrinking a bound evicts down to the new cap immediately).
+    SetBounds {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Partial update; absent fields keep their current values.
+        update: BoundsUpdate,
+    },
     /// Run a DSE job (the job's own `id` is the correlation key).
     Submit(JobSpec),
 }
@@ -195,6 +252,19 @@ pub struct StatsReport {
     pub workers: usize,
     /// Persistent-store counters, when a store is attached.
     pub store: Option<StoreStats>,
+}
+
+/// The telemetry snapshot carried by the typed `metrics` response:
+/// every registered counter, gauge, and latency histogram, plus the
+/// slow-request log. Clients can render the snapshot as
+/// Prometheus-style text exposition via
+/// [`drmap_telemetry::MetricsSnapshot::to_prometheus`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Every registered metric, sorted by name.
+    pub snapshot: MetricsSnapshot,
+    /// The most recent slow requests, oldest first.
+    pub slow: Vec<SlowEntry>,
 }
 
 /// Everything the server can answer.
@@ -266,6 +336,28 @@ pub enum Response {
         id: Option<u64>,
         /// What the compaction accomplished.
         report: CompactReport,
+    },
+    /// `metrics` answer.
+    Metrics {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The telemetry snapshot and slow-request log.
+        report: MetricsReport,
+    },
+    /// `set-bounds` applied.
+    BoundsSet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The resident-entry bound now in force.
+        max_entries: Option<usize>,
+        /// The approximate-byte bound now in force.
+        max_bytes: Option<usize>,
+        /// The entry bound that was in force before.
+        previous_entries: Option<usize>,
+        /// The byte bound that was in force before.
+        previous_bytes: Option<usize>,
+        /// Entries evicted immediately to honor a shrunk bound.
+        evicted: u64,
     },
     /// A job finished successfully.
     Job {
@@ -363,6 +455,17 @@ impl Request {
                 typed("cache-warm", *id, rest)
             }
             Request::StoreCompact { id } => typed("store-compact", *id, vec![]),
+            Request::Metrics { id } => typed("metrics", *id, vec![]),
+            Request::SetBounds { id, update } => {
+                let mut rest = Vec::new();
+                if let Some(n) = update.max_entries {
+                    rest.push(("max_entries".to_owned(), Json::num_usize(n)));
+                }
+                if let Some(n) = update.max_bytes {
+                    rest.push(("max_bytes".to_owned(), Json::num_usize(n)));
+                }
+                typed("set-bounds", *id, rest)
+            }
             Request::Submit(spec) => match spec.to_json() {
                 Json::Obj(pairs) => {
                     let mut all = vec![("type".to_owned(), Json::str("submit"))];
@@ -479,6 +582,14 @@ impl Request {
                 limit: opt_usize("limit")?,
             }),
             "store-compact" => Ok(Request::StoreCompact { id }),
+            "metrics" => Ok(Request::Metrics { id }),
+            "set-bounds" => Ok(Request::SetBounds {
+                id,
+                update: BoundsUpdate {
+                    max_entries: opt_usize("max_entries")?,
+                    max_bytes: opt_usize("max_bytes")?,
+                },
+            }),
             "submit" => JobSpec::from_json(v)
                 .map(Request::Submit)
                 .map_err(|e| bad(e.to_string())),
@@ -723,6 +834,204 @@ impl StatsReport {
     }
 }
 
+fn opt_usize_to_json(v: Option<usize>) -> Json {
+    match v {
+        Some(n) => Json::num_usize(n),
+        None => Json::Null,
+    }
+}
+
+fn histogram_snapshot_to_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::num_u64(h.count)),
+        ("sum", Json::num_u64(h.sum)),
+        ("min", Json::num_u64(h.min)),
+        ("max", Json::num_u64(h.max)),
+        // Precomputed quantiles are a reader convenience; decoders
+        // ignore them and recompute from the buckets.
+        ("p50", Json::num_u64(h.p50())),
+        ("p95", Json::num_u64(h.p95())),
+        ("p99", Json::num_u64(h.p99())),
+        ("p999", Json::num_u64(h.p999())),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(index, n)| {
+                        Json::Arr(vec![Json::num_u64(u64::from(index)), Json::num_u64(n)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histogram_snapshot_from_json(v: &Json) -> Result<HistogramSnapshot, ServiceError> {
+    let int = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::protocol(format!("histogram missing {name:?}")))
+    };
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServiceError::protocol("histogram missing \"buckets\""))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                ServiceError::protocol("histogram buckets must be [index, count] pairs")
+            })?;
+            let index = pair[0]
+                .as_u64()
+                .ok_or_else(|| ServiceError::protocol("bucket index must be an integer"))?;
+            let count = pair[1]
+                .as_u64()
+                .ok_or_else(|| ServiceError::protocol("bucket count must be an integer"))?;
+            Ok((index as u32, count))
+        })
+        .collect::<Result<Vec<_>, ServiceError>>()?;
+    Ok(HistogramSnapshot {
+        count: int("count")?,
+        sum: int("sum")?,
+        min: int("min")?,
+        max: int("max")?,
+        buckets,
+    })
+}
+
+fn slow_entry_to_json(e: &SlowEntry) -> Json {
+    Json::obj([
+        ("trace_id", Json::num_u64(e.trace_id)),
+        ("total_ns", Json::num_u64(e.total_ns)),
+        (
+            "stages",
+            Json::Arr(
+                e.stages
+                    .iter()
+                    .map(|(name, ns)| Json::Arr(vec![Json::str(name), Json::num_u64(*ns)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn slow_entry_from_json(v: &Json) -> Result<SlowEntry, ServiceError> {
+    let int = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::protocol(format!("slow entry missing {name:?}")))
+    };
+    let stages =
+        v.get("stages")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ServiceError::protocol("slow entry missing \"stages\""))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    ServiceError::protocol("slow stages must be [name, ns] pairs")
+                })?;
+                let name = pair[0]
+                    .as_str()
+                    .ok_or_else(|| ServiceError::protocol("stage name must be a string"))?;
+                let ns = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| ServiceError::protocol("stage time must be an integer"))?;
+                Ok((name.to_owned(), ns))
+            })
+            .collect::<Result<Vec<_>, ServiceError>>()?;
+    Ok(SlowEntry {
+        trace_id: int("trace_id")?,
+        total_ns: int("total_ns")?,
+        stages,
+    })
+}
+
+fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
+    let snapshot = &report.snapshot;
+    vec![
+        (
+            "counters".to_owned(),
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::num_u64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".to_owned(),
+            Json::Obj(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_owned(),
+            Json::Obj(
+                snapshot
+                    .histograms
+                    .iter()
+                    .map(|(name, h)| (name.clone(), histogram_snapshot_to_json(h)))
+                    .collect(),
+            ),
+        ),
+        (
+            "slow".to_owned(),
+            Json::Arr(report.slow.iter().map(slow_entry_to_json).collect()),
+        ),
+    ]
+}
+
+fn metrics_report_from_json(v: &Json) -> Result<MetricsReport, ServiceError> {
+    let obj = |name: &str| match v.get(name) {
+        Some(Json::Obj(pairs)) => Ok(pairs),
+        _ => Err(ServiceError::protocol(format!(
+            "metrics missing object {name:?}"
+        ))),
+    };
+    let counters = obj("counters")?
+        .iter()
+        .map(|(name, val)| {
+            val.as_u64().map(|n| (name.clone(), n)).ok_or_else(|| {
+                ServiceError::protocol(format!("counter {name:?} must be an integer"))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let gauges = obj("gauges")?
+        .iter()
+        .map(|(name, val)| {
+            val.as_f64()
+                .filter(|n| n.fract() == 0.0)
+                .map(|n| (name.clone(), n as i64))
+                .ok_or_else(|| ServiceError::protocol(format!("gauge {name:?} must be an integer")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let histograms = obj("histograms")?
+        .iter()
+        .map(|(name, val)| Ok((name.clone(), histogram_snapshot_from_json(val)?)))
+        .collect::<Result<Vec<_>, ServiceError>>()?;
+    let slow = v
+        .get("slow")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServiceError::protocol("metrics missing \"slow\""))?
+        .iter()
+        .map(slow_entry_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MetricsReport {
+        snapshot: MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        },
+        slow,
+    })
+}
+
 fn legacy_error(id: Option<u64>, message: &str) -> Json {
     let mut pairs = vec![("ok".to_owned(), Json::Bool(false))];
     if let Some(id) = id {
@@ -863,6 +1172,36 @@ impl Response {
                     ("bytes_after".to_owned(), Json::num_u64(report.bytes_after)),
                 ],
             ),
+            (Response::Metrics { id, report }, _) => {
+                typed_ok("metrics", *id, metrics_report_fields(report))
+            }
+            (
+                Response::BoundsSet {
+                    id,
+                    max_entries,
+                    max_bytes,
+                    previous_entries,
+                    previous_bytes,
+                    evicted,
+                },
+                _,
+            ) => typed_ok(
+                "bounds-set",
+                *id,
+                vec![
+                    ("max_entries".to_owned(), opt_usize_to_json(*max_entries)),
+                    ("max_bytes".to_owned(), opt_usize_to_json(*max_bytes)),
+                    (
+                        "previous_entries".to_owned(),
+                        opt_usize_to_json(*previous_entries),
+                    ),
+                    (
+                        "previous_bytes".to_owned(),
+                        opt_usize_to_json(*previous_bytes),
+                    ),
+                    ("evicted".to_owned(), Json::num_u64(*evicted)),
+                ],
+            ),
         }
     }
 
@@ -951,6 +1290,26 @@ impl Response {
                     bytes_after: int("bytes_after")?,
                 },
             }),
+            "metrics" => Ok(Response::Metrics {
+                id,
+                report: metrics_report_from_json(v)?,
+            }),
+            "bounds-set" => {
+                let opt = |name: &str| match v.get(name) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(n) => n.as_usize().map(Some).ok_or_else(|| {
+                        ServiceError::protocol(format!("{name:?} must be an integer or null"))
+                    }),
+                };
+                Ok(Response::BoundsSet {
+                    id,
+                    max_entries: opt("max_entries")?,
+                    max_bytes: opt("max_bytes")?,
+                    previous_entries: opt("previous_entries")?,
+                    previous_bytes: opt("previous_bytes")?,
+                    evicted: int("evicted")?,
+                })
+            }
             "job" => Ok(Response::Job {
                 result: JobResult::from_json(
                     v.get("result")
@@ -977,6 +1336,7 @@ mod tests {
     use super::*;
     use crate::spec::EngineSpec;
     use drmap_cnn::network::Network;
+    use drmap_telemetry::MetricsRegistry;
 
     #[test]
     fn typed_requests_round_trip() {
@@ -1006,6 +1366,14 @@ mod tests {
                 limit: Some(100),
             },
             Request::StoreCompact { id: Some(2) },
+            Request::Metrics { id: Some(11) },
+            Request::SetBounds {
+                id: Some(12),
+                update: BoundsUpdate {
+                    max_entries: Some(64),
+                    max_bytes: Some(0),
+                },
+            },
             Request::Submit(JobSpec::network(5, EngineSpec::default(), Network::tiny())),
         ];
         for request in requests {
@@ -1188,6 +1556,33 @@ mod tests {
                     bytes_after: 4501,
                 },
             },
+            Response::Metrics {
+                id: Some(8),
+                report: {
+                    let registry = MetricsRegistry::new();
+                    registry.counter("jobs_total").add(3);
+                    registry.gauge("connections_open").set(2);
+                    let h = registry.histogram("request_ns");
+                    h.record(1_000);
+                    h.record(2_000_000);
+                    MetricsReport {
+                        snapshot: registry.snapshot(),
+                        slow: vec![SlowEntry {
+                            trace_id: 9,
+                            total_ns: 2_000_000,
+                            stages: vec![("explore".to_owned(), 1_500_000)],
+                        }],
+                    }
+                },
+            },
+            Response::BoundsSet {
+                id: Some(9),
+                max_entries: Some(64),
+                max_bytes: None,
+                previous_entries: Some(128),
+                previous_bytes: Some(1 << 20),
+                evicted: 17,
+            },
             Response::Error {
                 id: Some(7),
                 message: "no store attached".into(),
@@ -1206,5 +1601,22 @@ mod tests {
         assert!(!capabilities(false).contains(&"store".to_owned()));
         assert!(capabilities(true).contains(&"store".to_owned()));
         assert!(capabilities(false).contains(&"admin".to_owned()));
+        assert!(capabilities(false).contains(&"metrics".to_owned()));
+        assert!(capabilities(false).contains(&"set-bounds".to_owned()));
+    }
+
+    #[test]
+    fn bounds_updates_translate_to_cache_actions() {
+        let update = BoundsUpdate::default();
+        assert!(update.is_empty());
+        assert_eq!(update.entries_action(), None);
+        assert_eq!(update.bytes_action(), None);
+        let update = BoundsUpdate {
+            max_entries: Some(0),
+            max_bytes: Some(4096),
+        };
+        assert!(!update.is_empty());
+        assert_eq!(update.entries_action(), Some(None)); // cleared
+        assert_eq!(update.bytes_action(), Some(Some(4096)));
     }
 }

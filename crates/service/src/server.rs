@@ -15,22 +15,41 @@
 //! [`Request`] — adding a verb without handling it does not compile.
 //!
 //! Control and admin requests (`hello`, `ping`, `stats`, `set-policy`,
-//! `set-shard-policy`, `cache-clear`, `cache-warm`, `store-compact`,
-//! `shutdown`) answer inline in arrival order, but they may overtake or
-//! be overtaken by in-flight *job* responses. See `docs/PROTOCOL.md`
-//! for every verb with example request/response pairs.
+//! `set-shard-policy`, `set-bounds`, `cache-clear`, `cache-warm`,
+//! `store-compact`, `metrics`, `shutdown`) answer inline in arrival
+//! order, but they may overtake or be overtaken by in-flight *job*
+//! responses. See `docs/PROTOCOL.md` for every verb with example
+//! request/response pairs.
+//!
+//! Every layer of the request path is instrumented through the pool's
+//! [`drmap_telemetry::MetricsRegistry`]: frame decode/encode, cache
+//! lookup, explore, shard chunks, merge, and total request time all
+//! feed latency histograms, and each job carries a per-request trace
+//! (keyed by its wire `id`) whose stage breakdown lands in the
+//! slow-request log when the job crosses the configured threshold
+//! ([`ServerConfig::slow_ms`]). The `metrics` verb dumps all of it;
+//! see `docs/OBSERVABILITY.md`.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use drmap_telemetry::{Span, Trace};
 
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::DsePool;
-use crate::proto::{capabilities, Dialect, Request, Response, StatsReport, PROTOCOL_VERSION};
+use crate::proto::{
+    capabilities, Dialect, MetricsReport, Request, Response, StatsReport, PROTOCOL_VERSION,
+};
 use crate::wire::{self, Encoding};
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Default cap on in-flight requests per connection (see
 /// [`ServerConfig::max_inflight`]).
@@ -55,6 +74,12 @@ pub struct ServerConfig {
     /// back-pressures only itself, never other connections. `None`
     /// (the default) leaves only the per-connection cap.
     pub max_inflight_global: Option<usize>,
+    /// Slow-request threshold in milliseconds: any job whose total
+    /// request time reaches it is captured — with its per-stage span
+    /// breakdown — in the slow-request ring buffer the `metrics` verb
+    /// dumps. `Some(0)` logs every job; `None` (the default) disables
+    /// the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +87,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_inflight: DEFAULT_MAX_INFLIGHT,
             max_inflight_global: None,
+            slow_ms: None,
         }
     }
 }
@@ -115,6 +141,9 @@ impl JobServer {
                 "in-flight caps must be at least 1 (a zero cap would deadlock every request)",
             ));
         }
+        if let Some(ms) = config.slow_ms {
+            pool.state().slow_log().set_threshold_ms(ms);
+        }
         Ok(JobServer {
             listener: TcpListener::bind(addr)?,
             pool,
@@ -155,6 +184,9 @@ impl JobServer {
     /// that connection).
     pub fn run(self) -> Result<(), ServiceError> {
         let local_addr = self.local_addr()?;
+        let metrics = self.pool.state().metrics();
+        let connections_total = metrics.counter("connections_total");
+        let connections_open = metrics.gauge("connections_open");
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -169,10 +201,14 @@ impl JobServer {
                 flag: Arc::clone(&self.shutdown),
                 addr: local_addr,
             });
+            connections_total.inc();
+            connections_open.inc();
+            let open = Arc::clone(&connections_open);
             std::thread::spawn(move || {
                 // Connection errors (client hung up mid-line) are not
                 // server errors.
                 let _ = serve_connection(stream, &pool, slots, &shutdown);
+                open.dec();
             });
         }
         Ok(())
@@ -292,8 +328,14 @@ fn serve_connection(
 ) -> Result<(), ServiceError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let (tx, rx) = channel::<(Json, Encoding)>();
+    let metrics = pool.state().metrics();
+    let frames_in = [
+        metrics.counter(&format!("frames_{}_total", Encoding::Text.label())),
+        metrics.counter(&format!("frames_{}_total", Encoding::Binary.label())),
+    ];
     let writer = {
         let slots = slots.clone();
+        let frame_encode_ns = Arc::clone(&pool.state().stages().frame_encode_ns);
         std::thread::spawn(move || {
             let mut out = BufWriter::new(stream);
             // A write failure means the client is gone: stop writing,
@@ -302,8 +344,11 @@ fn serve_connection(
             // loop to the connection error and exit.
             let mut dead = false;
             while let Ok((response, encoding)) = rx.recv() {
-                if !dead && wire::write_message(&mut out, &response.render(), encoding).is_err() {
-                    dead = true;
+                if !dead {
+                    let _encode = Span::enter("frame_encode", &frame_encode_ns);
+                    if wire::write_message(&mut out, &response.render(), encoding).is_err() {
+                        dead = true;
+                    }
                 }
                 slots.release_local();
             }
@@ -313,6 +358,11 @@ fn serve_connection(
     let result = loop {
         match wire::read_message(&mut reader) {
             Ok(Some((payload, encoding))) => {
+                frames_in[match encoding {
+                    Encoding::Text => 0,
+                    Encoding::Binary => 1,
+                }]
+                .inc();
                 if dispatch_message(pool, &payload, encoding, &tx, &slots) {
                     stop = true;
                     break Ok(());
@@ -348,9 +398,14 @@ fn dispatch_message(
     tx: &Sender<(Json, Encoding)>,
     slots: &InflightSlots,
 ) -> bool {
+    let decode_start = Instant::now();
     let parsed = match Json::parse(payload) {
         Ok(v) => v,
         Err(e) => {
+            pool.state()
+                .metrics()
+                .counter("protocol_errors_total")
+                .inc();
             let response = Response::Error {
                 id: None,
                 message: e.to_string(),
@@ -364,6 +419,10 @@ fn dispatch_message(
     let (request, dialect) = match Request::decode(&parsed) {
         Ok(decoded) => decoded,
         Err(e) => {
+            pool.state()
+                .metrics()
+                .counter("protocol_errors_total")
+                .inc();
             let response = Response::Error {
                 id: e.id,
                 message: e.message,
@@ -374,14 +433,19 @@ fn dispatch_message(
             return false;
         }
     };
+    let decode_ns = elapsed_ns(decode_start);
+    pool.state().stages().frame_decode_ns.record(decode_ns);
     // Job submissions get a waiter thread; everything else answers
     // inline through the exhaustive control match.
     if let Request::Submit(job) = request {
         slots.acquire();
-        let pending = pool.submit(&job);
+        let trace = Trace::new(job.id);
+        trace.add("frame_decode", decode_ns);
+        let pending = pool.submit_traced(&job, Some(Arc::clone(&trace)));
         let tx = tx.clone();
         let job_id = job.id;
         let slots = slots.clone();
+        let pool = Arc::clone(pool);
         std::thread::spawn(move || {
             let response = match pending.wait() {
                 Ok(result) => Response::Job { result },
@@ -390,6 +454,9 @@ fn dispatch_message(
                     message: e.to_string(),
                 },
             };
+            let state = pool.state();
+            let total_ns = state.slow_log().observe(&trace);
+            state.stages().request_ns.record(total_ns);
             let _ = tx.send((response.render(dialect), encoding));
             slots.release_global();
         });
@@ -407,12 +474,12 @@ fn dispatch_message(
 /// as carried by the typed `stats` response.
 pub fn stats_report(pool: &DsePool) -> StatsReport {
     let cache = pool.state().cache();
-    let config = cache.config();
+    let (max_entries, max_bytes) = cache.bounds();
     StatsReport {
         cache: cache.stats(),
         policy: cache.policy(),
-        max_entries: config.max_entries,
-        max_bytes: config.max_bytes,
+        max_entries,
+        max_bytes,
         shard: pool.shard_policy(),
         workers: pool.workers(),
         store: cache.store().map(|s| s.stats()),
@@ -493,6 +560,37 @@ fn control_response(pool: &DsePool, request: &Request) -> (Response, bool) {
                 message: "store-compact needs a persistent store (start with --store)".to_owned(),
             },
         },
+        Request::Metrics { id } => {
+            let state = pool.state();
+            Response::Metrics {
+                id: *id,
+                report: MetricsReport {
+                    snapshot: state.metrics().snapshot(),
+                    slow: state.slow_log().entries(),
+                },
+            }
+        }
+        Request::SetBounds { id, update } => {
+            if update.is_empty() {
+                Response::Error {
+                    id: *id,
+                    message: "set-bounds needs at least one of max_entries or max_bytes".to_owned(),
+                }
+            } else {
+                let cache = pool.state().cache();
+                let ((previous_entries, previous_bytes), evicted) =
+                    cache.set_bounds(update.entries_action(), update.bytes_action());
+                let (max_entries, max_bytes) = cache.bounds();
+                Response::BoundsSet {
+                    id: *id,
+                    max_entries,
+                    max_bytes,
+                    previous_entries,
+                    previous_bytes,
+                    evicted,
+                }
+            }
+        }
         Request::Submit(_) => unreachable!("job submissions are dispatched before control verbs"),
     };
     (response, false)
@@ -526,13 +624,17 @@ pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
         }
     };
     if let Request::Submit(job) = request {
-        let response = match pool.submit(&job).wait() {
+        let trace = Trace::new(job.id);
+        let response = match pool.submit_traced(&job, Some(Arc::clone(&trace))).wait() {
             Ok(result) => Response::Job { result },
             Err(e) => Response::Error {
                 id: Some(job.id),
                 message: e.to_string(),
             },
         };
+        let state = pool.state();
+        let total_ns = state.slow_log().observe(&trace);
+        state.stages().request_ns.record(total_ns);
         return (response.render(dialect), false);
     }
     let (response, stop) = control_response(pool, &request);
@@ -576,6 +678,40 @@ mod tests {
         let (unknown, stop) = handle_request(&pool, r#"{"cmd": "reboot"}"#);
         assert_eq!(unknown.get("ok"), Some(&Json::Bool(false)));
         assert!(!stop);
+    }
+
+    #[test]
+    fn metrics_and_bounds_verbs_answer_inline() {
+        let pool = test_pool();
+        pool.state().slow_log().set_threshold_ms(0); // log everything
+        let (job, _) = handle_request(&pool, r#"{"id": 1, "network": {"model": "tiny"}}"#);
+        assert_eq!(job.get("ok"), Some(&Json::Bool(true)));
+
+        let (metrics, stop) = handle_request(&pool, r#"{"type":"metrics","id":2}"#);
+        assert!(!stop);
+        assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+        let counters = metrics.get("counters").unwrap();
+        assert_eq!(counters.get("jobs_total").and_then(Json::as_u64), Some(1));
+        let request_ns = metrics
+            .get("histograms")
+            .unwrap()
+            .get("request_ns")
+            .unwrap();
+        assert_eq!(request_ns.get("count").and_then(Json::as_u64), Some(1));
+        let slow = metrics.get("slow").unwrap().as_array().unwrap();
+        assert_eq!(slow.len(), 1, "threshold 0 logs every job");
+        assert_eq!(slow[0].get("trace_id").and_then(Json::as_u64), Some(1));
+
+        let (bounds, _) = handle_request(&pool, r#"{"type":"set-bounds","max_entries":8}"#);
+        assert_eq!(bounds.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(bounds.get("max_entries").and_then(Json::as_u64), Some(8));
+        // The live bound shows up in stats (not the boot-time config).
+        let (stats, _) = handle_request(&pool, r#"{"type":"stats"}"#);
+        let stats = stats.get("stats").unwrap();
+        assert_eq!(stats.get("max_entries").and_then(Json::as_u64), Some(8));
+        // An empty update is a usage error, not a silent no-op.
+        let (err, _) = handle_request(&pool, r#"{"type":"set-bounds"}"#);
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub enum Encoding {
     Binary,
 }
 
+impl Encoding {
+    /// A stable lowercase name, used to label per-encoding metrics
+    /// (e.g. the server's `frames_text_total` / `frames_binary_total`
+    /// counters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Encoding::Text => "text",
+            Encoding::Binary => "binary",
+        }
+    }
+}
+
 /// First byte of a binary frame. `0x00` can never begin a JSON text
 /// message.
 pub const FRAME_MARKER: u8 = 0x00;

@@ -1,9 +1,9 @@
 //! Live control-plane integration tests: a running `JobServer` must
-//! accept `hello`, `set-policy`, `set-shard-policy`, `cache-clear`,
-//! `cache-warm`, and `store-compact` over TCP, with every change
-//! observable through `stats` **without a restart** — and per-job
-//! options (cache bypass/refresh, Pareto retention) must behave over
-//! the wire exactly as they do in-process.
+//! accept `hello`, `set-policy`, `set-shard-policy`, `set-bounds`,
+//! `cache-clear`, `cache-warm`, `store-compact`, and `metrics` over
+//! TCP, with every change observable through `stats` **without a
+//! restart** — and per-job options (cache bypass/refresh, Pareto
+//! retention) must behave over the wire exactly as they do in-process.
 
 use std::sync::Arc;
 
@@ -11,8 +11,8 @@ use drmap_service::cache::{CacheConfig, EvictionPolicy};
 use drmap_service::client::Client;
 use drmap_service::engine::ServiceState;
 use drmap_service::pool::DsePool;
-use drmap_service::proto::{ShardPolicyUpdate, PROTOCOL_VERSION};
-use drmap_service::server::JobServer;
+use drmap_service::proto::{BoundsUpdate, ShardPolicyUpdate, PROTOCOL_VERSION};
+use drmap_service::server::{JobServer, ServerConfig};
 use drmap_service::spec::{CacheMode, EngineSpec, JobOptions, JobSpec};
 use drmap_store::store::Store;
 
@@ -215,6 +215,155 @@ fn cache_warm_and_store_compact_work_over_the_wire() {
     assert!(report.bytes_after <= report.bytes_before);
     let after = client.stats_report().unwrap().store.unwrap();
     assert_eq!(after.dead_records, 0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn metrics_verb_reports_live_telemetry_over_the_wire() {
+    let (addr, handle, _pool) = boot("metrics", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+    let info = client.hello().unwrap();
+    assert!(info.has("metrics"));
+    assert!(info.has("set-bounds"));
+
+    client
+        .submit(&JobSpec::network(1, EngineSpec::default(), Network::tiny()))
+        .unwrap();
+    client.submit(&shaped_job(2, 16)).unwrap();
+
+    let report = client.metrics().unwrap();
+    let snap = &report.snapshot;
+    assert_eq!(snap.counter("jobs_total"), Some(2));
+    assert_eq!(snap.counter("layers_total"), Some(4));
+    assert!(snap.counter("connections_total").unwrap() >= 1);
+    assert!(
+        snap.counter("frames_text_total").unwrap() >= 4,
+        "hello + 2 submits + metrics all arrived as text frames"
+    );
+    let request_ns = snap.histogram("request_ns").unwrap();
+    assert_eq!(request_ns.count, 2, "one sample per job");
+    let lookup = snap.histogram("cache_lookup_ns").unwrap();
+    assert_eq!(lookup.count, 4, "one sample per layer");
+    assert!(lookup.p50() > 0);
+    assert!(lookup.p50() <= lookup.p99(), "{lookup:?}");
+    assert!(lookup.p99() <= lookup.max);
+    // Cold lookups compute, so explore shows up too, and the
+    // store-backed boot wires WAL write timings through.
+    assert!(snap.histogram("explore_ns").unwrap().count >= 4);
+    assert!(snap.histogram("store_write_ns").unwrap().count > 0);
+    assert!(snap.histogram("wal_write_ns").unwrap().count > 0);
+    // The snapshot renders as Prometheus-style exposition client-side.
+    let text = snap.to_prometheus();
+    assert!(text.contains("drmap_jobs_total 2"), "{text}");
+    assert!(text.contains("drmap_request_ns_count 2"), "{text}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn set_bounds_retunes_cache_caps_on_a_live_server() {
+    let (addr, handle, pool) = boot("set-bounds", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Six distinctly-shaped layers resident, unbounded.
+    for (id, j) in [(1, 8), (2, 16), (3, 24), (4, 32), (5, 40), (6, 48)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+    }
+    let before = client.stats_report().unwrap();
+    assert_eq!(before.cache.entries, 6);
+    assert_eq!(before.max_entries, None);
+
+    // Shrinking evicts down to the new cap immediately.
+    let (entries, bytes, evicted) = client
+        .set_bounds(BoundsUpdate {
+            max_entries: Some(2),
+            max_bytes: None,
+        })
+        .unwrap();
+    assert_eq!(entries, Some(2));
+    assert_eq!(bytes, None);
+    assert_eq!(evicted, 4);
+    assert_eq!(pool.state().cache().bounds(), (Some(2), None));
+    let after = client.stats_report().unwrap();
+    assert_eq!(after.cache.entries, 2);
+    assert_eq!(after.max_entries, Some(2), "stats report the live bound");
+    assert_eq!(after.cache.evictions, before.cache.evictions + 4);
+
+    // 0 clears a bound back to unbounded; absent fields keep.
+    let (entries, bytes, evicted) = client
+        .set_bounds(BoundsUpdate {
+            max_entries: Some(0),
+            max_bytes: Some(1 << 20),
+        })
+        .unwrap();
+    assert_eq!(entries, None);
+    assert_eq!(bytes, Some(1 << 20));
+    assert_eq!(evicted, 0);
+    let cleared = client.stats_report().unwrap();
+    assert_eq!(cleared.max_entries, None);
+    assert_eq!(cleared.max_bytes, Some(1 << 20));
+
+    // An empty update is rejected client-side as a usage error.
+    assert!(client.set_bounds(BoundsUpdate::default()).is_err());
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn trace_stage_spans_cover_most_of_the_request_wall_clock() {
+    // One worker, so a job's layer tasks run sequentially and its
+    // stage spans are disjoint in time — their sum can approach but
+    // never exceed the request's wall clock.
+    let store = Arc::new(Store::open(temp_store_path("span-sum")).unwrap());
+    let state = ServiceState::with_cache_and_store(CacheConfig::unbounded(), Some(store)).unwrap();
+    let pool = Arc::new(DsePool::new(state, 1));
+    let config = ServerConfig {
+        slow_ms: Some(0), // log every request
+        ..ServerConfig::default()
+    };
+    let server = JobServer::with_config("127.0.0.1:0", Arc::clone(&pool), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+
+    client
+        .submit(&JobSpec::network(
+            1,
+            EngineSpec::default(),
+            Network::alexnet(),
+        ))
+        .unwrap();
+
+    let report = client.metrics().unwrap();
+    assert_eq!(report.slow.len(), 1, "threshold 0 logs every job");
+    let entry = &report.slow[0];
+    assert_eq!(entry.trace_id, 1, "traces carry the wire job id");
+    let stage = |name: &str| {
+        entry
+            .stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, ns)| *ns)
+    };
+    assert!(stage("explore") > 0, "a cold cache explores every layer");
+    // frame_decode and cache_lookup are the disjoint stages of the
+    // request path (explore nests *inside* cache_lookup); together
+    // they account for nearly all of the request's wall clock.
+    let disjoint = stage("frame_decode") + stage("cache_lookup");
+    assert!(
+        disjoint <= entry.total_ns,
+        "disjoint spans cannot exceed the wall clock: {entry:?}"
+    );
+    assert!(
+        disjoint * 5 >= entry.total_ns * 4,
+        "stage spans must cover >= 80% of the request: {disjoint} of {} ns ({:?})",
+        entry.total_ns,
+        entry.stages,
+    );
 
     client.shutdown().unwrap();
     handle.join().unwrap();

@@ -25,7 +25,10 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use drmap_telemetry::Histogram;
 
 use crate::error::StoreError;
 use crate::record::{
@@ -114,6 +117,15 @@ pub struct CompactReport {
     pub bytes_after: u64,
 }
 
+/// WAL latency histograms attached by [`Store::attach_metrics`]:
+/// positioned-read, append, and compaction durations in nanoseconds.
+#[derive(Debug)]
+struct StoreMetrics {
+    read_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+    compact_ns: Arc<Histogram>,
+}
+
 /// A WAL-backed, content-addressed, crash-recovering key→bytes store.
 #[derive(Debug)]
 pub struct Store {
@@ -122,6 +134,12 @@ pub struct Store {
     state: RwLock<State>,
     gets: AtomicU64,
     hits: AtomicU64,
+    metrics: OnceLock<StoreMetrics>,
+}
+
+/// Nanoseconds since `start`, saturating.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn read_locked(lock: &RwLock<State>) -> RwLockReadGuard<'_, State> {
@@ -266,7 +284,25 @@ impl Store {
             }),
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         })
+    }
+
+    /// Attach WAL latency histograms (read / append / compaction
+    /// durations, nanoseconds). Recording is lock-free and the store
+    /// runs unobserved — at zero cost — until this is called. A second
+    /// attachment is ignored: the first handles win.
+    pub fn attach_metrics(
+        &self,
+        read_ns: Arc<Histogram>,
+        write_ns: Arc<Histogram>,
+        compact_ns: Arc<Histogram>,
+    ) {
+        let _ = self.metrics.set(StoreMetrics {
+            read_ns,
+            write_ns,
+            compact_ns,
+        });
     }
 
     /// The log's path.
@@ -297,6 +333,15 @@ impl Store {
     /// Fails on I/O errors or a checksum mismatch on the value bytes
     /// (on-disk bit rot since the log was opened).
     pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let start = Instant::now();
+        let result = self.get_inner(key);
+        if let Some(m) = self.metrics.get() {
+            m.read_ns.record(elapsed_ns(start));
+        }
+        result
+    }
+
+    fn get_inner(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let state = read_locked(&self.state);
         let Some(entry) = state.index.get(key).copied() else {
@@ -325,6 +370,15 @@ impl Store {
     /// Fails on I/O errors, payloads beyond the format's size caps, or
     /// a store opened read-only.
     pub fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        let start = Instant::now();
+        let result = self.put_inner(key, value);
+        if let Some(m) = self.metrics.get() {
+            m.write_ns.record(elapsed_ns(start));
+        }
+        result
+    }
+
+    fn put_inner(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         self.check_writable()?;
         if key.len() > MAX_KEY_BYTES {
             return Err(StoreError::invalid(format!(
@@ -485,6 +539,15 @@ impl Store {
     /// Fails on I/O errors or a store opened read-only; the original
     /// log is untouched on failure.
     pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let start = Instant::now();
+        let result = self.compact_inner();
+        if let Some(m) = self.metrics.get() {
+            m.compact_ns.record(elapsed_ns(start));
+        }
+        result
+    }
+
+    fn compact_inner(&self) -> Result<CompactReport, StoreError> {
         self.check_writable()?;
         let mut state = write_locked(&self.state);
         let bytes_before = state.end_offset;
