@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Seeded-violation service crate: `server.rs` carries one of every
+//! request-path sin.
+
+pub mod proto;
+pub mod server;

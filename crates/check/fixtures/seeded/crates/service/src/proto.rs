@@ -1,0 +1,29 @@
+//! Seeded drift: `Frobnicate` is not in `VARIANT_CAPS`, `Metrics` is
+//! mapped to the `metrics` capability but `capabilities()` below does
+//! not advertise it, and `docs/PROTOCOL.md` documents neither verb.
+
+/// The protocol surface, with drift seeded in.
+pub enum Request {
+    /// Fine: documented and mapped.
+    Hello {
+        /// Protocol version.
+        version: u64,
+    },
+    /// proto-doc-drift: unknown to VARIANT_CAPS.
+    Frobnicate {
+        /// How hard to frobnicate.
+        intensity: u8,
+    },
+    /// proto-doc-drift: mapped to a capability the list lacks, and
+    /// missing from the doc.
+    Metrics {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+}
+
+/// The advertised capability list — `metrics` is missing, and
+/// `sideband` is advertised but never documented.
+pub fn capabilities() -> Vec<String> {
+    vec!["jobs".to_owned(), "sideband".to_owned()]
+}

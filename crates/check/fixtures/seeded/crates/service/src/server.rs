@@ -1,0 +1,58 @@
+//! Seeded violations for the per-file lints. Every pattern below must
+//! be flagged by `drmap-check --root crates/check/fixtures/seeded`;
+//! CI asserts the non-zero exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// lock-poison: propagates poisoning instead of recovering.
+pub fn seeded_lock_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+/// lock-poison: `.expect` is the same sin with a message.
+pub fn seeded_lock_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned")
+}
+
+/// no-unwrap-hot-path: a bare unwrap on the request path.
+pub fn seeded_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+/// no-unwrap-hot-path: a panic! on the request path.
+pub fn seeded_panic(ok: bool) {
+    if !ok {
+        panic!("request path must not panic");
+    }
+}
+
+/// ordering-audit: a raw ordering with no `// ordering:` comment.
+pub fn seeded_unjustified_ordering(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}
+
+/// metrics-doc-drift: registers a metric no doc table mentions, and
+/// one through a computed name the lexer cannot check.
+pub fn seeded_metrics(registry: &Registry, suffix: &str) {
+    registry.counter("undocumented_total");
+    registry.counter(&format!("frames_{suffix}_total"));
+}
+
+/// Stand-in registry so the fixture is self-contained.
+pub struct Registry;
+
+impl Registry {
+    /// Register-or-fetch a counter by name.
+    pub fn counter(&self, _name: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be flagged.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

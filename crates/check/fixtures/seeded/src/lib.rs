@@ -1,0 +1,5 @@
+//! Seeded violation: this crate root is missing
+//! `#![forbid(unsafe_code)]`, so `forbid-unsafe` must fire.
+
+/// Nothing to see here; the missing inner attribute is the point.
+pub fn placeholder() {}

@@ -1,0 +1,136 @@
+//! The `drmap-check` CLI: run the repo lints (deny-by-default) and,
+//! with `--models`, the concurrency model suite.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use drmap_check::{engine, model, Lint, Workspace};
+
+const USAGE: &str = "\
+usage: drmap-check [--root PATH] [--deny-all] [--lint NAME]... [--list-lints]
+       drmap-check --models [--seed N]
+
+Runs the repo-specific lints over the workspace at --root (default: the
+current directory) and exits non-zero on any diagnostic. --deny-all is
+the (default) strict mode, spelled out for CI logs. --lint NAME limits
+the run to the named lints. --models runs the deterministic concurrency
+model suite instead and fails on any violation, truncation, or a
+telemetry merge-model enumeration below 1000 interleavings.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut selected: Vec<Lint> = Vec::new();
+    let mut models = false;
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root needs a path"),
+            },
+            "--deny-all" => { /* strict mode is the default */ }
+            "--models" => models = true,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--lint" => match args.next().as_deref().and_then(Lint::from_name) {
+                Some(l) => selected.push(l),
+                None => return usage_error("--lint needs a known lint name (see --list-lints)"),
+            },
+            "--list-lints" => {
+                for lint in Lint::ALL {
+                    println!("{:<20} {}", lint.name(), lint.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if models {
+        return run_models(seed);
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "drmap-check: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if ws.files.is_empty() {
+        eprintln!(
+            "drmap-check: no sources found under {} (expected src/ or crates/*/src)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let lints: &[Lint] = if selected.is_empty() {
+        &Lint::ALL
+    } else {
+        &selected
+    };
+    let diags = engine::run(&ws, lints);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "drmap-check: clean — {} files, {} lints, 0 diagnostics",
+            ws.files.len(),
+            lints.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "drmap-check: {} diagnostic(s) across {} files",
+            diags.len(),
+            ws.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_models(seed: u64) -> ExitCode {
+    let reports = model::standard_suite(seed);
+    let mut failed = false;
+    for r in &reports {
+        println!(
+            "model {:<45} schedules={:<8} states={:<9} max-depth={:<3} violations={}",
+            r.model,
+            r.schedules,
+            r.states,
+            r.max_depth,
+            r.violations.len()
+        );
+        for v in &r.violations {
+            println!("  violation: {} (schedule {:?})", v.message, v.schedule);
+        }
+        if !r.verified() {
+            failed = true;
+        }
+        if r.model.contains("record+merge") && r.schedules < 1000 {
+            println!("  FAIL: merge model enumerated under 1000 interleavings");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("drmap-check: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

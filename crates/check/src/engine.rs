@@ -1,0 +1,149 @@
+//! Workspace loading and lint dispatch.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::{lex, Lexed};
+use crate::lints;
+
+/// One lexed source file, addressed by its workspace-relative path.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with unix separators.
+    pub rel: String,
+    /// The token stream, comments, and test regions.
+    pub lexed: Lexed,
+}
+
+/// Everything the lints look at: the `src/` trees of the root package
+/// and every `crates/*` member, plus the docs the drift lints compare
+/// against. `vendor/`, `target/`, and fixture trees are never loaded
+/// (only `src/` directories are walked).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All loaded sources, sorted by path for deterministic output.
+    pub files: Vec<SourceFile>,
+    /// Raw text of `docs/*.md` files, keyed by relative path.
+    pub docs: BTreeMap<String, String>,
+}
+
+impl Workspace {
+    /// Load the workspace rooted at `root` from disk.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut sources = Vec::new();
+        let src = root.join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut sources)?;
+        }
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+                .filter_map(|e| Some(e.ok()?.path()))
+                .collect();
+            members.sort();
+            for member in members {
+                let member_src = member.join("src");
+                if member_src.is_dir() {
+                    walk_rs(&member_src, root, &mut sources)?;
+                }
+            }
+        }
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        let files = sources
+            .into_iter()
+            .map(|(rel, text)| SourceFile {
+                rel,
+                lexed: lex(&text),
+            })
+            .collect();
+
+        let mut docs = BTreeMap::new();
+        for name in ["docs/PROTOCOL.md", "docs/OBSERVABILITY.md"] {
+            if let Ok(text) = fs::read_to_string(root.join(name)) {
+                docs.insert(name.to_owned(), text);
+            }
+        }
+        Ok(Workspace { files, docs })
+    }
+
+    /// Build a workspace from in-memory `(relative path, source)`
+    /// pairs — used by the fixture tests.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .filter(|(rel, _)| rel.ends_with(".rs"))
+            .map(|(rel, text)| SourceFile {
+                rel: (*rel).to_owned(),
+                lexed: lex(text),
+            })
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let docs = sources
+            .iter()
+            .filter(|(rel, _)| rel.ends_with(".md"))
+            .map(|(rel, text)| ((*rel).to_owned(), (*text).to_owned()))
+            .collect();
+        Workspace { files, docs }
+    }
+
+    /// The file at `rel`, if loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` as `(rel, text)` pairs.
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| Some(e.ok()?.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Run `selected` lints over the workspace, honoring inline
+/// `// check:allow(<lint>)` escapes, and return the surviving
+/// diagnostics sorted by (file, line, lint).
+pub fn run(ws: &Workspace, selected: &[Lint]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for lint in selected {
+        match lint {
+            Lint::LockPoison => lints::lock_poison::run(ws, &mut diags),
+            Lint::NoUnwrapHotPath => lints::unwrap_hot_path::run(ws, &mut diags),
+            Lint::OrderingAudit => lints::ordering_audit::run(ws, &mut diags),
+            Lint::ForbidUnsafe => lints::forbid_unsafe::run(ws, &mut diags),
+            Lint::ProtoDocDrift => lints::proto_drift::run(ws, &mut diags),
+            Lint::MetricsDocDrift => lints::metrics_drift::run(ws, &mut diags),
+        }
+    }
+    diags.retain(|d| {
+        ws.file(&d.file).is_none_or(|f| {
+            !f.lexed
+                .allows(d.line)
+                .iter()
+                .any(|name| name == d.lint.name())
+        })
+    });
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    diags
+}
+
+/// Run every lint (the `--deny-all` default).
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    run(ws, &Lint::ALL)
+}

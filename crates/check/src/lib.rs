@@ -1,0 +1,37 @@
+//! `drmap-check`: repo-specific static analysis plus a deterministic
+//! concurrency model checker.
+//!
+//! Two layers, one crate:
+//!
+//! 1. **Lint engine** — a std-only, comment/string-aware Rust lexer
+//!    ([`lexer`]) feeding deny-by-default, repo-specific lints
+//!    ([`lints`]) with `file:line` diagnostics and inline
+//!    `// check:allow(<lint>)` escapes. The lints encode invariants
+//!    this repo otherwise enforces only in review: poison-recovering
+//!    lock sites, panic-free request paths, justified atomic
+//!    orderings, `#![forbid(unsafe_code)]` everywhere, and two drift
+//!    checks keeping `proto.rs`, the `hello` capability list,
+//!    `docs/PROTOCOL.md`, and `docs/OBSERVABILITY.md` in sync with
+//!    the code.
+//! 2. **Model checker** — a mini-loom ([`model`]): modeled atomics and
+//!    virtual threads under a seedable, bounded-exhaustive DFS over
+//!    every schedule, applied to the telemetry counter/histogram
+//!    record-vs-snapshot-merge path and the cache single-flight state
+//!    machine. Run by `#[test]`s and `drmap-check --models`; CI gates
+//!    on ≥ 1000 interleavings with zero violations.
+//!
+//! See `docs/STATIC_ANALYSIS.md` for every lint's rationale, the
+//! escape syntax, and how to add a lint or a model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+
+pub use diag::{Diagnostic, Lint};
+pub use engine::{run, run_all, Workspace};
+pub use model::{explore, Config as ModelConfig, Model, Report as ModelReport};

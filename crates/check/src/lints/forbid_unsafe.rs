@@ -1,0 +1,61 @@
+//! `forbid-unsafe`: every crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The whole workspace is deliberately safe Rust (`std`-only, no FFI);
+//! `forbid` — unlike `deny` — cannot be overridden further down the
+//! tree, so the attribute on the root is a machine-checked guarantee,
+//! not a default.
+
+use crate::diag::{Diagnostic, Lint};
+use crate::engine::Workspace;
+use crate::lexer::TokKind::{Ident, Punct};
+use crate::lints::seq_at;
+
+/// Is `rel` a crate root? (`src/lib.rs`, `crates/*/src/lib.rs`, or
+/// the `main.rs` of a crate that has no `lib.rs`.)
+fn crate_roots(ws: &Workspace) -> Vec<&str> {
+    let mut roots = Vec::new();
+    let candidates: Vec<&str> = ws.files.iter().map(|f| f.rel.as_str()).collect();
+    for rel in &candidates {
+        let is_lib = *rel == "src/lib.rs"
+            || (rel.starts_with("crates/")
+                && rel.ends_with("/src/lib.rs")
+                && rel.matches('/').count() == 3);
+        let is_main_only = (*rel == "src/main.rs"
+            || (rel.starts_with("crates/")
+                && rel.ends_with("/src/main.rs")
+                && rel.matches('/').count() == 3))
+            && !candidates.contains(&rel.replace("main.rs", "lib.rs").as_str());
+        if is_lib || is_main_only {
+            roots.push(*rel);
+        }
+    }
+    roots
+}
+
+/// Run the lint over every crate root.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for rel in crate_roots(ws) {
+        let Some(file) = ws.file(rel) else { continue };
+        let toks = &file.lexed.toks;
+        let pattern = [
+            (Punct, "#"),
+            (Punct, "!"),
+            (Punct, "["),
+            (Ident, "forbid"),
+            (Punct, "("),
+            (Ident, "unsafe_code"),
+            (Punct, ")"),
+            (Punct, "]"),
+        ];
+        let found = (0..toks.len()).any(|i| seq_at(toks, i, &pattern));
+        if !found {
+            diags.push(Diagnostic {
+                lint: Lint::ForbidUnsafe,
+                file: rel.to_owned(),
+                line: 1,
+                message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+            });
+        }
+    }
+}

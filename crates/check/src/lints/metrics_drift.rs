@@ -1,0 +1,163 @@
+//! `metrics-doc-drift`: registered metric names and
+//! `docs/OBSERVABILITY.md` must agree, in both directions.
+//!
+//! Metric names are stable API — dashboards and the CI exposition
+//! check key on them — but they are born as string literals scattered
+//! through `registry.counter("…")` / `.gauge("…")` / `.histogram("…")`
+//! calls. This lint collects every such literal from non-test
+//! service/store/telemetry sources and diffs the set against the
+//! backticked names in the *Metric taxonomy* tables of
+//! `docs/OBSERVABILITY.md`:
+//!
+//! * registered but undocumented → flagged at the registration site;
+//! * documented but never registered → flagged at the doc table row;
+//! * registered through a non-literal name (`format!`, a variable) →
+//!   flagged, because drift checking is impossible for names the
+//!   lexer cannot see.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Lint};
+use crate::engine::Workspace;
+use crate::lexer::TokKind::{Ident, Punct, Str};
+
+const DOC: &str = "docs/OBSERVABILITY.md";
+const SCOPES: [&str; 3] = [
+    "crates/service/src/",
+    "crates/store/src/",
+    "crates/telemetry/src/",
+];
+const REGISTRARS: [&str; 3] = ["counter", "gauge", "histogram"];
+
+/// Run the drift check; skipped entirely when no in-scope sources are
+/// present (fixture roots without those crates).
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    // name -> first registration site.
+    let mut registered: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut any_scope = false;
+    for file in &ws.files {
+        if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+            continue;
+        }
+        any_scope = true;
+        let toks = &file.lexed.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test || t.kind != Ident || !REGISTRARS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // Method calls only: `.counter(…)`, never `fn counter(…)`.
+            let is_method = i > 0 && toks[i - 1].kind == Punct && toks[i - 1].text == ".";
+            let open = toks.get(i + 1);
+            if !is_method || !open.is_some_and(|o| o.kind == Punct && o.text == "(") {
+                continue;
+            }
+            // The argument, skipping at most one leading `&`.
+            let mut a = i + 2;
+            if toks
+                .get(a)
+                .is_some_and(|t| t.kind == Punct && t.text == "&")
+            {
+                a += 1;
+            }
+            match toks.get(a) {
+                Some(arg) if arg.kind == Str => {
+                    registered
+                        .entry(arg.text.clone())
+                        .or_insert((file.rel.clone(), arg.line));
+                }
+                Some(arg) if arg.kind == Punct && arg.text == ")" => {
+                    // zero-arg call of an unrelated method named
+                    // `counter`/`gauge`/`histogram`: not a registration.
+                }
+                Some(arg) => diags.push(Diagnostic {
+                    lint: Lint::MetricsDocDrift,
+                    file: file.rel.clone(),
+                    line: arg.line,
+                    message: format!(
+                        ".{}(…) called with a non-literal name; metric names must be \
+                         string literals so doc drift can be checked",
+                        t.text
+                    ),
+                }),
+                None => {}
+            }
+        }
+    }
+    if !any_scope {
+        return;
+    }
+
+    let Some(doc) = ws.docs.get(DOC) else {
+        diags.push(Diagnostic {
+            lint: Lint::MetricsDocDrift,
+            file: registered
+                .values()
+                .next()
+                .map(|(f, _)| f.clone())
+                .unwrap_or_else(|| SCOPES[0].to_owned()),
+            line: 1,
+            message: format!("{DOC} is missing, so registered metrics are undocumented"),
+        });
+        return;
+    };
+    let documented = documented_names(doc);
+
+    for (name, (file, line)) in &registered {
+        if !documented.iter().any(|(n, _)| n == name) {
+            diags.push(Diagnostic {
+                lint: Lint::MetricsDocDrift,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "metric {name:?} is registered here but missing from the Metric \
+                     taxonomy tables in {DOC}"
+                ),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !registered.contains_key(name) {
+            diags.push(Diagnostic {
+                lint: Lint::MetricsDocDrift,
+                file: DOC.to_owned(),
+                line: *line,
+                message: format!(
+                    "metric {name:?} is documented here but never registered in \
+                     service/store/telemetry sources"
+                ),
+            });
+        }
+    }
+}
+
+/// Backticked metric names in the *Metric taxonomy* section's tables,
+/// with their 1-based doc line.
+fn documented_names(doc: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_section = heading.trim() == "Metric taxonomy";
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(start) = rest.find('`') {
+            let tail = &rest[start + 1..];
+            let Some(len) = tail.find('`') else { break };
+            let name = &tail[..len];
+            if !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                out.push((name.to_owned(), idx as u32 + 1));
+            }
+            rest = &tail[len + 1..];
+        }
+    }
+    out
+}

@@ -1,0 +1,24 @@
+//! The individual lint passes.
+//!
+//! Each lint is a function `run(&Workspace, &mut Vec<Diagnostic>)`
+//! that appends its findings; the engine applies `check:allow`
+//! escapes and sorting afterwards. See `docs/STATIC_ANALYSIS.md` for
+//! the rationale behind each lint and how to add one.
+
+pub mod forbid_unsafe;
+pub mod lock_poison;
+pub mod metrics_drift;
+pub mod ordering_audit;
+pub mod proto_drift;
+pub mod unwrap_hot_path;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Does the token at `i` start the exact `(kind, text)` sequence?
+/// An empty pattern text matches any token of that kind.
+pub(crate) fn seq_at(toks: &[Tok], i: usize, pattern: &[(TokKind, &str)]) -> bool {
+    pattern.iter().enumerate().all(|(k, (kind, text))| {
+        toks.get(i + k)
+            .is_some_and(|t| t.kind == *kind && (text.is_empty() || t.text == *text))
+    })
+}

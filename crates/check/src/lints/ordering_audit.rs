@@ -1,0 +1,58 @@
+//! `ordering-audit`: every raw atomic-ordering use outside
+//! `crates/telemetry` needs an `// ordering:` justification comment.
+//!
+//! `crates/telemetry`'s primitives are audited as a unit (the model
+//! checker in this crate exhaustively interleaves their record /
+//! snapshot / merge paths), so they are exempt. Everywhere else, an
+//! `Ordering::Relaxed` that is load-bearing and an `Ordering::SeqCst`
+//! that is cargo-culted look identical — the comment is the reviewer's
+//! evidence that someone thought about which one is required.
+
+use crate::diag::{Diagnostic, Lint};
+use crate::engine::Workspace;
+use crate::lexer::TokKind::{Ident, Punct};
+use crate::lints::seq_at;
+
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run the lint over every non-telemetry file.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if file.rel.starts_with("crates/telemetry/") {
+            continue;
+        }
+        let toks = &file.lexed.toks;
+        for i in 0..toks.len() {
+            if toks[i].in_test {
+                continue;
+            }
+            let path = [(Ident, "Ordering"), (Punct, ":"), (Punct, ":")];
+            if !seq_at(toks, i, &path) {
+                continue;
+            }
+            let Some(variant) = toks.get(i + 3) else {
+                continue;
+            };
+            if variant.kind != Ident || !VARIANTS.contains(&variant.text.as_str()) {
+                continue;
+            }
+            let line = toks[i].line;
+            if file
+                .lexed
+                .attached_comment(line, |c| c.contains("ordering:"))
+            {
+                continue;
+            }
+            diags.push(Diagnostic {
+                lint: Lint::OrderingAudit,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "raw Ordering::{} needs an `// ordering:` comment justifying why this \
+                     strength is required (or sufficient) here",
+                    variant.text
+                ),
+            });
+        }
+    }
+}

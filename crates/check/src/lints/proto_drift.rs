@@ -1,0 +1,206 @@
+//! `proto-doc-drift`: the `Request` enum, the `hello` capability
+//! list, and `docs/PROTOCOL.md` must agree.
+//!
+//! Three artifacts describe the protocol surface: the `Request` enum
+//! in `crates/service/src/proto.rs` (what the server dispatches), the
+//! string list returned by `capabilities()` (what `hello` advertises),
+//! and `docs/PROTOCOL.md` (what operators read). This lint parses the
+//! first two out of the token stream and cross-checks all three:
+//!
+//! 1. every `Request` variant must appear in [`VARIANT_CAPS`] — adding
+//!    a verb without deciding which capability advertises it fails the
+//!    build;
+//! 2. the capability named there must actually be in the
+//!    `capabilities()` list;
+//! 3. the variant's kebab-case verb must appear (backticked) in
+//!    `docs/PROTOCOL.md`;
+//! 4. every capability string must itself be documented in
+//!    `docs/PROTOCOL.md`.
+
+use crate::diag::{Diagnostic, Lint};
+use crate::engine::Workspace;
+use crate::lexer::TokKind::{Ident, Punct, Str};
+use crate::lints::seq_at;
+
+const PROTO: &str = "crates/service/src/proto.rs";
+const DOC: &str = "docs/PROTOCOL.md";
+
+/// Which `hello` capability advertises each `Request` variant. `None`
+/// marks a baseline verb available at every protocol version (the
+/// pre-capability legacy verbs and the handshake itself); everything
+/// else must be gated by a capability the server actually advertises.
+const VARIANT_CAPS: [(&str, Option<&str>); 12] = [
+    ("Hello", None),
+    ("Ping", None),
+    ("Stats", None),
+    ("Shutdown", None),
+    ("Submit", Some("jobs")),
+    ("SetPolicy", Some("admin")),
+    ("SetShardPolicy", Some("admin")),
+    ("CacheClear", Some("admin")),
+    ("CacheWarm", Some("store")),
+    ("StoreCompact", Some("store")),
+    ("Metrics", Some("metrics")),
+    ("SetBounds", Some("set-bounds")),
+];
+
+/// Run the drift check; silently skipped when `proto.rs` is not part
+/// of the analyzed tree (fixture roots without a service crate).
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(file) = ws.file(PROTO) else { return };
+    let toks = &file.lexed.toks;
+    let variants = request_variants(toks);
+    let caps = capability_strings(toks);
+    let doc = ws.docs.get(DOC).map(String::as_str);
+
+    if variants.is_empty() {
+        diags.push(Diagnostic {
+            lint: Lint::ProtoDocDrift,
+            file: PROTO.to_owned(),
+            line: 1,
+            message: "could not find any `enum Request` variants to check".to_owned(),
+        });
+        return;
+    }
+
+    for (name, line) in &variants {
+        match VARIANT_CAPS.iter().find(|(v, _)| v == name) {
+            None => diags.push(Diagnostic {
+                lint: Lint::ProtoDocDrift,
+                file: PROTO.to_owned(),
+                line: *line,
+                message: format!(
+                    "Request::{name} is not mapped to a hello capability; add it to \
+                     VARIANT_CAPS in crates/check/src/lints/proto_drift.rs and to the \
+                     capabilities() list it belongs under"
+                ),
+            }),
+            Some((_, Some(cap))) if !caps.iter().any(|(c, _)| c == cap) => {
+                diags.push(Diagnostic {
+                    lint: Lint::ProtoDocDrift,
+                    file: PROTO.to_owned(),
+                    line: *line,
+                    message: format!(
+                        "Request::{name} is advertised by capability {cap:?}, but \
+                         capabilities() does not return {cap:?}"
+                    ),
+                });
+            }
+            _ => {}
+        }
+        let verb = kebab(name);
+        if let Some(doc) = doc {
+            if !doc.contains(&format!("`{verb}`")) {
+                diags.push(Diagnostic {
+                    lint: Lint::ProtoDocDrift,
+                    file: PROTO.to_owned(),
+                    line: *line,
+                    message: format!("Request::{name} has no backticked `{verb}` entry in {DOC}"),
+                });
+            }
+        }
+    }
+
+    if doc.is_none() {
+        diags.push(Diagnostic {
+            lint: Lint::ProtoDocDrift,
+            file: PROTO.to_owned(),
+            line: 1,
+            message: format!("{DOC} is missing, so the protocol surface is undocumented"),
+        });
+        return;
+    }
+    let doc = doc.unwrap_or_default();
+    for (cap, line) in &caps {
+        if !doc.contains(&format!("`{cap}`")) {
+            diags.push(Diagnostic {
+                lint: Lint::ProtoDocDrift,
+                file: PROTO.to_owned(),
+                line: *line,
+                message: format!(
+                    "capability {cap:?} is advertised by hello but never documented in {DOC}"
+                ),
+            });
+        }
+    }
+}
+
+/// `SetShardPolicy` → `set-shard-policy`.
+fn kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() && i > 0 {
+            out.push('-');
+        }
+        out.push(c.to_ascii_lowercase());
+    }
+    out
+}
+
+/// The `(name, line)` of every variant of `pub enum Request`.
+fn request_variants(toks: &[crate::lexer::Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let start = (0..toks.len()).find(|&i| {
+        seq_at(
+            toks,
+            i,
+            &[(Ident, "enum"), (Ident, "Request"), (Punct, "{")],
+        )
+    });
+    let Some(start) = start else { return out };
+    let mut brace = 0usize;
+    let mut paren = 0usize;
+    let mut prev_significant = String::from("{");
+    for t in &toks[start + 2..] {
+        match (t.kind, t.text.as_str()) {
+            (Punct, "{") => brace += 1,
+            (Punct, "}") => {
+                if brace == 1 {
+                    break;
+                }
+                brace -= 1;
+            }
+            (Punct, "(") => paren += 1,
+            (Punct, ")") => paren = paren.saturating_sub(1),
+            (Ident, name)
+                if brace == 1
+                    && paren == 0
+                    && (prev_significant == "{" || prev_significant == ",") =>
+            {
+                out.push((name.to_owned(), t.line));
+            }
+            _ => {}
+        }
+        prev_significant = t.text.clone();
+    }
+    out
+}
+
+/// Every string literal inside `pub fn capabilities(…) { … }`.
+fn capability_strings(toks: &[crate::lexer::Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let Some(start) =
+        (0..toks.len()).find(|&i| seq_at(toks, i, &[(Ident, "fn"), (Ident, "capabilities")]))
+    else {
+        return out;
+    };
+    let mut brace = 0usize;
+    let mut seen_open = false;
+    for t in &toks[start..] {
+        match (t.kind, t.text.as_str()) {
+            (Punct, "{") => {
+                brace += 1;
+                seen_open = true;
+            }
+            (Punct, "}") => {
+                brace -= 1;
+                if seen_open && brace == 0 {
+                    break;
+                }
+            }
+            (Str, s) if seen_open => out.push((s.to_owned(), t.line)),
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,147 @@
+//! Models of the telemetry `Counter`: a correct single-step
+//! `fetch_add` and a deliberately broken load-then-store version the
+//! checker must catch.
+
+use super::Model;
+
+const MAX_THREADS: usize = 4;
+
+/// `threads` virtual threads each perform `increments` atomic
+//  `fetch_add(1)` steps on one shared counter — the shape of
+/// `telemetry::Counter::add` under contention.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterModel {
+    /// Number of incrementing threads (≤ 4).
+    pub threads: usize,
+    /// Increments per thread.
+    pub increments: u8,
+}
+
+impl Default for CounterModel {
+    fn default() -> Self {
+        // 3 threads × 3 increments: 9!/(3!·3!·3!) = 1680 schedules.
+        CounterModel {
+            threads: 3,
+            increments: 3,
+        }
+    }
+}
+
+/// Shared state: the counter plus each thread's program counter.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterState {
+    value: u64,
+    pcs: [u8; MAX_THREADS],
+}
+
+impl Model for CounterModel {
+    type State = CounterState;
+
+    fn name(&self) -> &'static str {
+        "telemetry-counter/fetch_add"
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn init(&self) -> CounterState {
+        CounterState {
+            value: 0,
+            pcs: [0; MAX_THREADS],
+        }
+    }
+    fn done(&self, s: &CounterState, tid: usize) -> bool {
+        s.pcs[tid] >= self.increments
+    }
+    fn enabled(&self, _s: &CounterState, _tid: usize) -> bool {
+        true // fetch_add is lock-free: always runnable.
+    }
+    fn step(&self, s: &mut CounterState, tid: usize) {
+        s.value += 1; // one atomic fetch_add
+        s.pcs[tid] += 1;
+    }
+    fn check_final(&self, s: &CounterState) -> Result<(), String> {
+        let expect = (self.threads as u64) * u64::from(self.increments);
+        if s.value == expect {
+            Ok(())
+        } else {
+            Err(format!(
+                "lost update: counter is {} after {} increments",
+                s.value, expect
+            ))
+        }
+    }
+}
+
+/// The same workload with a **non-atomic** read-modify-write: each
+/// increment is two steps (load into a register, store register + 1).
+/// The checker must find the classic lost-update interleaving — this
+/// model is the negative control proving the explorer actually
+/// explores.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokenCounterModel {
+    /// Number of incrementing threads (≤ 4).
+    pub threads: usize,
+    /// Increments per thread.
+    pub increments: u8,
+}
+
+impl Default for BrokenCounterModel {
+    fn default() -> Self {
+        BrokenCounterModel {
+            threads: 2,
+            increments: 2,
+        }
+    }
+}
+
+/// Counter, per-thread registers, and per-thread program counters
+/// (even pc = about to load, odd pc = about to store).
+#[derive(Debug, Clone, Copy)]
+pub struct BrokenCounterState {
+    value: u64,
+    regs: [u64; MAX_THREADS],
+    pcs: [u8; MAX_THREADS],
+}
+
+impl Model for BrokenCounterModel {
+    type State = BrokenCounterState;
+
+    fn name(&self) -> &'static str {
+        "broken-counter/load-then-store (negative control)"
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn init(&self) -> BrokenCounterState {
+        BrokenCounterState {
+            value: 0,
+            regs: [0; MAX_THREADS],
+            pcs: [0; MAX_THREADS],
+        }
+    }
+    fn done(&self, s: &BrokenCounterState, tid: usize) -> bool {
+        s.pcs[tid] >= 2 * self.increments
+    }
+    fn enabled(&self, _s: &BrokenCounterState, _tid: usize) -> bool {
+        true
+    }
+    fn step(&self, s: &mut BrokenCounterState, tid: usize) {
+        if s.pcs[tid].is_multiple_of(2) {
+            s.regs[tid] = s.value; // load
+        } else {
+            s.value = s.regs[tid] + 1; // store (the race)
+        }
+        s.pcs[tid] += 1;
+    }
+    fn check_final(&self, s: &BrokenCounterState) -> Result<(), String> {
+        let expect = (self.threads as u64) * u64::from(self.increments);
+        if s.value == expect {
+            Ok(())
+        } else {
+            Err(format!(
+                "lost update: counter is {} after {} increments",
+                s.value, expect
+            ))
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A model of the cache's single-flight `get_or_compute` state
+//! machine.
+//!
+//! Mirrors `DseCache`: callers take a mutex, inspect the key's slot,
+//! and either become the **leader** (slot empty → compute outside the
+//! lock, re-take the lock to publish), **wait** for the current leader
+//! (slot in flight → block until published), or **hit** (slot ready).
+//! A panicking leader publishes a failure so waiters wake with an
+//! error instead of hanging — the PR 2 invariant this model pins down.
+//!
+//! Invariants proved over every interleaving: the value is computed
+//! **exactly once**, every thread terminates with a value (or, in the
+//! leader-panic variant, an error), and no schedule deadlocks. The
+//! `racy_claim` variant removes the lock around the leadership claim
+//! and exists to prove the checker catches the resulting double
+//! compute.
+
+use super::Model;
+
+const MAX_THREADS: usize = 4;
+const VALUE: u8 = 42;
+
+/// What the key's cache slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Leading,
+    Ready(u8),
+    Failed,
+}
+
+/// What a thread walked away with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Got {
+    Nothing,
+    Val(u8),
+    Err,
+}
+
+/// Per-thread program counter values.
+mod pc {
+    pub const LOCK: u8 = 0;
+    pub const INSPECT: u8 = 1;
+    pub const COMPUTE: u8 = 2;
+    pub const RELOCK: u8 = 3;
+    pub const PUBLISH: u8 = 4;
+    pub const WAIT: u8 = 5;
+    pub const DONE: u8 = 6;
+}
+
+/// The configurable single-flight model.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleFlightModel {
+    /// Number of concurrent callers of `get_or_compute` (≤ 4).
+    pub threads: usize,
+    /// The (first) leader's compute panics instead of producing a
+    /// value; waiters must wake with an error, not hang.
+    pub leader_fails: bool,
+    /// Claim leadership from an **unlocked** read — the bug variant
+    /// the checker must catch (double compute).
+    pub racy_claim: bool,
+}
+
+impl Default for SingleFlightModel {
+    fn default() -> Self {
+        SingleFlightModel {
+            threads: 3,
+            leader_fails: false,
+            racy_claim: false,
+        }
+    }
+}
+
+impl SingleFlightModel {
+    /// The leader-panic variant at the standard size.
+    pub fn leader_panics() -> Self {
+        SingleFlightModel {
+            leader_fails: true,
+            ..Self::default()
+        }
+    }
+
+    /// The lockless-claim bug variant (negative control).
+    pub fn racy() -> Self {
+        SingleFlightModel {
+            racy_claim: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Shared cache slot + modeled mutex + per-thread bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightState {
+    mutex: Option<u8>,
+    slot: Slot,
+    computes: u8,
+    attempts: u8,
+    pcs: [u8; MAX_THREADS],
+    got: [Got; MAX_THREADS],
+    /// Racy variant only: the slot value each thread read *before*
+    /// acting on it (the stale basis of its leadership claim).
+    seen: [Slot; MAX_THREADS],
+}
+
+impl Model for SingleFlightModel {
+    type State = FlightState;
+
+    fn name(&self) -> &'static str {
+        if self.racy_claim {
+            "cache-singleflight/racy-claim (negative control)"
+        } else if self.leader_fails {
+            "cache-singleflight/leader-panic"
+        } else {
+            "cache-singleflight/get_or_compute"
+        }
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn init(&self) -> FlightState {
+        FlightState {
+            mutex: None,
+            slot: Slot::Empty,
+            computes: 0,
+            attempts: 0,
+            pcs: [pc::LOCK; MAX_THREADS],
+            got: [Got::Nothing; MAX_THREADS],
+            seen: [Slot::Empty; MAX_THREADS],
+        }
+    }
+    fn done(&self, s: &FlightState, tid: usize) -> bool {
+        s.pcs[tid] == pc::DONE
+    }
+    fn enabled(&self, s: &FlightState, tid: usize) -> bool {
+        match s.pcs[tid] {
+            // Taking the mutex blocks while another thread holds it
+            // (with a racy claim, the "lock" step is a plain read and
+            // never blocks).
+            pc::LOCK => self.racy_claim || s.mutex.is_none(),
+            pc::RELOCK => s.mutex.is_none(),
+            // Waiters sleep on the condvar until the leader publishes.
+            pc::WAIT => matches!(s.slot, Slot::Ready(_) | Slot::Failed),
+            _ => true,
+        }
+    }
+    fn step(&self, s: &mut FlightState, tid: usize) {
+        match s.pcs[tid] {
+            pc::LOCK => {
+                if self.racy_claim {
+                    // The bug: read the slot WITHOUT the lock; the
+                    // claim below acts on this possibly-stale value.
+                    s.seen[tid] = s.slot;
+                } else {
+                    s.mutex = Some(tid as u8);
+                }
+                s.pcs[tid] = pc::INSPECT;
+            }
+            pc::INSPECT => {
+                // Inspect the slot and release the lock in one held-
+                // lock critical section (other threads are blocked on
+                // the mutex throughout, so one step is faithful). The
+                // racy variant instead acts on the stale unlocked read.
+                let basis = if self.racy_claim { s.seen[tid] } else { s.slot };
+                match basis {
+                    Slot::Empty => {
+                        s.slot = Slot::Leading;
+                        s.pcs[tid] = pc::COMPUTE;
+                    }
+                    Slot::Leading => s.pcs[tid] = pc::WAIT,
+                    Slot::Ready(v) => {
+                        s.got[tid] = Got::Val(v);
+                        s.pcs[tid] = pc::DONE;
+                    }
+                    Slot::Failed => {
+                        s.got[tid] = Got::Err;
+                        s.pcs[tid] = pc::DONE;
+                    }
+                }
+                if !self.racy_claim {
+                    s.mutex = None;
+                }
+            }
+            pc::COMPUTE => {
+                // The leader computes outside the lock.
+                s.attempts += 1;
+                if !(self.leader_fails && s.attempts == 1) {
+                    s.computes += 1;
+                }
+                s.pcs[tid] = pc::RELOCK;
+            }
+            pc::RELOCK => {
+                s.mutex = Some(tid as u8);
+                s.pcs[tid] = pc::PUBLISH;
+            }
+            pc::PUBLISH => {
+                // Publish (or broadcast the failure) and wake waiters.
+                if self.leader_fails && s.attempts == 1 && s.computes == 0 {
+                    s.slot = Slot::Failed;
+                    s.got[tid] = Got::Err;
+                } else {
+                    s.slot = Slot::Ready(VALUE);
+                    s.got[tid] = Got::Val(VALUE);
+                }
+                s.mutex = None;
+                s.pcs[tid] = pc::DONE;
+            }
+            pc::WAIT => {
+                match s.slot {
+                    Slot::Ready(v) => s.got[tid] = Got::Val(v),
+                    _ => s.got[tid] = Got::Err,
+                }
+                s.pcs[tid] = pc::DONE;
+            }
+            _ => unreachable!("stepped a finished thread"),
+        }
+    }
+    fn check_final(&self, s: &FlightState) -> Result<(), String> {
+        if !self.leader_fails && s.computes != 1 {
+            return Err(format!(
+                "single-flight violated: {} computes for one key",
+                s.computes
+            ));
+        }
+        if self.leader_fails && s.computes != 0 {
+            return Err(format!(
+                "a failed leader must not be recomputed within the episode \
+                 ({} computes)",
+                s.computes
+            ));
+        }
+        for tid in 0..self.threads {
+            match (s.got[tid], self.leader_fails) {
+                (Got::Nothing, _) => {
+                    return Err(format!("thread {tid} finished empty-handed"));
+                }
+                (Got::Err, false) => {
+                    return Err(format!("thread {tid} saw an error with a healthy leader"));
+                }
+                (Got::Val(_), true) => {
+                    return Err(format!(
+                        "thread {tid} saw a value although the leader panicked"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}

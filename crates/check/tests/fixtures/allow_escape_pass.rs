@@ -1,0 +1,15 @@
+// fixture-path: crates/service/src/server.rs
+// fixture-expect: none
+// check:allow escapes suppress a lint on the next statement — on the
+// same line or from the comment block immediately above.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn same_line_escape(v: Option<u64>) -> u64 {
+    v.unwrap() // check:allow(no-unwrap-hot-path): fixture demonstrates the escape
+}
+
+pub fn block_escape(v: &AtomicU64) -> u64 {
+    // check:allow(ordering-audit): fixture demonstrates the escape
+    v.load(Ordering::SeqCst)
+}

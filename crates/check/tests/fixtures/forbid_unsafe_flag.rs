@@ -1,0 +1,6 @@
+// fixture-path: crates/newcrate/src/lib.rs
+// fixture-expect: forbid-unsafe
+// A crate root without the attribute must be flagged; mentioning
+// #![forbid(unsafe_code)] in a string does not count.
+
+pub const NOT_THE_ATTR: &str = "#![forbid(unsafe_code)]";

@@ -1,0 +1,6 @@
+// fixture-path: crates/newcrate/src/lib.rs
+// fixture-expect: none
+
+#![forbid(unsafe_code)]
+
+//! A crate root carrying the attribute passes.

@@ -1,0 +1,13 @@
+// fixture-path: crates/service/src/cache.rs
+// fixture-expect: no-unwrap-hot-path
+// Bare unwraps and panics on the request path must be flagged.
+
+pub fn bare_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn explicit_panic(ok: bool) {
+    if !ok {
+        panic!("boom");
+    }
+}

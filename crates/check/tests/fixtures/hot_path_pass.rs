@@ -1,0 +1,26 @@
+// fixture-path: crates/service/src/wire.rs
+// fixture-expect: none
+// expect() with an invariant message is allowed on the hot path;
+// unwrap_or_else and unwrap_or are different tokens; tests and
+// strings never count.
+
+pub fn documented_invariant(v: Option<u64>) -> u64 {
+    v.expect("filled by the constructor, never absent")
+}
+
+pub fn recovering(v: Option<u64>) -> u64 {
+    v.unwrap_or_else(|| 0).max(v.unwrap_or(0))
+}
+
+pub const HINT: &str = "calling .unwrap() here would be flagged";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Option<u64> = Some(3);
+        if v.unwrap() != 3 {
+            panic!("unreachable");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// fixture-path: crates/store/src/store.rs
+// fixture-expect: lock-poison
+// Both forms must be flagged, including the call split across lines.
+
+use std::sync::Mutex;
+
+pub fn direct(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn split_across_lines(m: &Mutex<u64>) -> u64 {
+    *m.lock()
+        .expect("the lexer matches tokens, not lines")
+}

@@ -1,0 +1,25 @@
+// fixture-path: crates/service/src/sync.rs
+// fixture-expect: none
+// The recovering idiom, test code, and pattern-shaped strings and
+// comments must all pass.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub fn lock_recovered<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// A comment spelling out .lock().unwrap() is not a violation.
+pub const DOC: &str = "never write .lock().unwrap() in this crate";
+pub const RAW: &str = r#"nor .lock().expect("…") inside raw strings"#;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = Mutex::new(1_u64);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

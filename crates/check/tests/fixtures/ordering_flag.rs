@@ -1,0 +1,16 @@
+// fixture-path: crates/core/src/dse.rs
+// fixture-expect: ordering-audit
+// A raw ordering without an `// ordering:` comment must be flagged —
+// including when the only nearby comment is a trailing one on the
+// PREVIOUS code line (it belongs to that line, not this one).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(v: &AtomicU64) -> u64 {
+    v.load(Ordering::SeqCst)
+}
+
+pub fn wrong_attachment(v: &AtomicU64) -> u64 {
+    let unrelated = 1; // ordering: this justifies nothing below
+    v.load(Ordering::Acquire) + unrelated
+}

@@ -1,0 +1,24 @@
+// fixture-path: crates/service/src/pool.rs
+// fixture-expect: none
+// Justified orderings pass: trailing same-line comments, a comment
+// block immediately above, and `cmp::Ordering` variants never match.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn same_line(v: &AtomicU64) -> u64 {
+    v.load(Ordering::Relaxed) // ordering: Relaxed — stats only
+}
+
+pub fn block_above(v: &AtomicU64) -> u64 {
+    // ordering: Relaxed — a pure claim ticket; the data it indexes is
+    // immutable, so no ordering is required.
+    v.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn cmp_is_not_atomic(a: u64, b: u64) -> CmpOrdering {
+    match a.cmp(&b) {
+        CmpOrdering::Equal => CmpOrdering::Equal,
+        other => other,
+    }
+}

@@ -1,0 +1,12 @@
+// fixture-path: crates/telemetry/src/lib.rs
+// fixture-expect: none
+// crates/telemetry's primitives are the audited exception: raw
+// orderings there need no comment (the model checker covers them).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn audited_by_the_model_checker(v: &AtomicU64) {
+    v.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,25 @@
+// fixture-path: crates/service/src/cache.rs
+// fixture-expect: none
+// Every deny pattern appears below — but only inside string literals,
+// raw strings, and comments. A lexer that mis-tokenizes any of these
+// would fire a lint and fail the golden test.
+
+pub const IN_STRING: &str = "cache.lock().unwrap().get(key).unwrap(); panic!(\"boom\")";
+pub const IN_RAW: &str = r#"v.load(Ordering::SeqCst); slot.lock().expect("poisoned")"#;
+pub const IN_RAW_HASHED: &str = r##"nested "#quote#" then .unwrap() and panic!()"##;
+pub const IN_BYTES: &[u8] = b".lock().unwrap()";
+
+// line comment: m.lock().unwrap(); x.unwrap(); panic!("no"); Ordering::SeqCst
+/* block comment: .lock().expect("poison") and Ordering::AcqRel
+   /* nested block: panic!("still a comment") .unwrap() */
+   still outer: v.store(1, Ordering::Release)
+*/
+
+pub fn char_literals_are_not_strings() -> (char, char) {
+    // A quote char and an escaped quote must not open a string.
+    ('"', '\'')
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    x
+}

@@ -1,0 +1,109 @@
+//! Property tests for the lexer/matcher boundary: deny patterns
+//! planted inside string literals, raw strings, and (nested) comments
+//! must never fire a lint, while the same patterns as real code must
+//! always fire — across random containers and padding.
+
+use drmap_check::lexer::{lex, TokKind};
+use drmap_check::{engine, Workspace};
+use proptest::prelude::*;
+
+/// Virtual path in scope for lock-poison, no-unwrap-hot-path,
+/// ordering-audit, and metrics-doc-drift all at once.
+const VPATH: &str = "crates/service/src/cache.rs";
+
+/// Keeps metrics-doc-drift from reporting a missing doc; empty because
+/// the generated sources register nothing.
+const EMPTY_TAXONOMY: &str = "## Metric taxonomy\n";
+
+/// `(snippet, lint that must fire when the snippet is code)`.
+const PATTERNS: [(&str, &str); 5] = [
+    ("let g = m.lock().unwrap();", "lock-poison"),
+    ("let g = m.lock().expect(\"poisoned\");", "lock-poison"),
+    ("let v = o.unwrap();", "no-unwrap-hot-path"),
+    ("panic!(\"boom\");", "no-unwrap-hot-path"),
+    ("let x = a.load(Ordering::SeqCst);", "ordering-audit"),
+];
+
+/// Identifier fragments that only occur in the planted snippet, never
+/// in the scaffolding — if one shows up in a non-string token, the
+/// lexer leaked container content into the code stream.
+const MARKERS: [&str; 5] = ["unwrap", "expect", "panic", "SeqCst", "lock"];
+
+/// Wrap `snippet` in one of four containers the lexer must treat as
+/// opaque: escaped string, hashed raw string, line comment, nested
+/// block comment.
+fn embed(snippet: &str, container: usize, pad: usize) -> String {
+    let padding = "    let _pad = 0;\n".repeat(pad);
+    let planted = match container {
+        0 => format!(
+            "    let _s = \"{}\";",
+            snippet.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        1 => format!("    let _s = r##\"{snippet}\"##;"),
+        2 => format!("    // {snippet}"),
+        _ => format!("    /* outer /* {snippet} */ tail */"),
+    };
+    format!("pub fn scaffold() {{\n{padding}{planted}\n{padding}}}\n")
+}
+
+/// The same snippet as real code in the same scaffold.
+fn as_code(snippet: &str, pad: usize) -> String {
+    let padding = "    let _pad = 0;\n".repeat(pad);
+    format!("pub fn scaffold() {{\n{padding}    {snippet}\n{padding}}}\n")
+}
+
+fn fired_lints(src: &str) -> Vec<String> {
+    let ws = Workspace::from_sources(&[(VPATH, src), ("docs/OBSERVABILITY.md", EMPTY_TAXONOMY)]);
+    engine::run_all(&ws).iter().map(|d| d.to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Patterns inside strings, raw strings, and comments never leak:
+    /// no marker identifier escapes into a non-string token, and no
+    /// lint fires on the file.
+    #[test]
+    fn containers_are_opaque_to_the_matcher(
+        which in 0_usize..PATTERNS.len(),
+        container in 0_usize..4,
+        pad in 0_usize..4,
+    ) {
+        let (snippet, _) = PATTERNS[which];
+        let src = embed(snippet, container, pad);
+
+        let lexed = lex(&src);
+        for t in &lexed.toks {
+            let leaked = t.kind != TokKind::Str
+                && MARKERS.iter().any(|m| t.text.contains(m));
+            prop_assert!(
+                !leaked,
+                "container {container} leaked {:?} token {:?} from {src:?}",
+                t.kind,
+                t.text
+            );
+        }
+
+        let fired = fired_lints(&src);
+        prop_assert!(
+            fired.is_empty(),
+            "container {container} fired {fired:?} on {src:?}"
+        );
+    }
+
+    /// The same patterns as code always fire their lint, wherever the
+    /// statement sits in the function.
+    #[test]
+    fn code_always_fires(
+        which in 0_usize..PATTERNS.len(),
+        pad in 0_usize..4,
+    ) {
+        let (snippet, lint) = PATTERNS[which];
+        let src = as_code(snippet, pad);
+        let fired = fired_lints(&src);
+        prop_assert!(
+            fired.iter().any(|d| d.contains(lint)),
+            "expected `{lint}` on {src:?}, fired {fired:?}"
+        );
+    }
+}

@@ -615,6 +615,9 @@ impl DseEngine {
                     scope.spawn(move || {
                         let mut claimed = Vec::new();
                         loop {
+                            // ordering: Relaxed — a work-claim ticket
+                            // over the immutable `layers` slice; results
+                            // are returned via join, which synchronizes.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= layers.len() {
                                 return claimed;

@@ -198,6 +198,9 @@ impl Shard {
     /// leader never waits on a chunk nobody will finish.
     fn work(&self) {
         loop {
+            // ordering: Relaxed — `next` is a pure claim ticket; the
+            // chunk data it indexes is immutable, and result slots are
+            // published under the shard's mutex, not through this atomic.
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.chunks.len() {
                 return;

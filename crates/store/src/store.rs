@@ -342,6 +342,8 @@ impl Store {
     }
 
     fn get_inner(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        // ordering: Relaxed — `gets`/`hits` are statistics counters
+        // only; no reader infers anything about the log from them.
         self.gets.fetch_add(1, Ordering::Relaxed);
         let state = read_locked(&self.state);
         let Some(entry) = state.index.get(key).copied() else {
@@ -357,6 +359,7 @@ impl Store {
                 entry.value_crc
             )));
         }
+        // ordering: Relaxed — statistics counter, see `gets` above.
         self.hits.fetch_add(1, Ordering::Relaxed);
         Ok(Some(value))
     }
@@ -521,7 +524,10 @@ impl Store {
             live_value_bytes: state.live_value_bytes,
             dead_bytes: state.dead_bytes,
             appends: state.appends,
+            // ordering: Relaxed — statistics snapshot; a slightly stale
+            // count is fine and the state mutex orders everything else.
             gets: self.gets.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistics snapshot, as `gets` above.
             hits: self.hits.load(Ordering::Relaxed),
             compactions: state.compactions,
             recovered_bytes: state.recovered_bytes,
