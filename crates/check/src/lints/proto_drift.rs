@@ -29,7 +29,7 @@ const DOC: &str = "docs/PROTOCOL.md";
 /// marks a baseline verb available at every protocol version (the
 /// pre-capability legacy verbs and the handshake itself); everything
 /// else must be gated by a capability the server actually advertises.
-const VARIANT_CAPS: [(&str, Option<&str>); 12] = [
+const VARIANT_CAPS: [(&str, Option<&str>); 15] = [
     ("Hello", None),
     ("Ping", None),
     ("Stats", None),
@@ -42,6 +42,9 @@ const VARIANT_CAPS: [(&str, Option<&str>); 12] = [
     ("StoreCompact", Some("store")),
     ("Metrics", Some("metrics")),
     ("SetBounds", Some("set-bounds")),
+    ("MetricsHistory", Some("metrics-history")),
+    ("SlowTraces", Some("slow-traces")),
+    ("SetSlowLog", Some("admin")),
 ];
 
 /// Run the drift check; silently skipped when `proto.rs` is not part

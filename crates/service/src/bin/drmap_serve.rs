@@ -6,7 +6,7 @@
 //!             [--shard-min-tilings N] [--shard-chunk N]
 //!             [--store PATH] [--warm N]
 //!             [--max-inflight N] [--max-inflight-global N]
-//!             [--slow-ms N]
+//!             [--slow-ms N] [--slow-log-cap N] [--sample-secs N]
 //! ```
 //!
 //! Speaks the typed, versioned protocol (plus the legacy shim) over
@@ -25,9 +25,15 @@
 //! them). `--max-inflight` bounds in-flight requests per connection;
 //! `--max-inflight-global` additionally bounds them across all
 //! connections. `--slow-ms N` turns on the slow-request log: any job
-//! taking at least N ms is captured with its per-stage span breakdown
-//! and dumped by the `metrics` admin verb (`--slow-ms 0` logs every
-//! job; see `docs/OBSERVABILITY.md`). Try it with netcat:
+//! taking at least N ms is captured with its per-stage span breakdown,
+//! dumped by the `metrics` admin verb, and — when a store is attached
+//! — persisted through the WAL for the `slow-traces` verb, so
+//! post-mortems survive restarts (`--slow-ms 0` logs every job).
+//! `--slow-log-cap N` sizes the in-memory slow ring (default 32;
+//! retunable live via `set-slow-log`). `--sample-secs N` sets the
+//! cadence of the background metrics sampler feeding the
+//! `metrics-history` verb (default 10; `--sample-secs 0` disables
+//! sampling; see `docs/OBSERVABILITY.md`). Try it with netcat:
 //!
 //! ```text
 //! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 --store results.wal &
@@ -36,6 +42,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use drmap_service::cache::CacheConfig;
 use drmap_service::cli::{apply_shard_flag, parse_cache_policy, parse_positive as positive};
@@ -51,6 +58,7 @@ struct Args {
     shard: ShardPolicy,
     store: Option<String>,
     warm: Option<usize>,
+    slow_log_cap: Option<usize>,
     server: ServerConfig,
 }
 
@@ -62,7 +70,14 @@ fn parse_args() -> Result<Args, String> {
         shard: ShardPolicy::default(),
         store: None,
         warm: None,
-        server: ServerConfig::default(),
+        slow_log_cap: None,
+        server: ServerConfig {
+            // The serve bin samples every 10 s by default so
+            // `metrics-history` works out of the box; --sample-secs 0
+            // opts out. Library users opt *in* via ServerConfig.
+            sample_interval: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        },
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +118,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("invalid --slow-ms value {v:?}"))?,
                 );
             }
+            "--slow-log-cap" => {
+                args.slow_log_cap = Some(positive("--slow-log-cap", &value("--slow-log-cap")?)?);
+            }
+            "--sample-secs" => {
+                // 0 is meaningful: it disables the sampler thread.
+                let v = value("--sample-secs")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --sample-secs value {v:?}"))?;
+                args.server.sample_interval = (secs > 0).then(|| Duration::from_secs(secs));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
@@ -110,7 +136,7 @@ fn parse_args() -> Result<Args, String> {
                      [--shard-min-tilings N] [--shard-chunk N] \
                      [--store PATH] [--warm N] \
                      [--max-inflight N] [--max-inflight-global N] \
-                     [--slow-ms N]"
+                     [--slow-ms N] [--slow-log-cap N] [--sample-secs N]"
                 );
                 std::process::exit(0);
             }
@@ -148,6 +174,9 @@ fn main() -> ExitCode {
                 println!("drmap-serve: warm-started {warmed} cached results from the store");
             }
         }
+        if let Some(cap) = args.slow_log_cap {
+            state.slow_log().set_capacity(cap);
+        }
         let pool = Arc::new(DsePool::with_shard_policy(state, args.workers, args.shard));
         JobServer::with_config(&args.addr, pool, args.server)
     });
@@ -168,7 +197,7 @@ fn main() -> ExitCode {
                 "drmap-serve: listening on {addr} with {} workers \
                  (cache: {} entries, {} bytes, {} eviction; \
                  shard: min {} tilings, chunk {}; store: {}; \
-                 in-flight: {}/conn, {} global; slow log: {})",
+                 in-flight: {}/conn, {} global; slow log: {} (cap {}); sampler: {})",
                 args.workers,
                 bound(args.cache.max_entries),
                 bound(args.cache.max_bytes),
@@ -183,6 +212,11 @@ fn main() -> ExitCode {
                 bound(args.server.max_inflight_global),
                 match args.server.slow_ms {
                     Some(ms) => format!(">= {ms} ms"),
+                    None => "off".to_owned(),
+                },
+                args.slow_log_cap.unwrap_or(32),
+                match args.server.sample_interval {
+                    Some(interval) => format!("every {}s", interval.as_secs()),
                     None => "off".to_owned(),
                 },
             );

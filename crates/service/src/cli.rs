@@ -76,6 +76,20 @@ pub enum AdminCmd {
     /// `metrics` — dump the telemetry snapshot and slow-request log
     /// (`--text` renders Prometheus-style exposition instead).
     Metrics,
+    /// `metrics-history` — dump the windowed metrics history ring
+    /// (base snapshot, per-window deltas, cumulative snapshot).
+    MetricsHistory,
+    /// `slow-traces[=N]` — list up to N persisted slow-request traces,
+    /// newest first (requires a server-side store).
+    SlowTraces(Option<usize>),
+    /// `set-slow-log=slow_ms:N|cap:N[,…]` — retune the slow-request
+    /// log threshold (`slow_ms:0` logs every job) and/or ring capacity.
+    SetSlowLog {
+        /// New threshold in milliseconds, when given.
+        slow_ms: Option<u64>,
+        /// New ring capacity, when given.
+        cap: Option<usize>,
+    },
     /// `cache-clear` — drop the resident cache tier.
     CacheClear,
     /// `cache-warm[=N]` — promote stored results into the cache.
@@ -106,6 +120,45 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
         "ping" => no_value(AdminCmd::Ping),
         "stats" => no_value(AdminCmd::Stats),
         "metrics" => no_value(AdminCmd::Metrics),
+        "metrics-history" => no_value(AdminCmd::MetricsHistory),
+        "slow-traces" => match value {
+            None => Ok(AdminCmd::SlowTraces(None)),
+            Some(v) => Ok(AdminCmd::SlowTraces(Some(parse_positive(
+                "slow-traces",
+                v,
+            )?))),
+        },
+        "set-slow-log" => {
+            let value = value.ok_or(
+                "set-slow-log needs a value, e.g. set-slow-log=slow_ms:250,cap:64 \
+                 (slow_ms:0 logs every job)",
+            )?;
+            let mut slow_ms = None;
+            let mut cap = None;
+            for pair in value.split(',') {
+                let (key, n) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("set-slow-log field {pair:?} is not key:value"))?;
+                match key {
+                    // 0 is meaningful here: it logs every job.
+                    "slow_ms" => {
+                        slow_ms = Some(n.parse().map_err(|_| {
+                            format!("invalid slow_ms value {n:?} (milliseconds, 0 logs all)")
+                        })?);
+                    }
+                    "cap" => cap = Some(parse_positive(key, n)?),
+                    other => {
+                        return Err(format!(
+                            "unknown set-slow-log field {other:?} (expected slow_ms or cap)"
+                        ))
+                    }
+                }
+            }
+            if slow_ms.is_none() && cap.is_none() {
+                return Err("set-slow-log changed nothing".to_owned());
+            }
+            Ok(AdminCmd::SetSlowLog { slow_ms, cap })
+        }
         "cache-clear" => no_value(AdminCmd::CacheClear),
         "store-compact" => no_value(AdminCmd::StoreCompact),
         "shutdown" => no_value(AdminCmd::Shutdown),
@@ -187,8 +240,8 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
         }
         other => Err(format!(
             "unknown admin command {other:?} (expected hello, ping, stats, set-policy, \
-             set-shard-policy, set-bounds, cache-clear, cache-warm, store-compact, metrics, \
-             or shutdown)"
+             set-shard-policy, set-bounds, set-slow-log, cache-clear, cache-warm, \
+             store-compact, metrics, metrics-history, slow-traces, or shutdown)"
         )),
     }
 }
@@ -239,6 +292,32 @@ mod tests {
         );
         assert_eq!(parse_admin_command("metrics"), Ok(AdminCmd::Metrics));
         assert_eq!(
+            parse_admin_command("metrics-history"),
+            Ok(AdminCmd::MetricsHistory)
+        );
+        assert_eq!(
+            parse_admin_command("slow-traces"),
+            Ok(AdminCmd::SlowTraces(None))
+        );
+        assert_eq!(
+            parse_admin_command("slow-traces=5"),
+            Ok(AdminCmd::SlowTraces(Some(5)))
+        );
+        assert_eq!(
+            parse_admin_command("set-slow-log=slow_ms:0,cap:64"),
+            Ok(AdminCmd::SetSlowLog {
+                slow_ms: Some(0),
+                cap: Some(64),
+            })
+        );
+        assert_eq!(
+            parse_admin_command("set-slow-log=cap:8"),
+            Ok(AdminCmd::SetSlowLog {
+                slow_ms: None,
+                cap: Some(8),
+            })
+        );
+        assert_eq!(
             parse_admin_command("set-bounds=entries:64,bytes:0"),
             Ok(AdminCmd::SetBounds(BoundsUpdate {
                 max_entries: Some(64),
@@ -260,6 +339,14 @@ mod tests {
             "set-bounds=",
             "set-bounds=rows:4",
             "set-bounds=entries:x",
+            "metrics-history=1",
+            "slow-traces=0",
+            "slow-traces=many",
+            "set-slow-log",
+            "set-slow-log=",
+            "set-slow-log=cap:0",
+            "set-slow-log=slow_ms:fast",
+            "set-slow-log=threshold:4",
         ] {
             assert!(parse_admin_command(bad).is_err(), "accepted {bad:?}");
         }

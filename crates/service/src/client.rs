@@ -16,8 +16,10 @@
 //!   attaches per-job options, and [`Client::set_policy`],
 //!   [`Client::set_shard_policy`], [`Client::set_bounds`],
 //!   [`Client::cache_clear`], [`Client::cache_warm`],
-//!   [`Client::compact_store`], [`Client::stats_report`], and
-//!   [`Client::metrics`] drive a live server's control plane.
+//!   [`Client::compact_store`], [`Client::stats_report`],
+//!   [`Client::metrics`], [`Client::metrics_history`],
+//!   [`Client::slow_traces`], and [`Client::set_slow_log`] drive a
+//!   live server's control plane.
 //!
 //! [`Client::set_binary`] switches outgoing requests to the
 //! length-prefixed binary frame encoding (see [`crate::wire`]), which
@@ -29,13 +31,14 @@ use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use drmap_store::store::CompactReport;
+use drmap_telemetry::SnapshotHistory;
 
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::ShardPolicy;
 use crate::proto::{
-    BoundsUpdate, MetricsReport, Request, Response, ShardPolicyUpdate, StatsReport,
-    PROTOCOL_VERSION,
+    BoundsUpdate, MetricsReport, PersistedSlowTrace, Request, Response, ShardPolicyUpdate,
+    StatsReport, PROTOCOL_VERSION,
 };
 use crate::spec::{JobOptions, JobResult, JobSpec};
 use crate::wire::{self, Encoding};
@@ -382,6 +385,70 @@ impl Client {
         match self.typed_request(&Request::Metrics { id: None })? {
             Response::Metrics { report, .. } => Ok(report),
             other => Err(Self::unexpected("metrics", &other)),
+        }
+    }
+
+    /// Fetch the server's windowed metrics history: the base snapshot,
+    /// every retained windowed delta, and the cumulative snapshot the
+    /// samples reconstruct to (see
+    /// [`drmap_telemetry::SnapshotHistory::reconstructed`]). Empty
+    /// until the server's sampler has ticked (`--sample-secs`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed responses.
+    pub fn metrics_history(&mut self) -> Result<SnapshotHistory, ServiceError> {
+        match self.typed_request(&Request::MetricsHistory { id: None })? {
+            Response::MetricsHistory { history, .. } => Ok(history),
+            other => Err(Self::unexpected("metrics-history", &other)),
+        }
+    }
+
+    /// List up to `limit` slow-request traces persisted through the
+    /// server's store tier, newest first — post-mortems that survive
+    /// restarts, unlike the in-memory ring the `metrics` verb dumps.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server has no store attached, or on malformed
+    /// responses.
+    pub fn slow_traces(
+        &mut self,
+        limit: Option<usize>,
+    ) -> Result<Vec<PersistedSlowTrace>, ServiceError> {
+        match self.typed_request(&Request::SlowTraces { id: None, limit })? {
+            Response::SlowTraces { traces, .. } => Ok(traces),
+            other => Err(Self::unexpected("slow-traces", &other)),
+        }
+    }
+
+    /// Retune the live server's slow-request log: the threshold in
+    /// milliseconds (`0` logs every job) and/or the ring capacity
+    /// (clamped to at least 1; shrinking evicts the oldest entries).
+    /// Returns the `(slow_ms, cap)` now in force, `slow_ms == None`
+    /// meaning the log is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty updates (rejected client-side), malformed
+    /// responses, or server-side errors.
+    pub fn set_slow_log(
+        &mut self,
+        slow_ms: Option<u64>,
+        cap: Option<usize>,
+    ) -> Result<(Option<u64>, usize), ServiceError> {
+        if slow_ms.is_none() && cap.is_none() {
+            return Err(ServiceError::protocol(
+                "set-slow-log needs at least one of slow_ms or cap",
+            ));
+        }
+        match self.typed_request(&Request::SetSlowLog {
+            id: None,
+            slow_ms,
+            cap,
+        })? {
+            Response::SlowLogSet { slow_ms, cap, .. } => Ok((slow_ms, cap)),
+            other => Err(Self::unexpected("set-slow-log", &other)),
         }
     }
 

@@ -9,7 +9,9 @@
 //! state, handed to every worker, connection handler, and front-end.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use drmap_cnn::accelerator::AcceleratorConfig;
 use drmap_cnn::layer::Layer;
@@ -19,14 +21,29 @@ use drmap_core::error::DseError;
 use drmap_dram::geometry::Geometry;
 use drmap_dram::profiler::{AccessCostTable, Profiler};
 use drmap_dram::timing::DramArch;
-use drmap_telemetry::{Counter, Histogram, MetricsRegistry, SlowLog, Span, Trace};
+use drmap_store::store::SLOW_TRACE_KEY_PREFIX;
+use drmap_telemetry::{
+    Counter, Histogram, MetricsRegistry, SlowEntry, SlowLog, SnapshotRing, Span, Trace,
+};
 
 use crate::cache::{CacheConfig, CacheMetrics, CacheOutcome, DseCache};
 use crate::error::ServiceError;
 use crate::spec::{CacheMode, EngineSpec, JobResult, JobSpec, LayerOutcome};
 
-/// How many slow requests the [`SlowLog`] ring buffer retains.
+/// How many slow requests the [`SlowLog`] ring buffer retains by
+/// default (retunable live: `--slow-log-cap` at boot, the
+/// `set-slow-log` admin verb afterwards).
 const SLOW_LOG_CAPACITY: usize = 32;
+
+/// How many windowed metrics samples the [`SnapshotRing`] retains —
+/// at the default 10 s cadence, ten minutes of history.
+const SNAPSHOT_RING_CAPACITY: usize = 60;
+
+/// How many persisted slow-trace slots the store tier keeps. Traces
+/// write under `seq % SLOW_TRACE_SLOTS`, so the newest records
+/// supersede the oldest in place and the WAL's last-record-per-key
+/// replay garbage-collects the ring on compaction.
+const SLOW_TRACE_SLOTS: u64 = 256;
 
 /// Builds [`DseEngine`]s on demand, memoizing the profiled cost tables.
 #[derive(Debug)]
@@ -132,6 +149,11 @@ pub(crate) struct StageMetrics {
     pub(crate) jobs_total: Arc<Counter>,
     /// Per-layer tasks processed by workers.
     pub(crate) layers_total: Arc<Counter>,
+    /// Layer lookups answered from the resident cache tier.
+    pub(crate) cache_hits_total: Arc<Counter>,
+    /// Layer lookups that fell through the resident tier (computed
+    /// here, coalesced onto another caller, or served by the store).
+    pub(crate) cache_misses_total: Arc<Counter>,
 }
 
 impl StageMetrics {
@@ -146,12 +168,15 @@ impl StageMetrics {
             merge_ns: registry.histogram("merge_ns"),
             jobs_total: registry.counter("jobs_total"),
             layers_total: registry.counter("layers_total"),
+            cache_hits_total: registry.counter("cache_hits_total"),
+            cache_misses_total: registry.counter("cache_misses_total"),
         }
     }
 }
 
 /// The service's shared state: engine factory, layer memo cache, and
-/// the telemetry plane (metrics registry + slow-request log).
+/// the telemetry plane (metrics registry, windowed snapshot history,
+/// slow-request log, and the persisted slow-trace tier).
 #[derive(Debug)]
 pub struct ServiceState {
     factory: EngineFactory,
@@ -159,6 +184,11 @@ pub struct ServiceState {
     metrics: Arc<MetricsRegistry>,
     stages: StageMetrics,
     slow_log: SlowLog,
+    history: SnapshotRing,
+    /// Next persisted slow-trace sequence number; resumed past the
+    /// highest sequence found in the store at boot so restarts keep
+    /// appending instead of overwriting the freshest post-mortems.
+    slow_seq: AtomicU64,
 }
 
 impl ServiceState {
@@ -212,12 +242,18 @@ impl ServiceState {
             singleflight_wait_ns: metrics.histogram("singleflight_wait_ns"),
         });
         let stages = StageMetrics::resolve(&metrics);
+        let slow_seq = cache
+            .store()
+            .map(|store| next_slow_seq(store))
+            .unwrap_or(0);
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
             cache,
             metrics,
             stages,
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+            history: SnapshotRing::new(SNAPSHOT_RING_CAPACITY),
+            slow_seq: AtomicU64::new(slow_seq),
         }))
     }
 
@@ -230,6 +266,61 @@ impl ServiceState {
     /// set, e.g. by `drmap-serve --slow-ms`).
     pub fn slow_log(&self) -> &SlowLog {
         &self.slow_log
+    }
+
+    /// The windowed metrics history ring the server's sampler thread
+    /// records into; dumped by the `metrics-history` admin verb.
+    pub fn history(&self) -> &SnapshotRing {
+        &self.history
+    }
+
+    /// Take one cumulative metrics snapshot and fold it into the
+    /// history ring as a windowed delta (the sampler thread's tick).
+    pub fn sample_metrics(&self) {
+        self.history
+            .record(self.metrics.snapshot(), self.metrics.uptime_ms());
+    }
+
+    /// Write one slow-request trace through the store tier (under
+    /// [`SLOW_TRACE_KEY_PREFIX`], in a ring of [`SLOW_TRACE_SLOTS`]
+    /// slots) so the post-mortem survives a restart. A no-op without
+    /// an attached store; a write failure is swallowed — persistence
+    /// is telemetry, and telemetry must never fail a request.
+    pub fn persist_slow_trace(&self, entry: &SlowEntry) {
+        let Some(store) = self.cache.store() else {
+            return;
+        };
+        // ordering: Relaxed — the sequence only needs to hand out
+        // unique, roughly-monotonic numbers; the store's own write
+        // lock orders the actual record appends.
+        let seq = self.slow_seq.fetch_add(1, Ordering::Relaxed);
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let key = format!("{SLOW_TRACE_KEY_PREFIX}{:08}", seq % SLOW_TRACE_SLOTS);
+        if store.put(&key, &entry.encode_record(seq, unix_ms)).is_ok() {
+            self.metrics.counter("slow_traces_persisted_total").inc();
+        }
+    }
+
+    /// Decode up to `limit` persisted slow traces, newest first, as
+    /// `(seq, unix_ms, entry)` triples. Empty without an attached
+    /// store; records that fail to decode (foreign writers, version
+    /// skew) are skipped, never an error.
+    pub fn persisted_slow_traces(&self, limit: Option<usize>) -> Vec<(u64, u64, SlowEntry)> {
+        let Some(store) = self.cache.store() else {
+            return Vec::new();
+        };
+        let mut traces: Vec<(u64, u64, SlowEntry)> = store
+            .keys_with_prefix(SLOW_TRACE_KEY_PREFIX)
+            .into_iter()
+            .filter_map(|key| store.get(&key).ok().flatten())
+            .filter_map(|bytes| SlowEntry::decode_record(&bytes))
+            .collect();
+        traces.sort_by_key(|&(seq, _, _)| std::cmp::Reverse(seq));
+        traces.truncate(limit.unwrap_or(usize::MAX));
+        traces
     }
 
     /// The pre-resolved request-path stage handles.
@@ -340,6 +431,14 @@ impl ServiceState {
             let _explore = Span::enter("explore", &stages.explore_ns).traced(trace);
             explore()
         })?;
+        // Resident-tier semantics: only `Hit` was answered from memory
+        // already resident; coalesced waits, store reads, and fresh
+        // computations all count against the resident hit ratio.
+        if outcome == CacheOutcome::Hit {
+            self.stages.cache_hits_total.inc();
+        } else {
+            self.stages.cache_misses_total.inc();
+        }
         if result.layer_name != layer.name {
             result.layer_name.clone_from(&layer.name);
         }
@@ -374,6 +473,21 @@ impl ServiceState {
             layers: outcomes,
         })
     }
+}
+
+/// The next slow-trace sequence number to hand out: one past the
+/// highest sequence among the store's persisted traces (0 for a fresh
+/// or trace-free log), so a restarted server appends after its
+/// predecessor instead of overwriting the freshest slots.
+fn next_slow_seq(store: &drmap_store::store::Store) -> u64 {
+    store
+        .keys_with_prefix(SLOW_TRACE_KEY_PREFIX)
+        .into_iter()
+        .filter_map(|key| store.get(&key).ok().flatten())
+        .filter_map(|bytes| SlowEntry::decode_record(&bytes))
+        .map(|(seq, _, _)| seq.saturating_add(1))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Convert a core-layer result into the service's wire outcome.

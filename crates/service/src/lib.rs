@@ -55,7 +55,11 @@
 //!   text plus a length-prefixed binary frame mode for large inline
 //!   networks;
 //! * [`json`] — the dependency-free JSON layer (floats round-trip
-//!   bit-exactly).
+//!   bit-exactly);
+//! * [`loadgen`] — the seeded zipfian request mix behind the
+//!   `drmap-loadgen` bin: reproducible load plans, plus the schema
+//!   gate that refuses a `BENCH_load.json` missing its environment
+//!   block.
 //!
 //! Every layer is threaded with [`drmap_telemetry`]: lock-free latency
 //! histograms and counters for each request stage (frame decode, cache
@@ -96,6 +100,7 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod json;
+pub mod loadgen;
 pub mod pool;
 pub mod proto;
 pub mod server;

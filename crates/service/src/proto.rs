@@ -41,7 +41,9 @@
 //! See `docs/PROTOCOL.md` for the full verb-by-verb reference.
 
 use drmap_store::store::{CompactReport, StoreStats};
-use drmap_telemetry::{HistogramSnapshot, MetricsSnapshot, SlowEntry};
+use drmap_telemetry::{
+    HistogramSnapshot, MetricsSnapshot, SlowEntry, SnapshotHistory, SnapshotSample,
+};
 
 use crate::cache::{CacheStats, EvictionPolicy};
 use crate::error::ServiceError;
@@ -65,8 +67,10 @@ pub enum Dialect {
 }
 
 /// The capability strings a server advertises in its hello response.
-/// `store` appears only when a persistent result store is attached
-/// (without it, `cache-warm` and `store-compact` answer with errors).
+/// `store` and `slow-traces` appear only when a persistent result
+/// store is attached (without it, `cache-warm`, `store-compact`, and
+/// `slow-traces` answer with errors — persisted post-mortems need
+/// somewhere to live).
 pub fn capabilities(store_attached: bool) -> Vec<String> {
     let mut caps = vec![
         "jobs".to_owned(),
@@ -75,10 +79,12 @@ pub fn capabilities(store_attached: bool) -> Vec<String> {
         "per-job-options".to_owned(),
         "admin".to_owned(),
         "metrics".to_owned(),
+        "metrics-history".to_owned(),
         "set-bounds".to_owned(),
     ];
     if store_attached {
         caps.push("store".to_owned());
+        caps.push("slow-traces".to_owned());
     }
     caps
 }
@@ -228,6 +234,32 @@ pub enum Request {
         /// Partial update; absent fields keep their current values.
         update: BoundsUpdate,
     },
+    /// Fetch the windowed metrics time series: the sampler ring's base
+    /// snapshot, its per-window deltas, and the cumulative snapshot
+    /// they reconstruct.
+    MetricsHistory {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// Fetch the slow traces persisted through the store (post-mortems
+    /// that survive restarts). Requires an attached store.
+    SlowTraces {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// At most this many traces, newest last (`None`: all
+        /// retained).
+        limit: Option<usize>,
+    },
+    /// Retune the slow-request log live: its threshold and/or its ring
+    /// capacity. Absent fields keep their current values.
+    SetSlowLog {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// New slow threshold in milliseconds (`0` logs everything).
+        slow_ms: Option<u64>,
+        /// New ring capacity (clamped to at least 1).
+        cap: Option<usize>,
+    },
     /// Run a DSE job (the job's own `id` is the correlation key).
     Submit(JobSpec),
 }
@@ -265,6 +297,19 @@ pub struct MetricsReport {
     pub snapshot: MetricsSnapshot,
     /// The most recent slow requests, oldest first.
     pub slow: Vec<SlowEntry>,
+}
+
+/// One slow trace read back from the persistent store: the entry plus
+/// the monotonic sequence number and wall-clock stamp it was persisted
+/// under — enough to order post-mortems across restarts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedSlowTrace {
+    /// Monotonic persistence sequence number (survives restarts).
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch when the trace was captured.
+    pub unix_ms: u64,
+    /// The slow request itself.
+    pub entry: SlowEntry,
 }
 
 /// Everything the server can answer.
@@ -358,6 +403,34 @@ pub enum Response {
         previous_bytes: Option<usize>,
         /// Entries evicted immediately to honor a shrunk bound.
         evicted: u64,
+    },
+    /// `metrics-history` answer.
+    MetricsHistory {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The sampler ring's base, windowed deltas, and cumulative.
+        history: SnapshotHistory,
+    },
+    /// `slow-traces` answer.
+    SlowTraces {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Persisted slow traces, oldest first.
+        traces: Vec<PersistedSlowTrace>,
+    },
+    /// `set-slow-log` applied.
+    SlowLogSet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The threshold now in force, in milliseconds (`None`:
+        /// logging disabled).
+        slow_ms: Option<u64>,
+        /// The ring capacity now in force.
+        cap: usize,
+        /// The threshold that was in force before.
+        previous_ms: Option<u64>,
+        /// The capacity that was in force before.
+        previous_cap: usize,
     },
     /// A job finished successfully.
     Job {
@@ -465,6 +538,24 @@ impl Request {
                     rest.push(("max_bytes".to_owned(), Json::num_usize(n)));
                 }
                 typed("set-bounds", *id, rest)
+            }
+            Request::MetricsHistory { id } => typed("metrics-history", *id, vec![]),
+            Request::SlowTraces { id, limit } => {
+                let mut rest = Vec::new();
+                if let Some(limit) = limit {
+                    rest.push(("limit".to_owned(), Json::num_usize(*limit)));
+                }
+                typed("slow-traces", *id, rest)
+            }
+            Request::SetSlowLog { id, slow_ms, cap } => {
+                let mut rest = Vec::new();
+                if let Some(ms) = slow_ms {
+                    rest.push(("slow_ms".to_owned(), Json::num_u64(*ms)));
+                }
+                if let Some(cap) = cap {
+                    rest.push(("cap".to_owned(), Json::num_usize(*cap)));
+                }
+                typed("set-slow-log", *id, rest)
             }
             Request::Submit(spec) => match spec.to_json() {
                 Json::Obj(pairs) => {
@@ -590,6 +681,24 @@ impl Request {
                     max_bytes: opt_usize("max_bytes")?,
                 },
             }),
+            "metrics-history" => Ok(Request::MetricsHistory { id }),
+            "slow-traces" => Ok(Request::SlowTraces {
+                id,
+                limit: opt_usize("limit")?,
+            }),
+            "set-slow-log" => {
+                let slow_ms = match v.get("slow_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(n) => Some(n.as_u64().ok_or_else(|| {
+                        bad("\"slow_ms\" must be a non-negative integer".to_owned())
+                    })?),
+                };
+                let cap = opt_usize("cap")?;
+                if cap == Some(0) {
+                    return Err(bad("\"cap\" must be positive".to_owned()));
+                }
+                Ok(Request::SetSlowLog { id, slow_ms, cap })
+            }
             "submit" => JobSpec::from_json(v)
                 .map(Request::Submit)
                 .map_err(|e| bad(e.to_string())),
@@ -947,11 +1056,10 @@ fn slow_entry_from_json(v: &Json) -> Result<SlowEntry, ServiceError> {
     })
 }
 
-fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
-    let snapshot = &report.snapshot;
-    vec![
+fn metrics_snapshot_to_json(snapshot: &MetricsSnapshot) -> Json {
+    Json::obj([
         (
-            "counters".to_owned(),
+            "counters",
             Json::Obj(
                 snapshot
                     .counters
@@ -961,7 +1069,7 @@ fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
             ),
         ),
         (
-            "gauges".to_owned(),
+            "gauges",
             Json::Obj(
                 snapshot
                     .gauges
@@ -971,7 +1079,7 @@ fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
             ),
         ),
         (
-            "histograms".to_owned(),
+            "histograms",
             Json::Obj(
                 snapshot
                     .histograms
@@ -980,14 +1088,10 @@ fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
                     .collect(),
             ),
         ),
-        (
-            "slow".to_owned(),
-            Json::Arr(report.slow.iter().map(slow_entry_to_json).collect()),
-        ),
-    ]
+    ])
 }
 
-fn metrics_report_from_json(v: &Json) -> Result<MetricsReport, ServiceError> {
+fn metrics_snapshot_from_json(v: &Json) -> Result<MetricsSnapshot, ServiceError> {
     let obj = |name: &str| match v.get(name) {
         Some(Json::Obj(pairs)) => Ok(pairs),
         _ => Err(ServiceError::protocol(format!(
@@ -1015,6 +1119,26 @@ fn metrics_report_from_json(v: &Json) -> Result<MetricsReport, ServiceError> {
         .iter()
         .map(|(name, val)| Ok((name.clone(), histogram_snapshot_from_json(val)?)))
         .collect::<Result<Vec<_>, ServiceError>>()?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+fn metrics_report_fields(report: &MetricsReport) -> Vec<(String, Json)> {
+    let mut fields = match metrics_snapshot_to_json(&report.snapshot) {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("metrics_snapshot_to_json builds an object"),
+    };
+    fields.push((
+        "slow".to_owned(),
+        Json::Arr(report.slow.iter().map(slow_entry_to_json).collect()),
+    ));
+    fields
+}
+
+fn metrics_report_from_json(v: &Json) -> Result<MetricsReport, ServiceError> {
     let slow = v
         .get("slow")
         .and_then(Json::as_array)
@@ -1023,12 +1147,94 @@ fn metrics_report_from_json(v: &Json) -> Result<MetricsReport, ServiceError> {
         .map(slow_entry_from_json)
         .collect::<Result<Vec<_>, _>>()?;
     Ok(MetricsReport {
-        snapshot: MetricsSnapshot {
-            counters,
-            gauges,
-            histograms,
-        },
+        snapshot: metrics_snapshot_from_json(v)?,
         slow,
+    })
+}
+
+fn snapshot_history_fields(history: &SnapshotHistory) -> Vec<(String, Json)> {
+    vec![
+        ("base".to_owned(), metrics_snapshot_to_json(&history.base)),
+        (
+            "samples".to_owned(),
+            Json::Arr(
+                history
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("uptime_ms", Json::num_u64(s.uptime_ms)),
+                            ("window_ms", Json::num_u64(s.window_ms)),
+                            ("delta", metrics_snapshot_to_json(&s.delta)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cumulative".to_owned(),
+            metrics_snapshot_to_json(&history.cumulative),
+        ),
+    ]
+}
+
+fn snapshot_history_from_json(v: &Json) -> Result<SnapshotHistory, ServiceError> {
+    let samples = v
+        .get("samples")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServiceError::protocol("history missing \"samples\""))?
+        .iter()
+        .map(|s| {
+            let int = |name: &str| {
+                s.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ServiceError::protocol(format!("sample missing {name:?}")))
+            };
+            Ok(SnapshotSample {
+                uptime_ms: int("uptime_ms")?,
+                window_ms: int("window_ms")?,
+                delta: metrics_snapshot_from_json(
+                    s.get("delta")
+                        .ok_or_else(|| ServiceError::protocol("sample missing \"delta\""))?,
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, ServiceError>>()?;
+    Ok(SnapshotHistory {
+        base: metrics_snapshot_from_json(
+            v.get("base")
+                .ok_or_else(|| ServiceError::protocol("history missing \"base\""))?,
+        )?,
+        samples,
+        cumulative: metrics_snapshot_from_json(
+            v.get("cumulative")
+                .ok_or_else(|| ServiceError::protocol("history missing \"cumulative\""))?,
+        )?,
+    })
+}
+
+fn persisted_trace_to_json(t: &PersistedSlowTrace) -> Json {
+    let mut pairs = vec![
+        ("seq".to_owned(), Json::num_u64(t.seq)),
+        ("unix_ms".to_owned(), Json::num_u64(t.unix_ms)),
+    ];
+    match slow_entry_to_json(&t.entry) {
+        Json::Obj(entry) => pairs.extend(entry),
+        _ => unreachable!("slow_entry_to_json builds an object"),
+    }
+    Json::Obj(pairs)
+}
+
+fn persisted_trace_from_json(v: &Json) -> Result<PersistedSlowTrace, ServiceError> {
+    let int = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::protocol(format!("slow trace missing {name:?}")))
+    };
+    Ok(PersistedSlowTrace {
+        seq: int("seq")?,
+        unix_ms: int("unix_ms")?,
+        entry: slow_entry_from_json(v)?,
     })
 }
 
@@ -1175,6 +1381,48 @@ impl Response {
             (Response::Metrics { id, report }, _) => {
                 typed_ok("metrics", *id, metrics_report_fields(report))
             }
+            (Response::MetricsHistory { id, history }, _) => {
+                typed_ok("metrics-history", *id, snapshot_history_fields(history))
+            }
+            (Response::SlowTraces { id, traces }, _) => typed_ok(
+                "slow-traces",
+                *id,
+                vec![(
+                    "traces".to_owned(),
+                    Json::Arr(traces.iter().map(persisted_trace_to_json).collect()),
+                )],
+            ),
+            (
+                Response::SlowLogSet {
+                    id,
+                    slow_ms,
+                    cap,
+                    previous_ms,
+                    previous_cap,
+                },
+                _,
+            ) => typed_ok(
+                "slow-log-set",
+                *id,
+                vec![
+                    (
+                        "slow_ms".to_owned(),
+                        match slow_ms {
+                            Some(ms) => Json::num_u64(*ms),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("cap".to_owned(), Json::num_usize(*cap)),
+                    (
+                        "previous_ms".to_owned(),
+                        match previous_ms {
+                            Some(ms) => Json::num_u64(*ms),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("previous_cap".to_owned(), Json::num_usize(*previous_cap)),
+                ],
+            ),
             (
                 Response::BoundsSet {
                     id,
@@ -1294,6 +1542,35 @@ impl Response {
                 id,
                 report: metrics_report_from_json(v)?,
             }),
+            "metrics-history" => Ok(Response::MetricsHistory {
+                id,
+                history: snapshot_history_from_json(v)?,
+            }),
+            "slow-traces" => Ok(Response::SlowTraces {
+                id,
+                traces: v
+                    .get("traces")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ServiceError::protocol("response missing \"traces\""))?
+                    .iter()
+                    .map(persisted_trace_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "slow-log-set" => {
+                let opt_ms = |name: &str| match v.get(name) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(n) => n.as_u64().map(Some).ok_or_else(|| {
+                        ServiceError::protocol(format!("{name:?} must be an integer or null"))
+                    }),
+                };
+                Ok(Response::SlowLogSet {
+                    id,
+                    slow_ms: opt_ms("slow_ms")?,
+                    cap: int("cap")? as usize,
+                    previous_ms: opt_ms("previous_ms")?,
+                    previous_cap: int("previous_cap")? as usize,
+                })
+            }
             "bounds-set" => {
                 let opt = |name: &str| match v.get(name) {
                     None | Some(Json::Null) => Ok(None),
@@ -1373,6 +1650,25 @@ mod tests {
                     max_entries: Some(64),
                     max_bytes: Some(0),
                 },
+            },
+            Request::MetricsHistory { id: Some(13) },
+            Request::SlowTraces {
+                id: Some(14),
+                limit: Some(5),
+            },
+            Request::SlowTraces {
+                id: None,
+                limit: None,
+            },
+            Request::SetSlowLog {
+                id: Some(15),
+                slow_ms: Some(0),
+                cap: Some(64),
+            },
+            Request::SetSlowLog {
+                id: None,
+                slow_ms: None,
+                cap: Some(8),
             },
             Request::Submit(JobSpec::network(5, EngineSpec::default(), Network::tiny())),
         ];
@@ -1583,6 +1879,43 @@ mod tests {
                 previous_bytes: Some(1 << 20),
                 evicted: 17,
             },
+            Response::MetricsHistory {
+                id: Some(10),
+                history: {
+                    let registry = MetricsRegistry::new();
+                    let ring = drmap_telemetry::SnapshotRing::new(2);
+                    let c = registry.counter("jobs_total");
+                    for step in 1..=3u64 {
+                        c.add(step);
+                        registry.histogram("request_ns").record(step * 1_000);
+                        ring.record(registry.snapshot(), registry.uptime_ms());
+                    }
+                    ring.history()
+                },
+            },
+            Response::SlowTraces {
+                id: Some(11),
+                traces: vec![PersistedSlowTrace {
+                    seq: 3,
+                    unix_ms: 1_700_000_000_000,
+                    entry: SlowEntry {
+                        trace_id: 42,
+                        total_ns: 7_000_000,
+                        stages: vec![("explore".to_owned(), 6_000_000)],
+                    },
+                }],
+            },
+            Response::SlowTraces {
+                id: None,
+                traces: vec![],
+            },
+            Response::SlowLogSet {
+                id: Some(12),
+                slow_ms: Some(25),
+                cap: 64,
+                previous_ms: None,
+                previous_cap: 32,
+            },
             Response::Error {
                 id: Some(7),
                 message: "no store attached".into(),
@@ -1603,6 +1936,10 @@ mod tests {
         assert!(capabilities(false).contains(&"admin".to_owned()));
         assert!(capabilities(false).contains(&"metrics".to_owned()));
         assert!(capabilities(false).contains(&"set-bounds".to_owned()));
+        assert!(capabilities(false).contains(&"metrics-history".to_owned()));
+        // Persisted post-mortems need a store to live in.
+        assert!(!capabilities(false).contains(&"slow-traces".to_owned()));
+        assert!(capabilities(true).contains(&"slow-traces".to_owned()));
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! [`Request`] — adding a verb without handling it does not compile.
 //!
 //! Control and admin requests (`hello`, `ping`, `stats`, `set-policy`,
-//! `set-shard-policy`, `set-bounds`, `cache-clear`, `cache-warm`,
-//! `store-compact`, `metrics`, `shutdown`) answer inline in arrival
+//! `set-shard-policy`, `set-bounds`, `set-slow-log`, `cache-clear`,
+//! `cache-warm`, `store-compact`, `metrics`, `metrics-history`,
+//! `slow-traces`, `shutdown`) answer inline in arrival
 //! order, but they may overtake or be overtaken by in-flight *job*
 //! responses. See `docs/PROTOCOL.md` for every verb with example
 //! request/response pairs.
@@ -35,7 +36,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use drmap_telemetry::{Span, Trace};
 
@@ -43,7 +44,8 @@ use crate::error::ServiceError;
 use crate::json::Json;
 use crate::pool::DsePool;
 use crate::proto::{
-    capabilities, Dialect, MetricsReport, Request, Response, StatsReport, PROTOCOL_VERSION,
+    capabilities, Dialect, MetricsReport, PersistedSlowTrace, Request, Response, StatsReport,
+    PROTOCOL_VERSION,
 };
 use crate::wire::{self, Encoding};
 
@@ -77,9 +79,16 @@ pub struct ServerConfig {
     /// Slow-request threshold in milliseconds: any job whose total
     /// request time reaches it is captured — with its per-stage span
     /// breakdown — in the slow-request ring buffer the `metrics` verb
-    /// dumps. `Some(0)` logs every job; `None` (the default) disables
-    /// the log.
+    /// dumps, and (when a store is attached) persisted through the WAL
+    /// for the `slow-traces` verb. `Some(0)` logs every job; `None`
+    /// (the default) disables the log.
     pub slow_ms: Option<u64>,
+    /// Cadence of the background metrics sampler: every interval, one
+    /// cumulative snapshot is folded into the [`SnapshotRing`]
+    /// (drmap_telemetry::SnapshotRing) as a windowed delta, feeding
+    /// the `metrics-history` verb. `None` (the default) disables the
+    /// sampler thread entirely.
+    pub sample_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +97,7 @@ impl Default for ServerConfig {
             max_inflight: DEFAULT_MAX_INFLIGHT,
             max_inflight_global: None,
             slow_ms: None,
+            sample_interval: None,
         }
     }
 }
@@ -141,6 +151,11 @@ impl JobServer {
                 "in-flight caps must be at least 1 (a zero cap would deadlock every request)",
             ));
         }
+        if config.sample_interval == Some(Duration::ZERO) {
+            return Err(ServiceError::protocol(
+                "the metrics sample interval must be nonzero (use None to disable sampling)",
+            ));
+        }
         if let Some(ms) = config.slow_ms {
             pool.state().slow_log().set_threshold_ms(ms);
         }
@@ -184,6 +199,20 @@ impl JobServer {
     /// that connection).
     pub fn run(self) -> Result<(), ServiceError> {
         let local_addr = self.local_addr()?;
+        if let Some(interval) = self.config.sample_interval {
+            let state = Arc::clone(self.pool.state());
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(interval);
+                // ordering: Acquire pairs with the Release store in
+                // `ConnectionShutdown::trigger`, exactly as in the
+                // accept loop; the flag guards no other data.
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                state.sample_metrics();
+            });
+        }
         let metrics = self.pool.state().metrics();
         let connections_total = metrics.counter("connections_total");
         let connections_open = metrics.gauge("connections_open");
@@ -466,6 +495,9 @@ fn dispatch_message(
             let state = pool.state();
             let total_ns = state.slow_log().observe(&trace);
             state.stages().request_ns.record(total_ns);
+            if let Some(entry) = state.slow_log().capture(&trace, total_ns) {
+                state.persist_slow_trace(&entry);
+            }
             let _ = tx.send((response.render(dialect), encoding));
             slots.release_global();
         });
@@ -476,6 +508,12 @@ fn dispatch_message(
     let _ = tx.send((response.render(dialect), encoding));
     slots.release_global();
     stop
+}
+
+/// A [`SlowLog`](drmap_telemetry::SlowLog) threshold in wire form:
+/// nanoseconds → whole milliseconds, `u64::MAX` (disabled) → `None`.
+fn threshold_ms(threshold_ns: u64) -> Option<u64> {
+    (threshold_ns != u64::MAX).then_some(threshold_ns / 1_000_000)
 }
 
 /// A consistent snapshot of the server's counters and **active**
@@ -579,6 +617,54 @@ fn control_response(pool: &DsePool, request: &Request) -> (Response, bool) {
                 },
             }
         }
+        Request::MetricsHistory { id } => Response::MetricsHistory {
+            id: *id,
+            history: pool.state().history().history(),
+        },
+        Request::SlowTraces { id, limit } => match pool.state().cache().store() {
+            Some(_) => Response::SlowTraces {
+                id: *id,
+                traces: pool
+                    .state()
+                    .persisted_slow_traces(*limit)
+                    .into_iter()
+                    .map(|(seq, unix_ms, entry)| PersistedSlowTrace {
+                        seq,
+                        unix_ms,
+                        entry,
+                    })
+                    .collect(),
+            },
+            None => Response::Error {
+                id: *id,
+                message: "slow-traces needs a persistent store (start with --store)".to_owned(),
+            },
+        },
+        Request::SetSlowLog { id, slow_ms, cap } => {
+            if slow_ms.is_none() && cap.is_none() {
+                Response::Error {
+                    id: *id,
+                    message: "set-slow-log needs at least one of slow_ms or cap".to_owned(),
+                }
+            } else {
+                let log = pool.state().slow_log();
+                let previous_ms = threshold_ms(log.threshold_ns());
+                let previous_cap = log.capacity();
+                if let Some(ms) = slow_ms {
+                    log.set_threshold_ms(*ms);
+                }
+                if let Some(cap) = cap {
+                    log.set_capacity(*cap);
+                }
+                Response::SlowLogSet {
+                    id: *id,
+                    slow_ms: threshold_ms(log.threshold_ns()),
+                    cap: log.capacity(),
+                    previous_ms,
+                    previous_cap,
+                }
+            }
+        }
         Request::SetBounds { id, update } => {
             if update.is_empty() {
                 Response::Error {
@@ -644,6 +730,9 @@ pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
         let state = pool.state();
         let total_ns = state.slow_log().observe(&trace);
         state.stages().request_ns.record(total_ns);
+        if let Some(entry) = state.slow_log().capture(&trace, total_ns) {
+            state.persist_slow_trace(&entry);
+        }
         return (response.render(dialect), false);
     }
     let (response, stop) = control_response(pool, &request);

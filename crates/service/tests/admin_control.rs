@@ -1,11 +1,13 @@
 //! Live control-plane integration tests: a running `JobServer` must
 //! accept `hello`, `set-policy`, `set-shard-policy`, `set-bounds`,
-//! `cache-clear`, `cache-warm`, `store-compact`, and `metrics` over
-//! TCP, with every change observable through `stats` **without a
+//! `cache-clear`, `cache-warm`, `store-compact`, `metrics`,
+//! `metrics-history`, `slow-traces`, and `set-slow-log` over TCP,
+//! with every change observable through `stats` **without a
 //! restart** — and per-job options (cache bypass/refresh, Pareto
 //! retention) must behave over the wire exactly as they do in-process.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use drmap_service::cache::{CacheConfig, EvictionPolicy};
 use drmap_service::client::Client;
@@ -364,6 +366,164 @@ fn trace_stage_spans_cover_most_of_the_request_wall_clock() {
         entry.total_ns,
         entry.stages,
     );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn metrics_history_samples_reconstruct_the_cumulative_snapshot_exactly() {
+    // A fast sampler so the test sees several windows in well under a
+    // second of wall clock.
+    let store = Arc::new(Store::open(temp_store_path("history")).unwrap());
+    let state = ServiceState::with_cache_and_store(CacheConfig::unbounded(), Some(store)).unwrap();
+    let pool = Arc::new(DsePool::new(state, 2));
+    let config = ServerConfig {
+        sample_interval: Some(Duration::from_millis(25)),
+        ..ServerConfig::default()
+    };
+    let server = JobServer::with_config("127.0.0.1:0", Arc::clone(&pool), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.hello().unwrap().has("metrics-history"));
+
+    // Spread work across several sampler windows so the deltas are
+    // non-trivial (not all concentrated in one sample).
+    for (id, j) in [(1, 8), (2, 16), (3, 24)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let history = loop {
+        let history = client.metrics_history().unwrap();
+        if history.samples.len() >= 3 {
+            break history;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sampler produced only {} windows",
+            history.samples.len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // The ring's contract, verified over the wire: base plus every
+    // retained windowed delta reproduces the cumulative snapshot
+    // *exactly* — counters, gauges, and full histogram bucket vectors.
+    assert_eq!(history.reconstructed(), history.cumulative);
+    // The summed per-window job deltas match the cumulative counter.
+    let summed: u64 = history
+        .samples
+        .iter()
+        .map(|s| s.delta.counter("jobs_total").unwrap_or(0))
+        .sum();
+    assert_eq!(
+        history.base.counter("jobs_total").unwrap_or(0) + summed,
+        history.cumulative.counter("jobs_total").unwrap_or(0),
+    );
+    assert_eq!(history.cumulative.counter("jobs_total"), Some(3));
+    // Windows carry their width and are strictly ordered by uptime.
+    for pair in history.samples.windows(2) {
+        assert!(pair[0].uptime_ms < pair[1].uptime_ms, "{pair:?}");
+    }
+    assert!(history.samples.iter().all(|s| s.window_ms > 0));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn slow_traces_persist_through_the_wal_and_survive_a_restart() {
+    let path = temp_store_path("slow-restart");
+    let boot_slow = |path: &std::path::Path| {
+        let store = Arc::new(Store::open(path).unwrap());
+        let state =
+            ServiceState::with_cache_and_store(CacheConfig::unbounded(), Some(store)).unwrap();
+        let pool = Arc::new(DsePool::new(state, 2));
+        let config = ServerConfig {
+            slow_ms: Some(0), // every request is a "slow" request
+            ..ServerConfig::default()
+        };
+        let server = JobServer::with_config("127.0.0.1:0", pool, config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    };
+
+    // First life: run a job, see its trace in the persistent log.
+    let (addr, handle) = boot_slow(&path);
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.hello().unwrap().has("slow-traces"));
+    client.submit(&shaped_job(7, 16)).unwrap();
+    let traces = client.slow_traces(None).unwrap();
+    assert_eq!(traces.len(), 1, "{traces:?}");
+    assert_eq!(traces[0].entry.trace_id, 7, "traces carry the wire id");
+    assert!(traces[0].entry.total_ns > 0);
+    assert!(traces[0].unix_ms > 0);
+    let first_seq = traces[0].seq;
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Second life, same WAL: the pre-restart post-mortem is still
+    // there, and new traces sequence *after* it instead of clobbering.
+    let (addr, handle) = boot_slow(&path);
+    let mut client = Client::connect(addr).unwrap();
+    let survived = client.slow_traces(None).unwrap();
+    assert_eq!(survived.len(), 1, "the old trace survived the restart");
+    assert_eq!(survived[0].seq, first_seq);
+    assert_eq!(survived[0].entry.trace_id, 7);
+    client.submit(&shaped_job(8, 24)).unwrap();
+    let both = client.slow_traces(None).unwrap();
+    assert_eq!(both.len(), 2, "{both:?}");
+    assert_eq!(both[0].entry.trace_id, 8, "newest first");
+    assert!(both[0].seq > first_seq, "sequence resumes past the old max");
+    // A limit keeps only the newest.
+    let latest = client.slow_traces(Some(1)).unwrap();
+    assert_eq!(latest.len(), 1);
+    assert_eq!(latest[0].entry.trace_id, 8);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn set_slow_log_retunes_threshold_and_capacity_live() {
+    let (addr, handle, pool) = boot("set-slow-log", CacheConfig::unbounded());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Slow logging is off by default: a job leaves no trace.
+    client.submit(&shaped_job(1, 8)).unwrap();
+    assert!(client.metrics().unwrap().slow.is_empty());
+
+    // Turn it on (threshold 0 = log everything) and shrink the ring.
+    let (slow_ms, cap) = client.set_slow_log(Some(0), Some(2)).unwrap();
+    assert_eq!(slow_ms, Some(0));
+    assert_eq!(cap, 2);
+    assert_eq!(pool.state().slow_log().capacity(), 2);
+    for (id, j) in [(2, 16), (3, 24), (4, 32)] {
+        client.submit(&shaped_job(id, j)).unwrap();
+    }
+    let slow = client.metrics().unwrap().slow;
+    assert_eq!(slow.len(), 2, "the ring holds only its capacity");
+    assert_eq!(slow[1].trace_id, 4, "newest entries win");
+
+    // Partial update: only the threshold moves.
+    let (slow_ms, cap) = client.set_slow_log(Some(60_000), None).unwrap();
+    assert_eq!(slow_ms, Some(60_000));
+    assert_eq!(cap, 2);
+    client.submit(&shaped_job(5, 40)).unwrap();
+    assert_eq!(
+        client.metrics().unwrap().slow.len(),
+        2,
+        "a fast job no longer logs under the raised threshold"
+    );
+
+    // An empty update is a usage error, rejected client-side.
+    assert!(client.set_slow_log(None, None).is_err());
+
+    // Without a store, slow-traces is a capability-gated error.
+    assert!(client.slow_traces(None).is_ok(), "store-backed boot has it");
 
     client.shutdown().unwrap();
     handle.join().unwrap();

@@ -29,7 +29,7 @@ fn a_small_global_cap_never_deadlocks_concurrent_connections() {
         ServerConfig {
             max_inflight: 2,
             max_inflight_global: Some(2),
-            slow_ms: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -72,7 +72,7 @@ fn a_per_connection_cap_of_one_still_serves_a_pipelined_burst() {
         ServerConfig {
             max_inflight: 1,
             max_inflight_global: None,
-            slow_ms: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -101,7 +101,7 @@ fn zero_caps_are_rejected_at_construction() {
         ServerConfig {
             max_inflight: 0,
             max_inflight_global: None,
-            slow_ms: None,
+            ..ServerConfig::default()
         },
     )
     .is_err());
@@ -111,7 +111,7 @@ fn zero_caps_are_rejected_at_construction() {
         ServerConfig {
             max_inflight: 4,
             max_inflight_global: Some(0),
-            slow_ms: None,
+            ..ServerConfig::default()
         },
     )
     .is_err());

@@ -36,6 +36,20 @@ use crate::record::{
     MAX_KEY_BYTES, MAX_VALUE_BYTES,
 };
 
+/// Key prefix reserved for system records (slow traces, future
+/// metadata). Reserved keys live in the same log and index as data
+/// keys, but the warm-start surfaces — [`Store::keys_by_recency`] and
+/// [`Store::bulk_load`] — skip them, so a cache warming from the store
+/// never tries to decode a system record as a cached result. List them
+/// explicitly with [`Store::keys_with_prefix`].
+pub const RESERVED_KEY_PREFIX: &str = "~";
+
+/// Reserved prefix under which slow-request traces persist (see
+/// `drmap-serve --slow-ms` and the `slow-traces` admin verb). Values
+/// are `SlowEntry` binary records
+/// ([`drmap_telemetry::SlowEntry::encode_record`]).
+pub const SLOW_TRACE_KEY_PREFIX: &str = "~slow/";
+
 /// Where a live key's value lives in the log.
 #[derive(Debug, Clone, Copy)]
 struct IndexEntry {
@@ -442,10 +456,32 @@ impl Store {
     }
 
     /// Live keys ordered most-recently-written first — the "hot set"
-    /// a warm start loads front to back.
+    /// a warm start loads front to back. Keys under
+    /// [`RESERVED_KEY_PREFIX`] are system records, not data, and are
+    /// skipped.
     pub fn keys_by_recency(&self) -> Vec<String> {
         let state = read_locked(&self.state);
-        let mut keys: Vec<(&String, u64)> = state.index.iter().map(|(k, e)| (k, e.seq)).collect();
+        let mut keys: Vec<(&String, u64)> = state
+            .index
+            .iter()
+            .filter(|(k, _)| !k.starts_with(RESERVED_KEY_PREFIX))
+            .map(|(k, e)| (k, e.seq))
+            .collect();
+        keys.sort_by_key(|&(_, seq)| std::cmp::Reverse(seq));
+        keys.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Live keys beginning with `prefix`, most-recently-written first.
+    /// This is the listing surface for reserved system records (e.g.
+    /// every persisted slow trace under [`SLOW_TRACE_KEY_PREFIX`]).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let state = read_locked(&self.state);
+        let mut keys: Vec<(&String, u64)> = state
+            .index
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k, e.seq))
+            .collect();
         keys.sort_by_key(|&(_, seq)| std::cmp::Reverse(seq));
         keys.into_iter().map(|(k, _)| k.clone()).collect()
     }
@@ -472,9 +508,14 @@ impl Store {
     /// Fails on genuine I/O errors only.
     pub fn bulk_load(&self, limit: Option<usize>) -> Result<BulkLoad, StoreError> {
         let state = read_locked(&self.state);
-        // The hot set: top-`limit` live keys by recency.
-        let mut picked: Vec<(&String, IndexEntry)> =
-            state.index.iter().map(|(k, e)| (k, *e)).collect();
+        // The hot set: top-`limit` live *data* keys by recency —
+        // reserved system records are not warm-start material.
+        let mut picked: Vec<(&String, IndexEntry)> = state
+            .index
+            .iter()
+            .filter(|(k, _)| !k.starts_with(RESERVED_KEY_PREFIX))
+            .map(|(k, e)| (k, *e))
+            .collect();
         picked.sort_by_key(|&(_, e)| std::cmp::Reverse(e.seq));
         picked.truncate(limit.unwrap_or(usize::MAX));
         // Read in ascending offset order: one forward sweep of the log.
@@ -872,6 +913,52 @@ mod tests {
         let loaded = ro.bulk_load(None).unwrap();
         assert_eq!(loaded.entries, vec![("a".to_owned(), b"alpha".to_vec())]);
         assert_eq!(loaded.damaged, 0);
+    }
+
+    #[test]
+    fn reserved_keys_skip_warm_start_but_list_by_prefix() {
+        let path = temp_store_path("reserved");
+        let _ = std::fs::remove_file(&path);
+        let store = Store::open(&path).unwrap();
+        store.put("data-a", b"alpha").unwrap();
+        store
+            .put(&format!("{SLOW_TRACE_KEY_PREFIX}0"), b"trace-0")
+            .unwrap();
+        store.put("data-b", b"beta").unwrap();
+        store
+            .put(&format!("{SLOW_TRACE_KEY_PREFIX}1"), b"trace-1")
+            .unwrap();
+
+        // Warm-start surfaces see only data keys.
+        assert_eq!(
+            store.keys_by_recency(),
+            vec!["data-b".to_owned(), "data-a".to_owned()]
+        );
+        let loaded = store.bulk_load(None).unwrap();
+        let keys: Vec<&str> = loaded.entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["data-b", "data-a"]);
+        // A limit counts data entries, never silently spent on traces.
+        assert_eq!(store.bulk_load(Some(2)).unwrap().entries.len(), 2);
+
+        // The prefix listing sees exactly the reserved records.
+        assert_eq!(
+            store.keys_with_prefix(SLOW_TRACE_KEY_PREFIX),
+            vec![
+                format!("{SLOW_TRACE_KEY_PREFIX}1"),
+                format!("{SLOW_TRACE_KEY_PREFIX}0"),
+            ]
+        );
+        // They remain ordinary records: readable, compactable, durable.
+        assert_eq!(
+            store
+                .get(&format!("{SLOW_TRACE_KEY_PREFIX}0"))
+                .unwrap()
+                .unwrap(),
+            b"trace-0"
+        );
+        store.compact().unwrap();
+        assert_eq!(store.keys_with_prefix(SLOW_TRACE_KEY_PREFIX).len(), 2);
+        assert_eq!(store.keys_by_recency().len(), 2);
     }
 
     #[test]
