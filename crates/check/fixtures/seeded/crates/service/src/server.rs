@@ -39,6 +39,18 @@ pub fn seeded_metrics(registry: &Registry, suffix: &str) {
     registry.counter(&format!("frames_{suffix}_total"));
 }
 
+/// bounded-retry: spins on a retry with nothing bounding it.
+pub fn seeded_unbounded_retry(mut retry_needed: bool) -> u32 {
+    let mut spins = 0;
+    while retry_needed {
+        spins += 1;
+        if spins > 3 {
+            retry_needed = false;
+        }
+    }
+    spins
+}
+
 /// Stand-in registry so the fixture is self-contained.
 pub struct Registry;
 

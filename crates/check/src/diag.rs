@@ -22,17 +22,21 @@ pub enum Lint {
     ProtoDocDrift,
     /// Registered metric names and `docs/OBSERVABILITY.md` out of sync.
     MetricsDocDrift,
+    /// A retry loop in service/store code with no visible bound — it
+    /// must reference an attempt budget or a deadline.
+    BoundedRetry,
 }
 
 impl Lint {
     /// Every lint, in reporting order.
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 7] = [
         Lint::LockPoison,
         Lint::NoUnwrapHotPath,
         Lint::OrderingAudit,
         Lint::ForbidUnsafe,
         Lint::ProtoDocDrift,
         Lint::MetricsDocDrift,
+        Lint::BoundedRetry,
     ];
 
     /// The kebab-case name used in diagnostics and `check:allow(...)`.
@@ -44,6 +48,7 @@ impl Lint {
             Lint::ForbidUnsafe => "forbid-unsafe",
             Lint::ProtoDocDrift => "proto-doc-drift",
             Lint::MetricsDocDrift => "metrics-doc-drift",
+            Lint::BoundedRetry => "bounded-retry",
         }
     }
 
@@ -65,6 +70,9 @@ impl Lint {
             }
             Lint::MetricsDocDrift => {
                 "registered metric names and docs/OBSERVABILITY.md must agree, both directions"
+            }
+            Lint::BoundedRetry => {
+                "retry loops in service/store code must reference an attempt budget or deadline"
             }
         }
     }

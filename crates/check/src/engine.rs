@@ -129,6 +129,7 @@ pub fn run(ws: &Workspace, selected: &[Lint]) -> Vec<Diagnostic> {
             Lint::ForbidUnsafe => lints::forbid_unsafe::run(ws, &mut diags),
             Lint::ProtoDocDrift => lints::proto_drift::run(ws, &mut diags),
             Lint::MetricsDocDrift => lints::metrics_drift::run(ws, &mut diags),
+            Lint::BoundedRetry => lints::bounded_retry::run(ws, &mut diags),
         }
     }
     diags.retain(|d| {

@@ -5,6 +5,7 @@
 //! escapes and sorting afterwards. See `docs/STATIC_ANALYSIS.md` for
 //! the rationale behind each lint and how to add one.
 
+pub mod bounded_retry;
 pub mod forbid_unsafe;
 pub mod lock_poison;
 pub mod metrics_drift;

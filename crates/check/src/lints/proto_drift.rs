@@ -29,7 +29,7 @@ const DOC: &str = "docs/PROTOCOL.md";
 /// marks a baseline verb available at every protocol version (the
 /// pre-capability legacy verbs and the handshake itself); everything
 /// else must be gated by a capability the server actually advertises.
-const VARIANT_CAPS: [(&str, Option<&str>); 15] = [
+const VARIANT_CAPS: [(&str, Option<&str>); 17] = [
     ("Hello", None),
     ("Ping", None),
     ("Stats", None),
@@ -45,6 +45,8 @@ const VARIANT_CAPS: [(&str, Option<&str>); 15] = [
     ("MetricsHistory", Some("metrics-history")),
     ("SlowTraces", Some("slow-traces")),
     ("SetSlowLog", Some("admin")),
+    ("SetFaults", Some("faults")),
+    ("SetOverload", Some("overload-control")),
 ];
 
 /// Run the drift check; silently skipped when `proto.rs` is not part

@@ -1,0 +1,15 @@
+// fixture-path: crates/service/src/client.rs
+// fixture-expect: bounded-retry
+
+/// A retry loop with no visible bound: nothing in the loop mentions
+/// an attempt budget or a deadline, so it can spin forever.
+pub fn resend_until_it_sticks(mut retry_wanted: bool) -> u32 {
+    let mut sent = 0;
+    while retry_wanted {
+        sent += 1;
+        if sent > 0 {
+            retry_wanted = false;
+        }
+    }
+    sent
+}

@@ -1,0 +1,22 @@
+// fixture-path: crates/service/src/client.rs
+// fixture-expect: none
+
+/// A bounded retry loop: the attempt counter referenced inside the
+/// loop is the budget, so `bounded-retry` stays quiet.
+pub fn resend_with_budget(max_attempts: u32) -> u32 {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let retry_wanted = attempt < max_attempts;
+        if !retry_wanted {
+            return attempt;
+        }
+    }
+}
+
+/// A loop that never mentions retrying is out of scope entirely.
+pub fn drain(mut remaining: u32) {
+    while remaining > 0 {
+        remaining -= 1;
+    }
+}

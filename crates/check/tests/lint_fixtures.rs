@@ -85,8 +85,9 @@ fn golden_fixtures_fire_exactly_their_declared_lints() {
 }
 
 /// The seeded violation tree (`fixtures/seeded/`) is a miniature repo
-/// with every class of violation planted; all six lints must trip on
-/// it. CI additionally asserts the CLI exits nonzero against it.
+/// with every class of violation planted; every lint in `Lint::ALL`
+/// must trip on it. CI additionally asserts the CLI exits nonzero
+/// against it.
 #[test]
 fn seeded_tree_trips_every_lint() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded");

@@ -61,6 +61,17 @@
 //! drmap-batch --connect 127.0.0.1:7878 --admin metrics-history \
 //!     slow-traces=10 set-slow-log=slow_ms:250,cap:64
 //! ```
+//!
+//! The reliability plane too: `set-faults=SPEC|off` arms or disarms a
+//! deterministic fault-injection plan (builds with faults compiled in
+//! only) and `set-overload=key:value[,…]` retunes the adaptive
+//! admission controller live (see `docs/RELIABILITY.md`):
+//!
+//! ```text
+//! drmap-batch --connect 127.0.0.1:7878 --admin \
+//!     set-overload=enabled:on,high_ms:500,low_ms:250 \
+//!     set-faults=seed=42,store-fail=0.1 set-faults=off
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -451,6 +462,43 @@ fn run_admin(addr: &str, binary: bool, text: bool, commands: &[AdminCmd]) -> Res
                     match slow_ms {
                         Some(ms) => format!(">= {ms} ms"),
                         None => "off".to_owned(),
+                    },
+                );
+            }
+            AdminCmd::SetFaults(plan) => {
+                let spec = plan.map(|p| p.render());
+                let armed = client
+                    .set_faults(spec.as_deref())
+                    .map_err(|e| format!("set-faults: {e}"))?;
+                match armed {
+                    Some(spec) => println!("set-faults: armed {spec}"),
+                    None => println!("set-faults: disarmed"),
+                }
+            }
+            AdminCmd::SetOverload(update) => {
+                let (config, previous) = client
+                    .set_overload(*update)
+                    .map_err(|e| format!("set-overload: {e}"))?;
+                println!(
+                    "set-overload: {} (was {}), high {} ms / low {} ms, \
+                     recover after {} windows, retry-after {} ms, in-flight cap {}",
+                    if config.enabled {
+                        "enabled"
+                    } else {
+                        "disabled"
+                    },
+                    if previous.enabled {
+                        "enabled"
+                    } else {
+                        "disabled"
+                    },
+                    config.high_ms,
+                    config.low_ms,
+                    config.recover_windows,
+                    config.retry_after_ms,
+                    match config.max_inflight {
+                        Some(n) => n.to_string(),
+                        None => "none".to_owned(),
                     },
                 );
             }

@@ -7,6 +7,7 @@
 //!             [--store PATH] [--warm N]
 //!             [--max-inflight N] [--max-inflight-global N]
 //!             [--slow-ms N] [--slow-log-cap N] [--sample-secs N]
+//!             [--drain-secs N] [--fault-plan SPEC] [--overload SPEC]
 //! ```
 //!
 //! Speaks the typed, versioned protocol (plus the legacy shim) over
@@ -33,7 +34,14 @@
 //! retunable live via `set-slow-log`). `--sample-secs N` sets the
 //! cadence of the background metrics sampler feeding the
 //! `metrics-history` verb (default 10; `--sample-secs 0` disables
-//! sampling; see `docs/OBSERVABILITY.md`). Try it with netcat:
+//! sampling; see `docs/OBSERVABILITY.md`). `--drain-secs N` bounds the
+//! graceful-shutdown drain of in-flight jobs (default 5).
+//! `--fault-plan SPEC` arms a seeded deterministic fault plan at boot
+//! (debug builds or the `faults` cargo feature only; same spec grammar
+//! as the `set-faults` admin verb — see `docs/RELIABILITY.md`), and
+//! `--overload SPEC` arms the adaptive admission controller (same
+//! key:value fields as the `set-overload` verb; `enabled:on` is implied
+//! when the spec omits it). Try it with netcat:
 //!
 //! ```text
 //! $ drmap-serve --addr 127.0.0.1:7878 --cache-entries 4096 --store results.wal &
@@ -45,8 +53,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use drmap_service::cache::CacheConfig;
-use drmap_service::cli::{apply_shard_flag, parse_cache_policy, parse_positive as positive};
+use drmap_service::cli::{
+    apply_shard_flag, parse_cache_policy, parse_overload_spec, parse_positive as positive,
+};
 use drmap_service::engine::{default_workers, ServiceState};
+use drmap_service::faults::FaultPlan;
 use drmap_service::pool::{DsePool, ShardPolicy};
 use drmap_service::server::{JobServer, ServerConfig};
 use drmap_store::store::Store;
@@ -59,6 +70,8 @@ struct Args {
     store: Option<String>,
     warm: Option<usize>,
     slow_log_cap: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    overload: Option<drmap_service::proto::OverloadUpdate>,
     server: ServerConfig,
 }
 
@@ -71,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         warm: None,
         slow_log_cap: None,
+        fault_plan: None,
+        overload: None,
         server: ServerConfig {
             // The serve bin samples every 10 s by default so
             // `metrics-history` works out of the box; --sample-secs 0
@@ -129,6 +144,28 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("invalid --sample-secs value {v:?}"))?;
                 args.server.sample_interval = (secs > 0).then(|| Duration::from_secs(secs));
             }
+            "--drain-secs" => {
+                // 0 is meaningful: shutdown does not wait for in-flight
+                // jobs (the store is still synced).
+                let v = value("--drain-secs")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --drain-secs value {v:?}"))?;
+                args.server.drain_timeout = Duration::from_secs(secs);
+            }
+            "--fault-plan" => {
+                let v = value("--fault-plan")?;
+                args.fault_plan =
+                    Some(FaultPlan::parse(&v).map_err(|e| format!("invalid --fault-plan: {e}"))?);
+            }
+            "--overload" => {
+                let v = value("--overload")?;
+                let mut update = parse_overload_spec(&v).map_err(|e| format!("--overload: {e}"))?;
+                // Passing the flag means "turn it on" unless the spec
+                // says otherwise.
+                update.enabled.get_or_insert(true);
+                args.overload = Some(update);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
@@ -136,7 +173,8 @@ fn parse_args() -> Result<Args, String> {
                      [--shard-min-tilings N] [--shard-chunk N] \
                      [--store PATH] [--warm N] \
                      [--max-inflight N] [--max-inflight-global N] \
-                     [--slow-ms N] [--slow-log-cap N] [--sample-secs N]"
+                     [--slow-ms N] [--slow-log-cap N] [--sample-secs N] \
+                     [--drain-secs N] [--fault-plan SPEC] [--overload SPEC]"
                 );
                 std::process::exit(0);
             }
@@ -176,6 +214,14 @@ fn main() -> ExitCode {
         }
         if let Some(cap) = args.slow_log_cap {
             state.slow_log().set_capacity(cap);
+        }
+        if let Some(plan) = args.fault_plan {
+            state.faults().set_plan(Some(plan))?;
+        }
+        if let Some(update) = args.overload {
+            state
+                .overload()
+                .set_config(update.apply(state.overload().config()));
         }
         let pool = Arc::new(DsePool::with_shard_policy(state, args.workers, args.shard));
         JobServer::with_config(&args.addr, pool, args.server)
@@ -220,6 +266,15 @@ fn main() -> ExitCode {
                     None => "off".to_owned(),
                 },
             );
+            if let Some(plan) = &args.fault_plan {
+                println!("drmap-serve: fault plan armed: {}", plan.render());
+            }
+            if args.overload.is_some() {
+                println!(
+                    "drmap-serve: overload control armed \
+                     (retune live with the set-overload admin verb)"
+                );
+            }
         }
         Err(e) => eprintln!("drmap-serve: {e}"),
     }

@@ -1474,6 +1474,27 @@ mod tests {
     }
 
     #[test]
+    fn injected_store_faults_degrade_to_recomputation() {
+        use drmap_store::store::{FaultDirective, StoreOp};
+        let store = temp_store();
+        store.attach_fault_hook(Box::new(|op| {
+            // Reads and writes both fail; the cache must absorb it.
+            matches!(op, StoreOp::Get | StoreOp::Put).then_some(FaultDirective::Fail)
+        }));
+        let cache = DseCache::with_store(CacheConfig::unbounded(), Arc::clone(&store));
+        let (_, outcome) = cache.get_or_compute("k", || Ok(result("x"))).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "faulted store is not a hit");
+        // One error from the failed read-through, one from the failed
+        // write-through; the caller saw neither.
+        assert_eq!(cache.stats().store_errors, 2);
+        // The resident tier still serves the entry.
+        let (_, outcome) = cache
+            .get_or_compute("k", || panic!("resident entry recomputed"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
     fn a_panicking_computation_becomes_an_error() {
         let cache = DseCache::new();
         let err = cache

@@ -3,8 +3,9 @@
 //! `drmap-batch --admin` command language.
 
 use crate::cache::EvictionPolicy;
+use crate::faults::FaultPlan;
 use crate::pool::ShardPolicy;
-use crate::proto::{BoundsUpdate, ShardPolicyUpdate};
+use crate::proto::{BoundsUpdate, OverloadUpdate, ShardPolicyUpdate};
 
 /// Parse a `--cache-policy` value: `lru` or `cost`.
 ///
@@ -56,7 +57,8 @@ pub fn apply_shard_flag(policy: &mut ShardPolicy, flag: &str, value: &str) -> Re
 }
 
 /// One `drmap-batch --admin` command, parsed from its token form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// (`PartialEq` only: [`FaultPlan`] carries probability floats.)
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdminCmd {
     /// `hello` — handshake; print version + capabilities.
     Hello,
@@ -90,6 +92,15 @@ pub enum AdminCmd {
         /// New ring capacity, when given.
         cap: Option<usize>,
     },
+    /// `set-faults=SPEC|off` — arm a deterministic fault plan (spec
+    /// grammar in `docs/RELIABILITY.md`, e.g.
+    /// `set-faults=seed=42,store-fail=0.1`) or disarm with `off`.
+    SetFaults(Option<FaultPlan>),
+    /// `set-overload=key:value[,…]` — retune the admission controller
+    /// (keys: `enabled:on|off`, `high_ms`, `low_ms`, `recover_windows`,
+    /// `retry_after_ms`, `max_inflight`; `max_inflight:0` clears the
+    /// in-flight cap).
+    SetOverload(OverloadUpdate),
     /// `cache-clear` — drop the resident cache tier.
     CacheClear,
     /// `cache-warm[=N]` — promote stored results into the cache.
@@ -98,6 +109,70 @@ pub enum AdminCmd {
     StoreCompact,
     /// `shutdown` — stop the server accepting connections.
     Shutdown,
+}
+
+/// Parse a `set-overload` / `--overload` spec:
+/// `key:value[,key:value…]` with keys `enabled` (`on`/`off`/`true`/
+/// `false`), `high_ms`, `low_ms`, `recover_windows`, `retry_after_ms`,
+/// and `max_inflight` (`0` clears the cap). Shared by the admin verb
+/// and the `drmap-serve --overload` boot flag so the two spec languages
+/// cannot drift apart.
+///
+/// # Errors
+///
+/// Returns a usage message for unknown keys, malformed values, or a
+/// spec that changes nothing.
+pub fn parse_overload_spec(value: &str) -> Result<OverloadUpdate, String> {
+    let mut update = OverloadUpdate::default();
+    for pair in value.split(',') {
+        let (key, v) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("set-overload field {pair:?} is not key:value"))?;
+        let ms = |v: &str| -> Result<u64, String> {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("invalid {key} value {v:?} (positive milliseconds)"))
+        };
+        match key {
+            "enabled" => {
+                update.enabled = Some(match v {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    other => {
+                        return Err(format!("invalid enabled value {other:?} (expected on|off)"))
+                    }
+                });
+            }
+            "high_ms" => update.high_ms = Some(ms(v)?),
+            "low_ms" => update.low_ms = Some(ms(v)?),
+            "retry_after_ms" => update.retry_after_ms = Some(ms(v)?),
+            "recover_windows" => {
+                update.recover_windows = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or_else(|| format!("invalid recover_windows value {v:?}"))?,
+                );
+            }
+            // 0 is meaningful here: it clears the in-flight cap.
+            "max_inflight" => {
+                update.max_inflight = Some(v.parse().map_err(|_| {
+                    format!("invalid max_inflight value {v:?} (integer, 0 clears)")
+                })?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown set-overload field {other:?} (expected enabled, high_ms, \
+                     low_ms, recover_windows, retry_after_ms, or max_inflight)"
+                ))
+            }
+        }
+    }
+    if update.is_empty() {
+        return Err("set-overload changed nothing".to_owned());
+    }
+    Ok(update)
 }
 
 /// Parse one `--admin` command token (see [`AdminCmd`] for the
@@ -158,6 +233,24 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
                 return Err("set-slow-log changed nothing".to_owned());
             }
             Ok(AdminCmd::SetSlowLog { slow_ms, cap })
+        }
+        "set-faults" => {
+            let value = value.ok_or(
+                "set-faults needs a value: a fault-plan spec \
+                 (e.g. set-faults=seed=42,store-fail=0.1) or \"off\" to disarm",
+            )?;
+            if value == "off" {
+                return Ok(AdminCmd::SetFaults(None));
+            }
+            let plan = FaultPlan::parse(value).map_err(|e| e.to_string())?;
+            Ok(AdminCmd::SetFaults(Some(plan)))
+        }
+        "set-overload" => {
+            let value = value.ok_or(
+                "set-overload needs a value, e.g. \
+                 set-overload=enabled:on,high_ms:500,low_ms:250",
+            )?;
+            Ok(AdminCmd::SetOverload(parse_overload_spec(value)?))
         }
         "cache-clear" => no_value(AdminCmd::CacheClear),
         "store-compact" => no_value(AdminCmd::StoreCompact),
@@ -240,8 +333,9 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
         }
         other => Err(format!(
             "unknown admin command {other:?} (expected hello, ping, stats, set-policy, \
-             set-shard-policy, set-bounds, set-slow-log, cache-clear, cache-warm, \
-             store-compact, metrics, metrics-history, slow-traces, or shutdown)"
+             set-shard-policy, set-bounds, set-slow-log, set-faults, set-overload, \
+             cache-clear, cache-warm, store-compact, metrics, metrics-history, \
+             slow-traces, or shutdown)"
         )),
     }
 }
@@ -324,6 +418,26 @@ mod tests {
                 max_bytes: Some(0),
             }))
         );
+        assert_eq!(
+            parse_admin_command("set-faults=off"),
+            Ok(AdminCmd::SetFaults(None))
+        );
+        match parse_admin_command("set-faults=seed=42,store-fail=0.1") {
+            Ok(AdminCmd::SetFaults(Some(plan))) => {
+                assert_eq!(plan.seed, 42);
+                assert!((plan.store_fail - 0.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(
+            parse_admin_command("set-overload=enabled:on,high_ms:500,max_inflight:0"),
+            Ok(AdminCmd::SetOverload(OverloadUpdate {
+                enabled: Some(true),
+                high_ms: Some(500),
+                max_inflight: Some(0),
+                ..OverloadUpdate::default()
+            }))
+        );
         for bad in [
             "reboot",
             "set-policy",
@@ -347,6 +461,14 @@ mod tests {
             "set-slow-log=cap:0",
             "set-slow-log=slow_ms:fast",
             "set-slow-log=threshold:4",
+            "set-faults",
+            "set-faults=seed=nope",
+            "set-faults=store-fail=2.0",
+            "set-overload",
+            "set-overload=",
+            "set-overload=enabled:maybe",
+            "set-overload=high_ms:0",
+            "set-overload=shed:yes",
         ] {
             assert!(parse_admin_command(bad).is_err(), "accepted {bad:?}");
         }

@@ -28,20 +28,92 @@
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use drmap_store::store::CompactReport;
 use drmap_telemetry::SnapshotHistory;
 
 use crate::error::ServiceError;
 use crate::json::Json;
+use crate::loadgen::SplitMix64;
+use crate::overload::OverloadConfig;
 use crate::pool::ShardPolicy;
 use crate::proto::{
-    BoundsUpdate, MetricsReport, PersistedSlowTrace, Request, Response, ShardPolicyUpdate,
-    StatsReport, PROTOCOL_VERSION,
+    BoundsUpdate, MetricsReport, OverloadUpdate, PersistedSlowTrace, Request, Response,
+    ShardPolicyUpdate, StatsReport, PROTOCOL_VERSION,
 };
 use crate::spec::{JobOptions, JobResult, JobSpec};
 use crate::wire::{self, Encoding};
+
+/// Socket-level tunables of a [`Client`] connection. The defaults keep
+/// the pre-timeout behavior: block indefinitely on connect, read, and
+/// write — explicit timeouts turn silent stalls into the typed
+/// [`ServiceError::Timeout`] that [`RetryPolicy`] treats as retryable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (`None`: OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read; an expired deadline surfaces as
+    /// [`ServiceError::Timeout`] (`None`: block forever).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each socket write, likewise (`None`: block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+/// A budget-capped exponential backoff with **decorrelated jitter**:
+/// each sleep is drawn uniformly from `[base_ms, 3 × previous_sleep]`
+/// and clamped to `cap_ms`, so synchronized clients spread out instead
+/// of retrying in lockstep. The draw is seeded and deterministic —
+/// the same policy replays the same schedule, which keeps chaos tests
+/// reproducible.
+///
+/// Only [retryable](ServiceError::is_retryable) failures (socket
+/// timeouts, shed load, transport errors) are retried, and only for
+/// **idempotent** requests — job submissions are safe because results
+/// are deterministic and memoized server-side. A shed response's
+/// `retry_after_ms` hint is honored as a floor under the jittered
+/// sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Smallest sleep, and the lower bound of every jitter draw.
+    pub base_ms: u64,
+    /// Largest sleep; every draw is clamped here.
+    pub cap_ms: u64,
+    /// Total attempt budget, counting the first try. `1` disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 50,
+            cap_ms: 2_000,
+            max_attempts: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The next sleep in milliseconds: uniform in
+    /// `[base_ms, 3 × prev_ms]`, clamped to `cap_ms`. Updates `prev_ms`
+    /// to the drawn value (the decorrelated-jitter recurrence).
+    pub fn next_backoff_ms(&self, rng: &mut SplitMix64, prev_ms: &mut u64) -> u64 {
+        let ceiling = prev_ms.saturating_mul(3).max(self.base_ms);
+        let span = ceiling - self.base_ms;
+        let drawn = if span == 0 {
+            self.base_ms
+        } else {
+            self.base_ms + rng.next_u64() % (span + 1)
+        };
+        *prev_ms = drawn.min(self.cap_ms);
+        *prev_ms
+    }
+}
 
 /// What a server said hello back with.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,21 +169,85 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     encoding: Encoding,
+    /// Remembered for [`Client::reconnect`] after a retryable
+    /// transport failure mid-conversation.
+    peer: SocketAddr,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect to a running [`JobServer`](crate::server::JobServer).
+    /// Connect to a running [`JobServer`](crate::server::JobServer)
+    /// with default (blocking, no-timeout) socket settings.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit socket timeouts. Reads and writes that
+    /// exceed their bound fail with the typed
+    /// [`ServiceError::Timeout`] instead of blocking forever on a
+    /// stalled or fault-injected server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (every resolved address is
+    /// tried; the last failure wins).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        let mut last_err: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            let connected = match config.connect_timeout {
+                Some(bound) => TcpStream::connect_timeout(&candidate, bound),
+                None => TcpStream::connect(candidate),
+            };
+            match connected {
+                Ok(stream) => return Self::from_stream(stream, candidate, config),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .map(ServiceError::Io)
+            .unwrap_or_else(|| ServiceError::protocol("address resolved to nothing")))
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        peer: SocketAddr,
+        config: ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             encoding: Encoding::Text,
+            peer,
+            config,
         })
+    }
+
+    /// Tear down and re-establish the connection (same peer, same
+    /// config, same encoding). Used between retry attempts after a
+    /// transport failure: a timed-out stream may hold a half-read
+    /// frame, so resynchronizing means starting over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let connected = match self.config.connect_timeout {
+            Some(bound) => TcpStream::connect_timeout(&self.peer, bound),
+            None => TcpStream::connect(self.peer),
+        }?;
+        let encoding = self.encoding;
+        *self = Self::from_stream(connected, self.peer, self.config)?;
+        self.encoding = encoding;
+        Ok(())
     }
 
     /// Send subsequent requests as length-prefixed binary frames
@@ -197,11 +333,20 @@ impl Client {
     // -----------------------------------------------------------------
 
     /// Send one typed request and decode its typed response, surfacing
-    /// a server-side error response as `Err`.
+    /// server-side failures as `Err` — generic error responses as
+    /// [`ServiceError::Protocol`], shed load and missed deadlines as
+    /// their typed variants so callers (and [`RetryPolicy`]) can react
+    /// without string-matching.
     fn typed_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
         wire::write_request(&mut self.writer, request, self.encoding)?;
         match wire::read_response(&mut self.reader)? {
             Some((Response::Error { message, .. }, _)) => Err(ServiceError::protocol(message)),
+            Some((Response::Overloaded { retry_after_ms, .. }, _)) => {
+                Err(ServiceError::Overloaded { retry_after_ms })
+            }
+            Some((Response::DeadlineExceeded { deadline_ms, .. }, _)) => {
+                Err(ServiceError::DeadlineExceeded { deadline_ms })
+            }
             Some((response, _)) => Ok(response),
             None => Err(ServiceError::protocol("server closed the connection")),
         }
@@ -254,6 +399,99 @@ impl Client {
         match self.typed_request(&Request::Submit(spec))? {
             Response::Job { result } => Ok(result),
             other => Err(Self::unexpected("submit", &other)),
+        }
+    }
+
+    /// [`Client::submit_with`] wrapped in a [`RetryPolicy`]: retryable
+    /// failures (socket timeouts, transport errors, shed load) back
+    /// off with decorrelated jitter and try again until the attempt
+    /// budget runs out; a shed response's `retry_after_ms` is honored
+    /// as a floor under the jittered sleep. Transport failures
+    /// reconnect before retrying (a timed-out stream may hold a
+    /// half-read frame). Retrying a submission is safe — results are
+    /// deterministic and memoized server-side, so a duplicate attempt
+    /// answers from the cache.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error when the budget runs out;
+    /// non-retryable failures (protocol, exploration, missed
+    /// deadlines) immediately.
+    pub fn submit_retry(
+        &mut self,
+        spec: &JobSpec,
+        options: JobOptions,
+        policy: &RetryPolicy,
+    ) -> Result<JobResult, ServiceError> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut prev_ms = policy.base_ms;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self.submit_with(spec, options);
+            let err = match outcome {
+                Ok(result) => return Ok(result),
+                Err(e) => e,
+            };
+            // The attempt budget bounds this retry loop.
+            if !err.is_retryable() || attempt >= policy.max_attempts.max(1) {
+                return Err(err);
+            }
+            let backoff = policy.next_backoff_ms(&mut rng, &mut prev_ms);
+            let sleep_ms = match &err {
+                ServiceError::Overloaded { retry_after_ms } => backoff.max(*retry_after_ms),
+                _ => backoff,
+            };
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            // A stalled or broken stream cannot be trusted to be
+            // frame-aligned anymore; start over on a fresh socket.
+            if matches!(err, ServiceError::Timeout(_) | ServiceError::Io(_)) {
+                self.reconnect()?;
+            }
+        }
+    }
+
+    /// Arm (or, with `None`, disarm) a deterministic fault plan on the
+    /// live server — see [`FaultPlan::parse`](crate::faults::FaultPlan::parse)
+    /// for the spec grammar. Returns the canonical rendering of the
+    /// plan now armed, `None` when disarmed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed specs, on servers without fault injection
+    /// compiled in (no `faults` capability), or malformed responses.
+    pub fn set_faults(&mut self, spec: Option<&str>) -> Result<Option<String>, ServiceError> {
+        match self.typed_request(&Request::SetFaults {
+            id: None,
+            spec: spec.map(str::to_owned),
+        })? {
+            Response::FaultsSet { spec, .. } => Ok(spec),
+            other => Err(Self::unexpected("set-faults", &other)),
+        }
+    }
+
+    /// Retune the live server's overload controller (absent fields
+    /// keep their current values; `max_inflight: Some(0)` clears the
+    /// cap). Returns `(now_in_force, previous)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty updates (rejected client-side), malformed
+    /// responses, or server-side errors.
+    pub fn set_overload(
+        &mut self,
+        update: OverloadUpdate,
+    ) -> Result<(OverloadConfig, OverloadConfig), ServiceError> {
+        if update.is_empty() {
+            return Err(ServiceError::protocol(
+                "set-overload needs at least one field to change",
+            ));
+        }
+        match self.typed_request(&Request::SetOverload { id: None, update })? {
+            Response::OverloadSet {
+                config, previous, ..
+            } => Ok((config, previous)),
+            other => Err(Self::unexpected("set-overload", &other)),
         }
     }
 
@@ -579,5 +817,49 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
         Self::expect_ok(self.request(&Json::obj([("cmd", Json::str("shutdown"))]))?)?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(policy: &RetryPolicy, seed: u64, draws: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut prev = policy.base_ms;
+        (0..draws)
+            .map(|_| policy.next_backoff_ms(&mut rng, &mut prev))
+            .collect()
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_within_bounds_and_replays_by_seed() {
+        let policy = RetryPolicy::default();
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut prev = policy.base_ms;
+        let mut sleeps = Vec::new();
+        for _ in 0..256 {
+            let before = prev;
+            let sleep = policy.next_backoff_ms(&mut rng, &mut prev);
+            assert!(sleep >= policy.base_ms, "below base: {sleep}");
+            assert!(sleep <= policy.cap_ms, "above cap: {sleep}");
+            assert!(
+                sleep <= before.saturating_mul(3).max(policy.base_ms),
+                "exceeded the decorrelated ceiling: {sleep} after {before}"
+            );
+            assert_eq!(sleep, prev, "the recurrence feeds the drawn value back");
+            sleeps.push(sleep);
+        }
+        // Same seed → byte-identical schedule; different seeds → two
+        // clients do not retry in lockstep.
+        assert_eq!(sleeps, schedule(&policy, policy.seed, 256));
+        assert_ne!(sleeps, schedule(&policy, policy.seed + 1, 256));
+        // Degenerate policy: base == cap pins every sleep.
+        let flat = RetryPolicy {
+            base_ms: 100,
+            cap_ms: 100,
+            ..policy
+        };
+        assert!(schedule(&flat, 3, 32).iter().all(|&ms| ms == 100));
     }
 }

@@ -21,13 +21,16 @@ use drmap_core::error::DseError;
 use drmap_dram::geometry::Geometry;
 use drmap_dram::profiler::{AccessCostTable, Profiler};
 use drmap_dram::timing::DramArch;
-use drmap_store::store::SLOW_TRACE_KEY_PREFIX;
+use drmap_store::store::{FaultDirective, SLOW_TRACE_KEY_PREFIX};
 use drmap_telemetry::{
-    Counter, Histogram, MetricsRegistry, SlowEntry, SlowLog, SnapshotRing, Span, Trace,
+    Counter, Gauge, Histogram, HistogramWindow, MetricsRegistry, SlowEntry, SlowLog, SnapshotRing,
+    Span, Trace,
 };
 
 use crate::cache::{CacheConfig, CacheMetrics, CacheOutcome, DseCache};
 use crate::error::ServiceError;
+use crate::faults::{FaultAction, FaultState, FAULTS_COMPILED_IN};
+use crate::overload::OverloadController;
 use crate::spec::{CacheMode, EngineSpec, JobResult, JobSpec, LayerOutcome};
 
 /// How many slow requests the [`SlowLog`] ring buffer retains by
@@ -154,6 +157,17 @@ pub(crate) struct StageMetrics {
     /// Layer lookups that fell through the resident tier (computed
     /// here, coalesced onto another caller, or served by the store).
     pub(crate) cache_misses_total: Arc<Counter>,
+    /// Store operations failed or delayed by an armed fault plan.
+    pub(crate) fault_store_total: Arc<Counter>,
+    /// Response frames dropped or stalled by an armed fault plan.
+    pub(crate) fault_wire_total: Arc<Counter>,
+    /// Worker panics injected by an armed fault plan.
+    pub(crate) fault_pool_total: Arc<Counter>,
+    /// Jobs refused by the overload controller's admission check.
+    pub(crate) shed_total: Arc<Counter>,
+    /// Jobs admitted but not yet answered — the admission controller's
+    /// second input besides windowed latency.
+    pub(crate) jobs_inflight: Arc<Gauge>,
 }
 
 impl StageMetrics {
@@ -170,6 +184,11 @@ impl StageMetrics {
             layers_total: registry.counter("layers_total"),
             cache_hits_total: registry.counter("cache_hits_total"),
             cache_misses_total: registry.counter("cache_misses_total"),
+            fault_store_total: registry.counter("fault_store_total"),
+            fault_wire_total: registry.counter("fault_wire_total"),
+            fault_pool_total: registry.counter("fault_pool_total"),
+            shed_total: registry.counter("shed_total"),
+            jobs_inflight: registry.gauge("jobs_inflight"),
         }
     }
 }
@@ -189,6 +208,13 @@ pub struct ServiceState {
     /// highest sequence found in the store at boot so restarts keep
     /// appending instead of overwriting the freshest post-mortems.
     slow_seq: AtomicU64,
+    /// Armed fault plan (if any) shared by every injection site.
+    faults: Arc<FaultState>,
+    /// Admission controller fed by windowed request latency.
+    overload: OverloadController,
+    /// Successive-difference window over `request_ns`, closed once per
+    /// sampler tick to feed the overload controller.
+    request_window: HistogramWindow,
 }
 
 impl ServiceState {
@@ -225,12 +251,28 @@ impl ServiceState {
         store: Option<Arc<drmap_store::store::Store>>,
     ) -> Result<Arc<Self>, ServiceError> {
         let metrics = Arc::new(MetricsRegistry::new());
+        let stages = StageMetrics::resolve(&metrics);
+        let faults = Arc::new(FaultState::default());
         if let Some(store) = &store {
             store.attach_metrics(
                 metrics.histogram("wal_read_ns"),
                 metrics.histogram("wal_write_ns"),
                 metrics.histogram("wal_compact_ns"),
             );
+            // Builds that can never arm a plan skip the hook entirely,
+            // so release store paths stay exactly as before.
+            if FAULTS_COMPILED_IN {
+                let hook_faults = Arc::clone(&faults);
+                let injected = Arc::clone(&stages.fault_store_total);
+                store.attach_fault_hook(Box::new(move |_op| {
+                    let action = hook_faults.store_action()?;
+                    injected.inc();
+                    Some(match action {
+                        FaultAction::Fail => FaultDirective::Fail,
+                        FaultAction::Delay(jitter) => FaultDirective::Delay(jitter),
+                    })
+                }));
+            }
         }
         let cache = match store {
             Some(store) => DseCache::with_store(config, store),
@@ -241,11 +283,8 @@ impl ServiceState {
             store_write_ns: metrics.histogram("store_write_ns"),
             singleflight_wait_ns: metrics.histogram("singleflight_wait_ns"),
         });
-        let stages = StageMetrics::resolve(&metrics);
-        let slow_seq = cache
-            .store()
-            .map(|store| next_slow_seq(store))
-            .unwrap_or(0);
+        let slow_seq = cache.store().map(|store| next_slow_seq(store)).unwrap_or(0);
+        let request_window = HistogramWindow::new(Arc::clone(&stages.request_ns));
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
             cache,
@@ -254,6 +293,9 @@ impl ServiceState {
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             history: SnapshotRing::new(SNAPSHOT_RING_CAPACITY),
             slow_seq: AtomicU64::new(slow_seq),
+            faults,
+            overload: OverloadController::default(),
+            request_window,
         }))
     }
 
@@ -276,9 +318,26 @@ impl ServiceState {
 
     /// Take one cumulative metrics snapshot and fold it into the
     /// history ring as a windowed delta (the sampler thread's tick).
+    /// The same tick closes one `request_ns` latency window and feeds
+    /// its p99 to the overload controller, so shedding decisions track
+    /// the sampler cadence.
     pub fn sample_metrics(&self) {
         self.history
             .record(self.metrics.snapshot(), self.metrics.uptime_ms());
+        let window = self.request_window.tick();
+        self.overload.observe_window(window.p99() / 1_000_000);
+    }
+
+    /// The live fault-injection state (armed by `--fault-plan` or the
+    /// `set-faults` admin verb; empty by default).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The admission controller (armed by `--overload` or the
+    /// `set-overload` admin verb; disabled by default).
+    pub fn overload(&self) -> &OverloadController {
+        &self.overload
     }
 
     /// Write one slow-request trace through the store tier (under

@@ -15,12 +15,51 @@ pub enum ServiceError {
     Dse(DseError),
     /// Socket or file I/O failed.
     Io(std::io::Error),
+    /// A socket read/write exceeded its configured timeout — the
+    /// peer stalled, not necessarily died. Distinct from [`Io`]
+    /// (ServiceError::Io) so retry policies can treat a stall as
+    /// retryable without pattern-matching error strings.
+    Timeout(String),
+    /// The job's `deadline_ms` elapsed before the result was computed;
+    /// the server abandoned the remaining work instead of computing a
+    /// result nobody is waiting for.
+    DeadlineExceeded {
+        /// The deadline the job carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The server's admission controller is shedding load; retry after
+    /// the hinted delay.
+    Overloaded {
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
+
+/// Marker prefix the pool embeds in a [`DseError`] raised by a missed
+/// deadline, so [`PendingJob::wait`](crate::pool::PendingJob::wait) can
+/// lift it back into the typed [`ServiceError::DeadlineExceeded`]
+/// without threading a new error type through every layer reply.
+pub(crate) const DEADLINE_MARKER: &str = "deadline exceeded after ";
 
 impl ServiceError {
     /// A protocol error with the given message.
     pub fn protocol(message: impl Into<String>) -> Self {
         ServiceError::Protocol(message.into())
+    }
+
+    /// A socket-timeout error with the given context.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        ServiceError::Timeout(message.into())
+    }
+
+    /// Whether retrying this error can help: stalls and shed load are
+    /// transient; protocol and exploration failures are deterministic
+    /// (the same request fails the same way again).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Timeout(_) | ServiceError::Overloaded { .. } | ServiceError::Io(_)
+        )
     }
 }
 
@@ -44,6 +83,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::Dse(e) => write!(f, "exploration failed: {e}"),
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Timeout(m) => write!(f, "timed out: {m}"),
+            ServiceError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "{DEADLINE_MARKER}{deadline_ms} ms")
+            }
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -53,13 +99,27 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Dse(e) => Some(e),
             ServiceError::Io(e) => Some(e),
-            ServiceError::Protocol(_) => None,
+            ServiceError::Protocol(_)
+            | ServiceError::Timeout(_)
+            | ServiceError::DeadlineExceeded { .. }
+            | ServiceError::Overloaded { .. } => None,
         }
     }
 }
 
 impl From<DseError> for ServiceError {
+    /// Lifts a pool-raised deadline error (recognized by
+    /// [`DEADLINE_MARKER`]) back into the typed
+    /// [`ServiceError::DeadlineExceeded`]; everything else stays a
+    /// plain exploration failure.
     fn from(e: DseError) -> Self {
+        let message = e.to_string();
+        if let Some(at) = message.find(DEADLINE_MARKER) {
+            let rest = &message[at + DEADLINE_MARKER.len()..];
+            if let Some(ms) = rest.strip_suffix(" ms").and_then(|n| n.parse().ok()) {
+                return ServiceError::DeadlineExceeded { deadline_ms: ms };
+            }
+        }
         ServiceError::Dse(e)
     }
 }
@@ -102,6 +162,22 @@ mod tests {
             .contains("no tiling"));
         let io = std::io::Error::other("boom");
         assert!(ServiceError::from(io).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn marked_dse_errors_lift_into_the_typed_deadline_variant() {
+        let marked = DseError::new(format!("{DEADLINE_MARKER}250 ms"));
+        assert!(matches!(
+            ServiceError::from(marked),
+            ServiceError::DeadlineExceeded { deadline_ms: 250 }
+        ));
+        // A message that merely mentions deadlines is not lifted.
+        let plain = DseError::new("deadline exceeded after lunch");
+        assert!(matches!(ServiceError::from(plain), ServiceError::Dse(_)));
+        assert!(ServiceError::timeout("read").is_retryable());
+        assert!(ServiceError::Overloaded { retry_after_ms: 5 }.is_retryable());
+        assert!(!ServiceError::DeadlineExceeded { deadline_ms: 1 }.is_retryable());
+        assert!(!ServiceError::protocol("bad").is_retryable());
     }
 
     #[test]

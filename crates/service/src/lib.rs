@@ -59,7 +59,15 @@
 //! * [`loadgen`] — the seeded zipfian request mix behind the
 //!   `drmap-loadgen` bin: reproducible load plans, plus the schema
 //!   gate that refuses a `BENCH_load.json` missing its environment
-//!   block.
+//!   block;
+//! * [`faults`] — seeded, deterministic fault injection into the
+//!   store, the wire, and the pool (`--fault-plan` / `set-faults`),
+//!   compiled out of release builds unless the `faults` feature is on;
+//! * [`overload`] — the hysteretic admission controller behind the
+//!   `overloaded` shed response and the `set-overload` verb; paired
+//!   with per-job deadlines (`deadline_ms`) and the client's bounded,
+//!   jittered [`RetryPolicy`](client::RetryPolicy). See
+//!   `docs/RELIABILITY.md`.
 //!
 //! Every layer is threaded with [`drmap_telemetry`]: lock-free latency
 //! histograms and counters for each request stage (frame decode, cache
@@ -99,8 +107,10 @@ pub mod cli;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod json;
 pub mod loadgen;
+pub mod overload;
 pub mod pool;
 pub mod proto;
 pub mod server;
@@ -111,14 +121,16 @@ pub mod wire;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::cache::{CacheConfig, CacheOutcome, CacheStats, DseCache, EvictionPolicy};
-    pub use crate::client::{Client, ServerStats};
+    pub use crate::client::{Client, ClientConfig, RetryPolicy, ServerStats};
     pub use crate::engine::{default_workers, EngineFactory, ServiceState};
     pub use crate::error::ServiceError;
+    pub use crate::faults::{FaultPlan, FaultState};
     pub use crate::json::Json;
+    pub use crate::overload::{OverloadConfig, OverloadController};
     pub use crate::pool::{DsePool, PendingJob, ShardPolicy};
     pub use crate::proto::{
-        BoundsUpdate, Dialect, MetricsReport, Request, Response, ShardPolicyUpdate, StatsReport,
-        PROTOCOL_VERSION,
+        BoundsUpdate, Dialect, MetricsReport, OverloadUpdate, Request, Response, ShardPolicyUpdate,
+        StatsReport, PROTOCOL_VERSION,
     };
     pub use crate::server::{JobServer, ServerConfig};
     pub use crate::spec::{

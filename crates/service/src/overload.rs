@@ -1,0 +1,290 @@
+//! Adaptive overload control: hysteretic load shedding.
+//!
+//! The controller watches the **windowed** p99 of `request_ns` (each
+//! sampler tick closes one window via
+//! [`HistogramWindow`](drmap_telemetry::HistogramWindow)) plus the
+//! live in-flight job gauge. When the windowed p99 crosses the high
+//! watermark — or the in-flight count exceeds its cap — new job
+//! submissions are refused with a typed `overloaded` response carrying
+//! `retry_after_ms`, instead of queueing behind work the server cannot
+//! finish promptly. Admin verbs keep working while jobs shed, so an
+//! operator can always reach a drowning server.
+//!
+//! Recovery is **hysteretic**: shedding ends only after
+//! [`OverloadConfig::recover_windows`] *consecutive* windows whose p99
+//! sits at or below the low watermark. A single good window between
+//! two bad ones resets the streak, so the controller cannot flap
+//! admit/shed/admit across the threshold. The gap between the
+//! watermarks is the flap margin; [`OverloadConfig::sanitized`]
+//! enforces `low <= high`.
+//!
+//! The controller ships disabled. `drmap-serve --overload` arms it at
+//! boot and the `set-overload` admin verb retunes every knob live; the
+//! shed count is exposed as `drmap_shed_total`. See
+//! `docs/RELIABILITY.md`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::sync::lock_recovered;
+
+/// The overload controller's knobs. All latencies are windowed p99s in
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Master switch; disabled controllers admit everything.
+    pub enabled: bool,
+    /// Enter shedding when a window's p99 reaches this.
+    pub high_ms: u64,
+    /// A window only counts toward recovery when its p99 is at or
+    /// below this (must not exceed `high_ms` — the gap is the
+    /// hysteresis margin).
+    pub low_ms: u64,
+    /// Consecutive healthy windows required before re-admitting.
+    pub recover_windows: u32,
+    /// Backoff advice carried in shed responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Also shed while this many jobs are already in flight,
+    /// regardless of latency. `None` leaves admission purely
+    /// latency-driven.
+    pub max_inflight: Option<u64>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: false,
+            high_ms: 1_000,
+            low_ms: 500,
+            recover_windows: 3,
+            retry_after_ms: 1_000,
+            max_inflight: None,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// This configuration with its invariants enforced: `low_ms`
+    /// clamped to `high_ms` and `recover_windows` to at least 1.
+    pub fn sanitized(mut self) -> Self {
+        self.low_ms = self.low_ms.min(self.high_ms);
+        self.recover_windows = self.recover_windows.max(1);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ControllerInner {
+    config: OverloadConfig,
+    shedding: bool,
+    healthy_streak: u32,
+}
+
+/// The live admission controller. One per [`ServiceState`]
+/// (crate::engine::ServiceState); the server consults
+/// [`OverloadController::admission`] before dispatching each job and
+/// the sampler thread drives [`OverloadController::observe_window`]
+/// once per metrics window.
+#[derive(Debug)]
+pub struct OverloadController {
+    inner: Mutex<ControllerInner>,
+    /// Mirror of `inner.shedding` for lock-free reads in `stats`-style
+    /// paths; admission itself takes the lock (once per job, far off
+    /// any per-byte path).
+    shedding: AtomicBool,
+}
+
+impl Default for OverloadController {
+    fn default() -> Self {
+        Self::new(OverloadConfig::default())
+    }
+}
+
+impl OverloadController {
+    /// A controller with the given initial configuration.
+    pub fn new(config: OverloadConfig) -> Self {
+        OverloadController {
+            inner: Mutex::new(ControllerInner {
+                config: config.sanitized(),
+                shedding: false,
+                healthy_streak: 0,
+            }),
+            shedding: AtomicBool::new(false),
+        }
+    }
+
+    /// The configuration currently in force.
+    pub fn config(&self) -> OverloadConfig {
+        lock_recovered(&self.inner).config
+    }
+
+    /// Replace the configuration (sanitized), returning the previous
+    /// one. Disabling also ends any in-progress shedding immediately.
+    pub fn set_config(&self, config: OverloadConfig) -> OverloadConfig {
+        let mut inner = lock_recovered(&self.inner);
+        let previous = std::mem::replace(&mut inner.config, config.sanitized());
+        if !inner.config.enabled {
+            inner.shedding = false;
+            inner.healthy_streak = 0;
+            // ordering: Relaxed — advisory mirror; the lock orders the
+            // authoritative state.
+            self.shedding.store(false, Ordering::Relaxed);
+        }
+        previous
+    }
+
+    /// Whether the controller is currently shedding load.
+    pub fn is_shedding(&self) -> bool {
+        // ordering: Relaxed — a momentarily stale answer only shifts
+        // one admission decision by one window.
+        self.shedding.load(Ordering::Relaxed)
+    }
+
+    /// Admission check for one job, given the current in-flight count:
+    /// `None` admits, `Some(retry_after_ms)` sheds.
+    pub fn admission(&self, inflight: u64) -> Option<u64> {
+        let inner = lock_recovered(&self.inner);
+        if !inner.config.enabled {
+            return None;
+        }
+        let over_inflight = inner.config.max_inflight.is_some_and(|cap| inflight >= cap);
+        if inner.shedding || over_inflight {
+            Some(inner.config.retry_after_ms)
+        } else {
+            None
+        }
+    }
+
+    /// Feed one closed latency window (its p99 in milliseconds). Drives
+    /// the hysteresis: a p99 at or above `high_ms` starts shedding, and
+    /// only `recover_windows` consecutive windows at or below `low_ms`
+    /// end it. Windows between the watermarks hold the current state
+    /// and reset the recovery streak. Returns whether the controller
+    /// sheds after this window.
+    pub fn observe_window(&self, p99_ms: u64) -> bool {
+        let mut inner = lock_recovered(&self.inner);
+        if !inner.config.enabled {
+            inner.shedding = false;
+            inner.healthy_streak = 0;
+        } else if p99_ms >= inner.config.high_ms {
+            inner.shedding = true;
+            inner.healthy_streak = 0;
+        } else if inner.shedding {
+            if p99_ms <= inner.config.low_ms {
+                inner.healthy_streak += 1;
+                if inner.healthy_streak >= inner.config.recover_windows {
+                    inner.shedding = false;
+                    inner.healthy_streak = 0;
+                }
+            } else {
+                inner.healthy_streak = 0;
+            }
+        }
+        let shedding = inner.shedding;
+        drop(inner);
+        // ordering: Relaxed — advisory mirror, see `is_shedding`.
+        self.shedding.store(shedding, Ordering::Relaxed);
+        shedding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled() -> OverloadConfig {
+        OverloadConfig {
+            enabled: true,
+            high_ms: 100,
+            low_ms: 50,
+            recover_windows: 2,
+            retry_after_ms: 250,
+            max_inflight: None,
+        }
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let c = OverloadController::default();
+        assert_eq!(c.admission(u64::MAX), None);
+        assert!(!c.observe_window(u64::MAX));
+        assert!(!c.is_shedding());
+    }
+
+    #[test]
+    fn sheds_above_high_and_recovers_after_consecutive_healthy_windows() {
+        let c = OverloadController::new(enabled());
+        assert_eq!(c.admission(0), None);
+        assert!(c.observe_window(150), "p99 over high starts shedding");
+        assert_eq!(c.admission(0), Some(250));
+        // One healthy window is not enough (recover_windows = 2) …
+        assert!(c.observe_window(10));
+        // … two consecutive ones are.
+        assert!(!c.observe_window(10));
+        assert_eq!(c.admission(0), None);
+    }
+
+    #[test]
+    fn hysteresis_does_not_flap_under_step_load() {
+        // A step load whose p99 oscillates across the *high* watermark
+        // but never reaches the low one: the controller enters shedding
+        // once and stays there — no admit/shed flapping.
+        let c = OverloadController::new(enabled());
+        let mut transitions = 0;
+        let mut last = c.is_shedding();
+        for step in 0..40 {
+            let p99 = if step % 2 == 0 { 120 } else { 80 };
+            let now = c.observe_window(p99);
+            if now != last {
+                transitions += 1;
+                last = now;
+            }
+        }
+        assert_eq!(transitions, 1, "entered shedding once and held");
+        assert!(c.is_shedding());
+        // A window between the watermarks also resets a partial
+        // recovery streak: good, mid, good must not recover.
+        assert!(c.observe_window(10));
+        assert!(c.observe_window(80));
+        assert!(c.observe_window(10));
+        assert!(c.is_shedding(), "streak reset by the mid window");
+        assert!(!c.observe_window(10), "second consecutive healthy window");
+    }
+
+    #[test]
+    fn inflight_cap_sheds_without_latency_signal() {
+        let c = OverloadController::new(OverloadConfig {
+            max_inflight: Some(4),
+            ..enabled()
+        });
+        assert_eq!(c.admission(3), None);
+        assert_eq!(c.admission(4), Some(250));
+        assert_eq!(c.admission(400), Some(250));
+        // The cap is instantaneous, not latched: pressure off, admit.
+        assert_eq!(c.admission(1), None);
+    }
+
+    #[test]
+    fn reconfiguring_live_applies_and_disabling_stops_shedding() {
+        let c = OverloadController::new(enabled());
+        assert!(c.observe_window(500));
+        let previous = c.set_config(OverloadConfig {
+            enabled: false,
+            ..enabled()
+        });
+        assert_eq!(previous, enabled());
+        assert!(!c.is_shedding(), "disabling ends shedding at once");
+        assert_eq!(c.admission(0), None);
+        // Sanitization: low is clamped to high, recover_windows to 1.
+        let weird = c.set_config(OverloadConfig {
+            high_ms: 10,
+            low_ms: 99,
+            recover_windows: 0,
+            ..enabled()
+        });
+        assert!(!weird.enabled);
+        let now = c.config();
+        assert_eq!(now.low_ms, 10);
+        assert_eq!(now.recover_windows, 1);
+    }
+}

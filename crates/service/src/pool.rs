@@ -35,10 +35,11 @@
 
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use drmap_cnn::layer::Layer;
 use drmap_core::dse::{LayerDseResult, LayerPartial, SharedEngine};
@@ -49,11 +50,40 @@ use drmap_telemetry::{Histogram, Span, Trace};
 
 use crate::cache::CacheOutcome;
 use crate::engine::{outcome_from_result, ServiceState};
-use crate::error::{panic_message, ServiceError};
+use crate::error::{panic_message, ServiceError, DEADLINE_MARKER};
 use crate::spec::{JobOptions, JobResult, JobSpec};
 use crate::sync::lock_recovered;
 
 type LayerReply = (usize, Result<(LayerDseResult, CacheOutcome), DseError>);
+
+/// A job's absolute latency budget, captured at submission. Workers
+/// check it at dequeue (a queued layer whose budget lapsed is never
+/// computed) and between claimed shard chunks; an expired check raises
+/// a [`DEADLINE_MARKER`]-tagged [`DseError`] that
+/// [`PendingJob::wait`] lifts back into the typed
+/// [`ServiceError::DeadlineExceeded`](crate::error::ServiceError).
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    ms: u64,
+}
+
+impl Deadline {
+    fn of(options: &JobOptions) -> Option<Deadline> {
+        options.deadline_ms.map(|ms| Deadline {
+            at: Instant::now() + Duration::from_millis(ms),
+            ms,
+        })
+    }
+
+    fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    fn error(&self) -> DseError {
+        DseError::new(format!("{DEADLINE_MARKER}{} ms", self.ms))
+    }
+}
 
 struct LayerTask {
     state: Arc<ServiceState>,
@@ -62,6 +92,11 @@ struct LayerTask {
     layer: Layer,
     index: usize,
     options: JobOptions,
+    deadline: Option<Deadline>,
+    /// An armed fault plan chose this task's job as its panic victim:
+    /// the worker panics instead of exploring, and the existing
+    /// catch-everything reply path must surface a typed job error.
+    inject_panic: bool,
     /// The submitting request's trace, when the front-end attached one:
     /// the worker's cache-lookup/explore spans add themselves to its
     /// per-stage breakdown.
@@ -71,6 +106,9 @@ struct LayerTask {
 
 /// What travels on the pool's shared queue: a whole-layer exploration,
 /// or an invitation to help with another worker's sharded layer.
+// Boxing `LayerTask` would trade the size skew for a heap allocation on
+// every layer enqueue; tasks are short-lived and the queue shallow.
+#[allow(clippy::large_enum_variant)]
 enum Task {
     Layer(LayerTask),
     Help(Arc<Shard>),
@@ -159,6 +197,10 @@ struct Shard {
     chunk_ns: Arc<Histogram>,
     /// Leader-side partial-merge duration.
     merge_ns: Arc<Histogram>,
+    /// The submitting job's latency budget: checked before computing
+    /// each claimed chunk, so a lapsed job stops burning workers
+    /// between chunks (an in-progress sweep still runs to completion).
+    deadline: Option<Deadline>,
 }
 
 struct ShardProgress {
@@ -174,6 +216,7 @@ impl Shard {
         chunks: Vec<Range<usize>>,
         chunk_ns: Arc<Histogram>,
         merge_ns: Arc<Histogram>,
+        deadline: Option<Deadline>,
     ) -> Self {
         let progress = ShardProgress {
             partials: (0..chunks.len()).map(|_| None).collect(),
@@ -189,6 +232,7 @@ impl Shard {
             done: Condvar::new(),
             chunk_ns,
             merge_ns,
+            deadline,
         }
     }
 
@@ -206,6 +250,19 @@ impl Shard {
                 return;
             }
             let range = self.chunks[i].clone();
+            // Between-chunk deadline check: the claim/publish protocol
+            // stays intact (the expired chunk still publishes a
+            // partial — an error one — so the leader never waits on a
+            // slot nobody will fill).
+            if let Some(deadline) = self.deadline.filter(Deadline::expired) {
+                let mut progress = lock_recovered(&self.progress);
+                progress.partials[i] = Some(Err(deadline.error()));
+                progress.finished += 1;
+                if progress.finished == self.chunks.len() {
+                    self.done.notify_all();
+                }
+                continue;
+            }
             let chunk_span = Span::enter("shard_chunk", &self.chunk_ns);
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 self.engine
@@ -266,6 +323,7 @@ fn explore_maybe_sharded(
     shared: &PoolShared,
     chunk_hint: Option<usize>,
     state: &ServiceState,
+    deadline: Option<Deadline>,
 ) -> Result<LayerDseResult, DseError> {
     if shared.workers <= 1 {
         return engine.explore_layer(layer);
@@ -305,6 +363,7 @@ fn explore_maybe_sharded(
         chunks,
         Arc::clone(&stages.shard_chunk_ns),
         Arc::clone(&stages.merge_ns),
+        deadline,
     ));
     // Invite idle workers. Tokens are requests, not assignments: one
     // arriving after the shard drained is a no-op, and if the queue is
@@ -329,6 +388,9 @@ pub struct DsePool {
     queue: Option<Sender<Task>>,
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
+    /// Jobs submitted so far — the 1-based ordinal a fault plan's
+    /// `panic-job` targets.
+    submitted: AtomicU64,
 }
 
 impl std::fmt::Debug for PoolShared {
@@ -382,6 +444,7 @@ impl DsePool {
             queue: Some(queue),
             shared,
             handles,
+            submitted: AtomicU64::new(0),
         }
     }
 
@@ -425,6 +488,14 @@ impl DsePool {
     /// the request's stage breakdown as well as the global histograms.
     pub fn submit_traced(&self, spec: &JobSpec, trace: Option<Arc<Trace>>) -> PendingJob {
         self.state.stages().jobs_total.inc();
+        // ordering: Relaxed — a pure submission ticket; the fault
+        // plan's panic-job match needs uniqueness, not ordering.
+        let ordinal = self.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        // An armed plan's chosen job panics in exactly one of its
+        // layer tasks (the first): one injected panic per plan, and
+        // the job still exercises the full reply path for the rest.
+        let inject_panic = self.state.faults().job_panics(ordinal);
+        let deadline = Deadline::of(&spec.options);
         let engine = self
             .state
             .factory()
@@ -442,6 +513,8 @@ impl DsePool {
                 layer: layer.clone(),
                 index,
                 options: spec.options,
+                deadline,
+                inject_panic: inject_panic && index == 0,
                 trace: trace.clone(),
                 reply: reply.clone(),
             };
@@ -513,12 +586,25 @@ fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
                 continue;
             }
         };
+        // Dequeue-time deadline check: a layer that waited out its
+        // job's whole budget in the queue is answered (with the typed
+        // error) instead of computed — the submitter has given up.
+        if let Some(deadline) = task.deadline.filter(Deadline::expired) {
+            let _ = task.reply.send((task.index, Err(deadline.error())));
+            continue;
+        }
         // Catch panics so the reply is *always* sent: a worker that
         // unwound without replying would leave `PendingJob::wait`
         // blocked forever on a layer that no one is computing.
         // (`explore_layer_cached_with` already converts panics inside
-        // the exploration itself; this guards everything else.)
+        // the exploration itself; this guards everything else — and is
+        // exactly the mechanism an injected fault-plan panic probes.)
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if task.inject_panic {
+                task.state.stages().fault_pool_total.inc();
+                // check:allow(no-unwrap-hot-path): deliberate, counted fault injection
+                panic!("injected fault-plan worker panic");
+            }
             task.state.explore_layer_cached_traced(
                 &task.engine,
                 &task.tag,
@@ -532,6 +618,7 @@ fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
                         shared,
                         task.options.shard_chunk,
                         &task.state,
+                        task.deadline,
                     )
                 },
             )
@@ -803,6 +890,62 @@ mod tests {
             direct.best.estimate.energy.to_bits()
         );
         assert_eq!(hinted.layers[0].evaluations as usize, direct.evaluations);
+    }
+
+    #[test]
+    fn queued_jobs_past_their_deadline_answer_typed_errors() {
+        let state = ServiceState::new().unwrap();
+        let pool = DsePool::new(Arc::clone(&state), 1);
+        // Occupy the single worker so the deadlined job waits in queue
+        // past its (tiny) budget; the dequeue check then answers it
+        // without computing anything.
+        let blocker = JobSpec::layer(
+            1,
+            EngineSpec::default(),
+            drmap_cnn::layer::Layer::conv("BIG", 13, 13, 64, 32, 3, 3, 1),
+        );
+        let deadlined = JobSpec::network(2, EngineSpec::default(), Network::tiny()).with_options(
+            crate::spec::JobOptions {
+                deadline_ms: Some(1),
+                ..Default::default()
+            },
+        );
+        let blocking = pool.submit(&blocker);
+        let pending = pool.submit(&deadlined);
+        assert!(matches!(
+            pending.wait(),
+            Err(ServiceError::DeadlineExceeded { deadline_ms: 1 })
+        ));
+        // The blocker itself is unharmed.
+        blocking.wait().unwrap();
+        // And an undeadlined resubmission completes normally.
+        let again = JobSpec::network(3, EngineSpec::default(), Network::tiny());
+        assert_eq!(pool.submit(&again).wait().unwrap().layers.len(), 3);
+    }
+
+    #[test]
+    fn armed_panic_job_surfaces_a_typed_error_and_is_counted() {
+        let state = ServiceState::new().unwrap();
+        state
+            .faults()
+            .set_plan(Some(
+                crate::faults::FaultPlan::parse("seed=1,panic-job=2").unwrap(),
+            ))
+            .unwrap();
+        let pool = DsePool::new(Arc::clone(&state), 2);
+        let spec = JobSpec::network(9, EngineSpec::default(), Network::tiny());
+        // Job 1 is not the chosen ordinal.
+        pool.submit(&spec).wait().unwrap();
+        // Job 2 panics a worker; the reply path converts it to a typed
+        // job error instead of hanging the submitter.
+        let err = pool.submit(&spec).wait().unwrap_err();
+        assert!(err.to_string().contains("injected fault-plan worker panic"));
+        assert_eq!(
+            state.metrics().snapshot().counter("fault_pool_total"),
+            Some(1)
+        );
+        // The plan fires once: job 3 (same spec, warm cache) succeeds.
+        pool.submit(&spec).wait().unwrap();
     }
 
     #[test]

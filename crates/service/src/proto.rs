@@ -48,6 +48,7 @@ use drmap_telemetry::{
 use crate::cache::{CacheStats, EvictionPolicy};
 use crate::error::ServiceError;
 use crate::json::Json;
+use crate::overload::OverloadConfig;
 use crate::pool::ShardPolicy;
 use crate::spec::{JobResult, JobSpec};
 
@@ -70,7 +71,9 @@ pub enum Dialect {
 /// `store` and `slow-traces` appear only when a persistent result
 /// store is attached (without it, `cache-warm`, `store-compact`, and
 /// `slow-traces` answer with errors — persisted post-mortems need
-/// somewhere to live).
+/// somewhere to live). `faults` appears only in builds with fault
+/// injection compiled in (debug, or the `faults` cargo feature) —
+/// release servers without it refuse `set-faults` outright.
 pub fn capabilities(store_attached: bool) -> Vec<String> {
     let mut caps = vec![
         "jobs".to_owned(),
@@ -81,7 +84,12 @@ pub fn capabilities(store_attached: bool) -> Vec<String> {
         "metrics".to_owned(),
         "metrics-history".to_owned(),
         "set-bounds".to_owned(),
+        "deadlines".to_owned(),
+        "overload-control".to_owned(),
     ];
+    if crate::faults::FAULTS_COMPILED_IN {
+        caps.push("faults".to_owned());
+    }
     if store_attached {
         caps.push("store".to_owned());
         caps.push("slow-traces".to_owned());
@@ -157,6 +165,53 @@ impl BoundsUpdate {
             Some(0) => Some(None),
             Some(n) => Some(Some(n)),
         }
+    }
+}
+
+/// A partial overload-controller update: absent fields keep the
+/// running controller's current value, so an operator can retune one
+/// watermark without restating the rest. `max_inflight` uses `0` on
+/// the wire to clear the cap (returning admission to purely
+/// latency-driven), the same convention [`BoundsUpdate`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadUpdate {
+    /// Arm or disarm the controller, if given.
+    pub enabled: Option<bool>,
+    /// New high (shed-entry) watermark in milliseconds, if given.
+    pub high_ms: Option<u64>,
+    /// New low (recovery) watermark in milliseconds, if given.
+    pub low_ms: Option<u64>,
+    /// New consecutive-healthy-window requirement, if given.
+    pub recover_windows: Option<u32>,
+    /// New backoff advice for shed responses, if given.
+    pub retry_after_ms: Option<u64>,
+    /// New in-flight cap; `Some(0)` clears it.
+    pub max_inflight: Option<u64>,
+}
+
+impl OverloadUpdate {
+    /// True when the update changes nothing. Clients reject empty
+    /// updates as usage errors rather than sending silent no-ops.
+    pub fn is_empty(&self) -> bool {
+        *self == OverloadUpdate::default()
+    }
+
+    /// The (sanitized) configuration that results from applying this
+    /// update to `current`.
+    pub fn apply(&self, current: OverloadConfig) -> OverloadConfig {
+        OverloadConfig {
+            enabled: self.enabled.unwrap_or(current.enabled),
+            high_ms: self.high_ms.unwrap_or(current.high_ms),
+            low_ms: self.low_ms.unwrap_or(current.low_ms),
+            recover_windows: self.recover_windows.unwrap_or(current.recover_windows),
+            retry_after_ms: self.retry_after_ms.unwrap_or(current.retry_after_ms),
+            max_inflight: match self.max_inflight {
+                None => current.max_inflight,
+                Some(0) => None,
+                Some(n) => Some(n),
+            },
+        }
+        .sanitized()
     }
 }
 
@@ -259,6 +314,25 @@ pub enum Request {
         slow_ms: Option<u64>,
         /// New ring capacity (clamped to at least 1).
         cap: Option<usize>,
+    },
+    /// Arm, replace, or disarm the deterministic fault plan on the
+    /// live server. Only honored by builds with fault injection
+    /// compiled in (debug, or the `faults` cargo feature) — the
+    /// capability list advertises `faults` when it is.
+    SetFaults {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// The plan to arm, in `key=value,…` form (see
+        /// [`FaultPlan::parse`](crate::faults::FaultPlan::parse));
+        /// absent disarms fault injection.
+        spec: Option<String>,
+    },
+    /// Retune the adaptive overload controller on the live server.
+    SetOverload {
+        /// Optional correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Partial update; absent fields keep their current values.
+        update: OverloadUpdate,
     },
     /// Run a DSE job (the job's own `id` is the correlation key).
     Submit(JobSpec),
@@ -432,6 +506,40 @@ pub enum Response {
         /// The capacity that was in force before.
         previous_cap: usize,
     },
+    /// `set-faults` applied.
+    FaultsSet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The canonical rendering of the plan now armed (`None`:
+        /// fault injection disarmed).
+        spec: Option<String>,
+    },
+    /// `set-overload` applied.
+    OverloadSet {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The configuration now in force (after merging the update
+        /// and sanitizing).
+        config: OverloadConfig,
+        /// The configuration that was in force before.
+        previous: OverloadConfig,
+    },
+    /// The admission controller refused the job: the server is
+    /// shedding load. Retry after the hinted delay.
+    Overloaded {
+        /// Echoed job id.
+        id: Option<u64>,
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The job's `deadline_ms` elapsed before its result was ready;
+    /// the server abandoned the remaining work.
+    DeadlineExceeded {
+        /// Echoed job id.
+        id: Option<u64>,
+        /// The deadline the job carried, in milliseconds.
+        deadline_ms: u64,
+    },
     /// A job finished successfully.
     Job {
         /// The job's result (its `id` is the correlation key).
@@ -556,6 +664,35 @@ impl Request {
                     rest.push(("cap".to_owned(), Json::num_usize(*cap)));
                 }
                 typed("set-slow-log", *id, rest)
+            }
+            Request::SetFaults { id, spec } => {
+                let mut rest = Vec::new();
+                if let Some(spec) = spec {
+                    rest.push(("spec".to_owned(), Json::str(spec)));
+                }
+                typed("set-faults", *id, rest)
+            }
+            Request::SetOverload { id, update } => {
+                let mut rest = Vec::new();
+                if let Some(enabled) = update.enabled {
+                    rest.push(("enabled".to_owned(), Json::Bool(enabled)));
+                }
+                if let Some(ms) = update.high_ms {
+                    rest.push(("high_ms".to_owned(), Json::num_u64(ms)));
+                }
+                if let Some(ms) = update.low_ms {
+                    rest.push(("low_ms".to_owned(), Json::num_u64(ms)));
+                }
+                if let Some(n) = update.recover_windows {
+                    rest.push(("recover_windows".to_owned(), Json::num_u64(u64::from(n))));
+                }
+                if let Some(ms) = update.retry_after_ms {
+                    rest.push(("retry_after_ms".to_owned(), Json::num_u64(ms)));
+                }
+                if let Some(n) = update.max_inflight {
+                    rest.push(("max_inflight".to_owned(), Json::num_u64(n)));
+                }
+                typed("set-overload", *id, rest)
             }
             Request::Submit(spec) => match spec.to_json() {
                 Json::Obj(pairs) => {
@@ -698,6 +835,53 @@ impl Request {
                     return Err(bad("\"cap\" must be positive".to_owned()));
                 }
                 Ok(Request::SetSlowLog { id, slow_ms, cap })
+            }
+            "set-faults" => {
+                let spec = match v.get("spec") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .ok_or_else(|| bad("\"spec\" must be a string".to_owned()))?
+                            .to_owned(),
+                    ),
+                };
+                Ok(Request::SetFaults { id, spec })
+            }
+            "set-overload" => {
+                let opt_u64 = |field: &str| -> Result<Option<u64>, DecodeError> {
+                    match v.get(field) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(n) => n.as_u64().map(Some).ok_or_else(|| {
+                            bad(format!("{field:?} must be a non-negative integer"))
+                        }),
+                    }
+                };
+                let enabled = match v.get("enabled") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Bool(b)) => Some(*b),
+                    Some(_) => return Err(bad("\"enabled\" must be a boolean".to_owned())),
+                };
+                let recover_windows = match opt_u64("recover_windows")? {
+                    None => None,
+                    Some(n) => Some(
+                        u32::try_from(n)
+                            .map_err(|_| bad("\"recover_windows\" is out of range".to_owned()))?,
+                    ),
+                };
+                let update = OverloadUpdate {
+                    enabled,
+                    high_ms: opt_u64("high_ms")?,
+                    low_ms: opt_u64("low_ms")?,
+                    recover_windows,
+                    retry_after_ms: opt_u64("retry_after_ms")?,
+                    max_inflight: opt_u64("max_inflight")?,
+                };
+                if update.high_ms == Some(0) || update.recover_windows == Some(0) {
+                    return Err(bad(
+                        "high_ms and recover_windows must be positive".to_owned()
+                    ));
+                }
+                Ok(Request::SetOverload { id, update })
             }
             "submit" => JobSpec::from_json(v)
                 .map(Request::Submit)
@@ -1238,6 +1422,56 @@ fn persisted_trace_from_json(v: &Json) -> Result<PersistedSlowTrace, ServiceErro
     })
 }
 
+fn overload_config_to_json(c: &OverloadConfig) -> Json {
+    Json::obj([
+        ("enabled", Json::Bool(c.enabled)),
+        ("high_ms", Json::num_u64(c.high_ms)),
+        ("low_ms", Json::num_u64(c.low_ms)),
+        (
+            "recover_windows",
+            Json::num_u64(u64::from(c.recover_windows)),
+        ),
+        ("retry_after_ms", Json::num_u64(c.retry_after_ms)),
+        (
+            "max_inflight",
+            match c.max_inflight {
+                Some(n) => Json::num_u64(n),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn overload_config_from_json(v: &Json) -> Result<OverloadConfig, ServiceError> {
+    let int = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::protocol(format!("overload config missing {name:?}")))
+    };
+    let enabled = match v.get("enabled") {
+        Some(Json::Bool(b)) => *b,
+        _ => {
+            return Err(ServiceError::protocol(
+                "overload config missing boolean \"enabled\"",
+            ))
+        }
+    };
+    Ok(OverloadConfig {
+        enabled,
+        high_ms: int("high_ms")?,
+        low_ms: int("low_ms")?,
+        recover_windows: u32::try_from(int("recover_windows")?)
+            .map_err(|_| ServiceError::protocol("\"recover_windows\" is out of range"))?,
+        retry_after_ms: int("retry_after_ms")?,
+        max_inflight: match v.get("max_inflight") {
+            None | Some(Json::Null) => None,
+            Some(n) => Some(n.as_u64().ok_or_else(|| {
+                ServiceError::protocol("\"max_inflight\" must be an integer or null")
+            })?),
+        },
+    })
+}
+
 fn legacy_error(id: Option<u64>, message: &str) -> Json {
     let mut pairs = vec![("ok".to_owned(), Json::Bool(false))];
     if let Some(id) = id {
@@ -1423,6 +1657,82 @@ impl Response {
                     ("previous_cap".to_owned(), Json::num_usize(*previous_cap)),
                 ],
             ),
+            (Response::FaultsSet { id, spec }, _) => typed_ok(
+                "faults-set",
+                *id,
+                vec![(
+                    "spec".to_owned(),
+                    match spec {
+                        Some(s) => Json::str(s),
+                        None => Json::Null,
+                    },
+                )],
+            ),
+            (
+                Response::OverloadSet {
+                    id,
+                    config,
+                    previous,
+                },
+                _,
+            ) => typed_ok(
+                "overload-set",
+                *id,
+                vec![
+                    ("config".to_owned(), overload_config_to_json(config)),
+                    ("previous".to_owned(), overload_config_to_json(previous)),
+                ],
+            ),
+            (Response::Overloaded { id, retry_after_ms }, Dialect::Legacy) => legacy_error(
+                *id,
+                &ServiceError::Overloaded {
+                    retry_after_ms: *retry_after_ms,
+                }
+                .to_string(),
+            ),
+            (Response::Overloaded { id, retry_after_ms }, Dialect::V1) => {
+                let mut pairs = vec![
+                    ("type".to_owned(), Json::str("overloaded")),
+                    ("ok".to_owned(), Json::Bool(false)),
+                ];
+                push_id(&mut pairs, *id);
+                pairs.push(("retry_after_ms".to_owned(), Json::num_u64(*retry_after_ms)));
+                pairs.push((
+                    "error".to_owned(),
+                    Json::str(
+                        ServiceError::Overloaded {
+                            retry_after_ms: *retry_after_ms,
+                        }
+                        .to_string(),
+                    ),
+                ));
+                Json::Obj(pairs)
+            }
+            (Response::DeadlineExceeded { id, deadline_ms }, Dialect::Legacy) => legacy_error(
+                *id,
+                &ServiceError::DeadlineExceeded {
+                    deadline_ms: *deadline_ms,
+                }
+                .to_string(),
+            ),
+            (Response::DeadlineExceeded { id, deadline_ms }, Dialect::V1) => {
+                let mut pairs = vec![
+                    ("type".to_owned(), Json::str("deadline_exceeded")),
+                    ("ok".to_owned(), Json::Bool(false)),
+                ];
+                push_id(&mut pairs, *id);
+                pairs.push(("deadline_ms".to_owned(), Json::num_u64(*deadline_ms)));
+                pairs.push((
+                    "error".to_owned(),
+                    Json::str(
+                        ServiceError::DeadlineExceeded {
+                            deadline_ms: *deadline_ms,
+                        }
+                        .to_string(),
+                    ),
+                ));
+                Json::Obj(pairs)
+            }
             (
                 Response::BoundsSet {
                     id,
@@ -1587,6 +1897,38 @@ impl Response {
                     evicted: int("evicted")?,
                 })
             }
+            "faults-set" => Ok(Response::FaultsSet {
+                id,
+                spec: match v.get("spec") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .ok_or_else(|| {
+                                ServiceError::protocol("\"spec\" must be a string or null")
+                            })?
+                            .to_owned(),
+                    ),
+                },
+            }),
+            "overload-set" => Ok(Response::OverloadSet {
+                id,
+                config: overload_config_from_json(
+                    v.get("config")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"config\""))?,
+                )?,
+                previous: overload_config_from_json(
+                    v.get("previous")
+                        .ok_or_else(|| ServiceError::protocol("response missing \"previous\""))?,
+                )?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                id,
+                retry_after_ms: int("retry_after_ms")?,
+            }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded {
+                id,
+                deadline_ms: int("deadline_ms")?,
+            }),
             "job" => Ok(Response::Job {
                 result: JobResult::from_json(
                     v.get("result")
@@ -1669,6 +2011,25 @@ mod tests {
                 id: None,
                 slow_ms: None,
                 cap: Some(8),
+            },
+            Request::SetFaults {
+                id: Some(16),
+                spec: Some("seed=7,store-fail=0.1".into()),
+            },
+            Request::SetFaults {
+                id: None,
+                spec: None,
+            },
+            Request::SetOverload {
+                id: Some(17),
+                update: OverloadUpdate {
+                    enabled: Some(true),
+                    high_ms: Some(800),
+                    low_ms: None,
+                    recover_windows: Some(4),
+                    retry_after_ms: None,
+                    max_inflight: Some(0),
+                },
             },
             Request::Submit(JobSpec::network(5, EngineSpec::default(), Network::tiny())),
         ];
@@ -1916,6 +2277,34 @@ mod tests {
                 previous_ms: None,
                 previous_cap: 32,
             },
+            Response::FaultsSet {
+                id: Some(13),
+                spec: Some("seed=7,store-fail=0.1".into()),
+            },
+            Response::FaultsSet {
+                id: None,
+                spec: None,
+            },
+            Response::OverloadSet {
+                id: Some(14),
+                config: crate::overload::OverloadConfig {
+                    enabled: true,
+                    high_ms: 800,
+                    low_ms: 400,
+                    recover_windows: 4,
+                    retry_after_ms: 250,
+                    max_inflight: Some(32),
+                },
+                previous: crate::overload::OverloadConfig::default(),
+            },
+            Response::Overloaded {
+                id: Some(15),
+                retry_after_ms: 1_000,
+            },
+            Response::DeadlineExceeded {
+                id: Some(16),
+                deadline_ms: 250,
+            },
             Response::Error {
                 id: Some(7),
                 message: "no store attached".into(),
@@ -1940,6 +2329,63 @@ mod tests {
         // Persisted post-mortems need a store to live in.
         assert!(!capabilities(false).contains(&"slow-traces".to_owned()));
         assert!(capabilities(true).contains(&"slow-traces".to_owned()));
+    }
+
+    #[test]
+    fn overload_updates_merge_and_sanitize_field_by_field() {
+        let current = crate::overload::OverloadConfig::default();
+        assert!(OverloadUpdate::default().is_empty());
+        assert_eq!(OverloadUpdate::default().apply(current), current);
+        let update = OverloadUpdate {
+            enabled: Some(true),
+            high_ms: Some(200),
+            low_ms: None,
+            recover_windows: None,
+            retry_after_ms: Some(100),
+            max_inflight: Some(16),
+        };
+        assert!(!update.is_empty());
+        let applied = update.apply(current);
+        assert!(applied.enabled);
+        assert_eq!(applied.high_ms, 200);
+        // low_ms kept its default 500 but sanitization clamps it down
+        // to the new high watermark.
+        assert_eq!(applied.low_ms, 200);
+        assert_eq!(applied.recover_windows, current.recover_windows);
+        assert_eq!(applied.retry_after_ms, 100);
+        assert_eq!(applied.max_inflight, Some(16));
+        // 0 clears the cap.
+        let cleared = OverloadUpdate {
+            max_inflight: Some(0),
+            ..OverloadUpdate::default()
+        }
+        .apply(applied);
+        assert_eq!(cleared.max_inflight, None);
+        // Shed responses carry the typed payloads in the legacy
+        // dialect too, rendered as ordinary legacy errors.
+        assert_eq!(
+            Response::Overloaded {
+                id: Some(3),
+                retry_after_ms: 250
+            }
+            .render(Dialect::Legacy)
+            .render(),
+            r#"{"ok":false,"id":3,"error":"server overloaded; retry after 250 ms"}"#
+        );
+        assert_eq!(
+            Response::DeadlineExceeded {
+                id: None,
+                deadline_ms: 40
+            }
+            .render(Dialect::Legacy)
+            .render(),
+            r#"{"ok":false,"error":"deadline exceeded after 40 ms"}"#
+        );
+        // This build runs tests with debug assertions, so fault
+        // injection is compiled in and advertised.
+        assert!(capabilities(false).contains(&"faults".to_owned()));
+        assert!(capabilities(false).contains(&"overload-control".to_owned()));
+        assert!(capabilities(false).contains(&"deadlines".to_owned()));
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 use drmap_telemetry::{Span, Trace};
 
 use crate::error::ServiceError;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::json::Json;
 use crate::pool::DsePool;
 use crate::proto::{
@@ -89,6 +90,12 @@ pub struct ServerConfig {
     /// the `metrics-history` verb. `None` (the default) disables the
     /// sampler thread entirely.
     pub sample_interval: Option<Duration>,
+    /// Bound on the graceful-shutdown drain: after the accept loop
+    /// stops, [`JobServer::run`] waits up to this long for in-flight
+    /// jobs to finish and their responses to be queued before syncing
+    /// the store and returning. Jobs still running at the bound are
+    /// abandoned (their connections die with the process).
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +105,7 @@ impl Default for ServerConfig {
             max_inflight_global: None,
             slow_ms: None,
             sample_interval: None,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -245,6 +253,22 @@ impl JobServer {
                 open.dec();
             });
         }
+        // Graceful drain: the accept loop has stopped, so no new work
+        // arrives; wait (bounded) for every in-flight job to answer,
+        // give the per-connection writer threads a moment to flush
+        // those queued responses onto their sockets, then make the
+        // store durable before the process goes away.
+        let state = self.pool.state();
+        let drain_deadline = Instant::now() + self.config.drain_timeout;
+        while state.stages().jobs_inflight.get() > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        if let Some(store) = state.cache().store() {
+            // Sync failures must not mask a clean drain; the WAL
+            // replays unsynced tails on the next open anyway.
+            let _ = store.sync();
+        }
         Ok(())
     }
 }
@@ -373,7 +397,8 @@ fn serve_connection(
     ];
     let writer = {
         let slots = slots.clone();
-        let frame_encode_ns = Arc::clone(&pool.state().stages().frame_encode_ns);
+        let state = Arc::clone(pool.state());
+        let frame_encode_ns = Arc::clone(&state.stages().frame_encode_ns);
         std::thread::spawn(move || {
             let mut out = BufWriter::new(stream);
             // A write failure means the client is gone: stop writing,
@@ -383,9 +408,25 @@ fn serve_connection(
             let mut dead = false;
             while let Ok((response, encoding)) = rx.recv() {
                 if !dead {
-                    let _encode = Span::enter("frame_encode", &frame_encode_ns);
-                    if wire::write_message(&mut out, &response.render(), encoding).is_err() {
-                        dead = true;
+                    // Wire-layer fault injection: an armed plan may
+                    // drop this frame outright (the client sees a
+                    // stall, then a timeout) or delay it by the plan's
+                    // jitter before writing.
+                    let action = state.faults().wire_action();
+                    if let Some(action) = &action {
+                        state.stages().fault_wire_total.inc();
+                        if let FaultAction::Delay(stall) = action {
+                            std::thread::sleep(*stall);
+                        }
+                    }
+                    if matches!(action, Some(FaultAction::Fail)) {
+                        // Dropped frame: skip the write, keep the
+                        // connection; the response is simply lost.
+                    } else {
+                        let _encode = Span::enter("frame_encode", &frame_encode_ns);
+                        if wire::write_message(&mut out, &response.render(), encoding).is_err() {
+                            dead = true;
+                        }
                     }
                 }
                 slots.release_local();
@@ -474,9 +515,25 @@ fn dispatch_message(
     let decode_ns = elapsed_ns(decode_start);
     pool.state().stages().frame_decode_ns.record(decode_ns);
     // Job submissions get a waiter thread; everything else answers
-    // inline through the exhaustive control match.
+    // inline through the exhaustive control match. Admin verbs skip
+    // the admission check on purpose: an operator must always be able
+    // to reach (and retune) a shedding server.
     if let Request::Submit(job) = request {
+        let state = pool.state();
+        let inflight = state.stages().jobs_inflight.get().max(0) as u64;
+        if let Some(retry_after_ms) = state.overload().admission(inflight) {
+            state.stages().shed_total.inc();
+            let response = Response::Overloaded {
+                id: Some(job.id),
+                retry_after_ms,
+            };
+            slots.acquire();
+            let _ = tx.send((response.render(dialect), encoding));
+            slots.release_global();
+            return false;
+        }
         slots.acquire();
+        state.stages().jobs_inflight.inc();
         let trace = Trace::new(job.id);
         trace.add("frame_decode", decode_ns);
         let pending = pool.submit_traced(&job, Some(Arc::clone(&trace)));
@@ -485,13 +542,7 @@ fn dispatch_message(
         let slots = slots.clone();
         let pool = Arc::clone(pool);
         std::thread::spawn(move || {
-            let response = match pending.wait() {
-                Ok(result) => Response::Job { result },
-                Err(e) => Response::Error {
-                    id: Some(job_id),
-                    message: e.to_string(),
-                },
-            };
+            let response = job_response(job_id, pending.wait());
             let state = pool.state();
             let total_ns = state.slow_log().observe(&trace);
             state.stages().request_ns.record(total_ns);
@@ -499,6 +550,7 @@ fn dispatch_message(
                 state.persist_slow_trace(&entry);
             }
             let _ = tx.send((response.render(dialect), encoding));
+            state.stages().jobs_inflight.dec();
             slots.release_global();
         });
         return false;
@@ -514,6 +566,27 @@ fn dispatch_message(
 /// nanoseconds → whole milliseconds, `u64::MAX` (disabled) → `None`.
 fn threshold_ms(threshold_ns: u64) -> Option<u64> {
     (threshold_ns != u64::MAX).then_some(threshold_ns / 1_000_000)
+}
+
+/// The wire response for one finished job: results and typed failures
+/// (`deadline_exceeded`, `overloaded`) map to their structured
+/// responses, everything else to a generic error.
+fn job_response(job_id: u64, outcome: Result<crate::spec::JobResult, ServiceError>) -> Response {
+    match outcome {
+        Ok(result) => Response::Job { result },
+        Err(ServiceError::DeadlineExceeded { deadline_ms }) => Response::DeadlineExceeded {
+            id: Some(job_id),
+            deadline_ms,
+        },
+        Err(ServiceError::Overloaded { retry_after_ms }) => Response::Overloaded {
+            id: Some(job_id),
+            retry_after_ms,
+        },
+        Err(e) => Response::Error {
+            id: Some(job_id),
+            message: e.to_string(),
+        },
+    }
 }
 
 /// A consistent snapshot of the server's counters and **active**
@@ -686,6 +759,42 @@ fn control_response(pool: &DsePool, request: &Request) -> (Response, bool) {
                 }
             }
         }
+        Request::SetFaults { id, spec } => {
+            let parsed = match spec {
+                None => Ok(None),
+                Some(spec) => FaultPlan::parse(spec).map(Some),
+            };
+            match parsed.and_then(|plan| {
+                pool.state().faults().set_plan(plan)?;
+                Ok(plan)
+            }) {
+                Ok(plan) => Response::FaultsSet {
+                    id: *id,
+                    spec: plan.map(|p| p.render()),
+                },
+                Err(e) => Response::Error {
+                    id: *id,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::SetOverload { id, update } => {
+            if update.is_empty() {
+                Response::Error {
+                    id: *id,
+                    message: "set-overload needs at least one field to change".to_owned(),
+                }
+            } else {
+                let overload = pool.state().overload();
+                let merged = update.apply(overload.config());
+                let previous = overload.set_config(merged);
+                Response::OverloadSet {
+                    id: *id,
+                    config: merged,
+                    previous,
+                }
+            }
+        }
         Request::Submit(_) => unreachable!("job submissions are dispatched before control verbs"),
     };
     (response, false)
@@ -719,15 +828,23 @@ pub fn handle_request(pool: &DsePool, line: &str) -> (Json, bool) {
         }
     };
     if let Request::Submit(job) = request {
-        let trace = Trace::new(job.id);
-        let response = match pool.submit_traced(&job, Some(Arc::clone(&trace))).wait() {
-            Ok(result) => Response::Job { result },
-            Err(e) => Response::Error {
-                id: Some(job.id),
-                message: e.to_string(),
-            },
-        };
         let state = pool.state();
+        let inflight = state.stages().jobs_inflight.get().max(0) as u64;
+        if let Some(retry_after_ms) = state.overload().admission(inflight) {
+            state.stages().shed_total.inc();
+            let response = Response::Overloaded {
+                id: Some(job.id),
+                retry_after_ms,
+            };
+            return (response.render(dialect), false);
+        }
+        let trace = Trace::new(job.id);
+        state.stages().jobs_inflight.inc();
+        let response = job_response(
+            job.id,
+            pool.submit_traced(&job, Some(Arc::clone(&trace))).wait(),
+        );
+        state.stages().jobs_inflight.dec();
         let total_ns = state.slow_log().observe(&trace);
         state.stages().request_ns.record(total_ns);
         if let Some(entry) = state.slow_log().capture(&trace, total_ns) {

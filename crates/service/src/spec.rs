@@ -73,6 +73,11 @@ pub struct JobOptions {
     /// the pool's [`ShardPolicy`](crate::pool::ShardPolicy) for this
     /// job (clamped to at least 1; `None` defers to the pool).
     pub shard_chunk: Option<usize>,
+    /// Budget for the whole job, measured from the moment the server
+    /// accepts it. Work still queued or between shard chunks when the
+    /// budget lapses is abandoned and the job answers with a typed
+    /// `deadline_exceeded` error. `None` (the default) never expires.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobOptions {
@@ -91,6 +96,9 @@ impl JobOptions {
         }
         if let Some(chunk) = self.shard_chunk {
             pairs.push(("shard_chunk".to_owned(), Json::num_usize(chunk)));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_owned(), Json::num_u64(deadline)));
         }
         Some(Json::Obj(pairs))
     }
@@ -125,6 +133,12 @@ impl JobOptions {
                 ServiceError::protocol("\"shard_chunk\" must be a positive integer")
             })?;
             options.shard_chunk = Some(chunk);
+        }
+        if let Some(field) = v.get("deadline_ms") {
+            let deadline = field.as_u64().filter(|&n| n > 0).ok_or_else(|| {
+                ServiceError::protocol("\"deadline_ms\" must be a positive integer")
+            })?;
+            options.deadline_ms = Some(deadline);
         }
         Ok(options)
     }
@@ -768,9 +782,14 @@ mod tests {
                 cache: CacheMode::Refresh,
                 keep_points: true,
                 shard_chunk: Some(32),
+                deadline_ms: Some(1500),
             },
             JobOptions {
                 keep_points: true,
+                ..JobOptions::default()
+            },
+            JobOptions {
+                deadline_ms: Some(250),
                 ..JobOptions::default()
             },
         ] {
@@ -790,6 +809,8 @@ mod tests {
             r#"{"network": {"model": "tiny"}, "options": {"keep_points": "yes"}}"#,
             r#"{"network": {"model": "tiny"}, "options": {"shard_chunk": 0}}"#,
             r#"{"network": {"model": "tiny"}, "options": {"shard_chunk": -4}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"deadline_ms": 0}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"deadline_ms": "soon"}}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

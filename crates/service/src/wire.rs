@@ -54,6 +54,22 @@ impl Encoding {
 /// message.
 pub const FRAME_MARKER: u8 = 0x00;
 
+/// Lift socket-deadline failures into the typed
+/// [`ServiceError::Timeout`], so retry policies can tell a stalled
+/// peer from a dead one without string-matching. With
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` armed, the OS reports an expired
+/// deadline as `WouldBlock` (Unix) or `TimedOut` (Windows) — either
+/// may surface mid-message, including after a partial write that
+/// `write_all` had already begun.
+fn timeout_aware(e: std::io::Error, context: &'static str) -> ServiceError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ServiceError::timeout(format!("socket {context} exceeded its configured timeout"))
+        }
+        _ => ServiceError::Io(e),
+    }
+}
+
 /// Upper bound on a binary frame's payload, defending against hostile
 /// length headers.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
@@ -69,6 +85,11 @@ pub fn write_message(
     payload: &str,
     encoding: Encoding,
 ) -> Result<(), ServiceError> {
+    let write = |writer: &mut dyn Write, bytes: &[u8]| {
+        writer
+            .write_all(bytes)
+            .map_err(|e| timeout_aware(e, "write"))
+    };
     match encoding {
         Encoding::Binary => {
             if payload.len() > MAX_FRAME_BYTES {
@@ -77,16 +98,16 @@ pub fn write_message(
                     payload.len()
                 )));
             }
-            writer.write_all(&[FRAME_MARKER])?;
-            writer.write_all(&(payload.len() as u32).to_be_bytes())?;
-            writer.write_all(payload.as_bytes())?;
+            write(writer, &[FRAME_MARKER])?;
+            write(writer, &(payload.len() as u32).to_be_bytes())?;
+            write(writer, payload.as_bytes())?;
         }
         Encoding::Text => {
-            writer.write_all(payload.as_bytes())?;
-            writer.write_all(b"\n")?;
+            write(writer, payload.as_bytes())?;
+            write(writer, b"\n")?;
         }
     }
-    writer.flush()?;
+    writer.flush().map_err(|e| timeout_aware(e, "write"))?;
     Ok(())
 }
 
@@ -101,7 +122,7 @@ pub fn write_message(
 pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, Encoding)>, ServiceError> {
     loop {
         let first = {
-            let buf = reader.fill_buf()?;
+            let buf = reader.fill_buf().map_err(|e| timeout_aware(e, "read"))?;
             match buf.first() {
                 Some(&b) => b,
                 None => return Ok(None), // clean EOF between messages
@@ -111,7 +132,9 @@ pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, Encodin
             FRAME_MARKER => {
                 reader.consume(1);
                 let mut len_bytes = [0u8; 4];
-                reader.read_exact(&mut len_bytes)?;
+                reader
+                    .read_exact(&mut len_bytes)
+                    .map_err(|e| timeout_aware(e, "read"))?;
                 let len = u32::from_be_bytes(len_bytes) as usize;
                 if len > MAX_FRAME_BYTES {
                     return Err(ServiceError::protocol(format!(
@@ -119,7 +142,9 @@ pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, Encodin
                     )));
                 }
                 let mut payload = vec![0u8; len];
-                reader.read_exact(&mut payload)?;
+                reader
+                    .read_exact(&mut payload)
+                    .map_err(|e| timeout_aware(e, "read"))?;
                 let text = String::from_utf8(payload)
                     .map_err(|_| ServiceError::protocol("frame payload is not UTF-8"))?;
                 return Ok(Some((text, Encoding::Binary)));
@@ -133,7 +158,7 @@ pub fn read_message(reader: &mut impl BufRead) -> Result<Option<(String, Encodin
                 // would grow the buffer without bound.
                 let mut line: Vec<u8> = Vec::new();
                 loop {
-                    let buf = reader.fill_buf()?;
+                    let buf = reader.fill_buf().map_err(|e| timeout_aware(e, "read"))?;
                     if buf.is_empty() {
                         break; // EOF terminates the final line
                     }
@@ -321,6 +346,42 @@ mod tests {
         let mut reader = BufReader::new(EndlessAs);
         let err = read_message(&mut reader).unwrap_err();
         assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn socket_deadline_errors_surface_as_typed_timeouts() {
+        // A reader whose deadline expires (SO_RCVTIMEO → WouldBlock)
+        // must yield the typed Timeout, not an opaque Io error.
+        struct Stalled;
+        impl std::io::Read for Stalled {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        let err = read_message(&mut BufReader::new(Stalled)).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout(_)), "{err}");
+        assert!(err.is_retryable());
+
+        // Same for a writer that times out after a partial write.
+        struct PartialThenStall {
+            accepted: usize,
+        }
+        impl Write for PartialThenStall {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.accepted == 0 {
+                    return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
+                }
+                let n = buf.len().min(self.accepted);
+                self.accepted -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = PartialThenStall { accepted: 3 };
+        let err = write_message(&mut w, r#"{"id":12345}"#, Encoding::Text).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout(_)), "{err}");
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn request_variant(kind: usize, a: u64, b: u64, flag: bool) -> Request {
                 },
                 keep_points: flag,
                 shard_chunk: (b.is_multiple_of(2)).then_some(b as usize % 128 + 1),
+                deadline_ms: (b.is_multiple_of(5)).then_some(b % 60_000 + 1),
             };
             Request::Submit(spec)
         }

@@ -16,6 +16,11 @@ pub enum StoreError {
     Codec(CodecError),
     /// A caller-supplied key or value violates the format's size caps.
     InvalidInput(String),
+    /// A deliberately injected failure from an attached fault hook
+    /// (see [`Store::attach_fault_hook`](crate::store::Store::attach_fault_hook)).
+    /// Distinct from [`Io`](StoreError::Io)/[`Corrupt`](StoreError::Corrupt)
+    /// so chaos tests can tell injected faults from real damage.
+    Injected(String),
 }
 
 impl StoreError {
@@ -28,6 +33,11 @@ impl StoreError {
     pub fn invalid(message: impl Into<String>) -> Self {
         StoreError::InvalidInput(message.into())
     }
+
+    /// An injected-fault error with the given message.
+    pub fn injected(message: impl Into<String>) -> Self {
+        StoreError::Injected(message.into())
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -37,6 +47,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "store corruption: {m}"),
             StoreError::Codec(e) => write!(f, "store value codec error: {e}"),
             StoreError::InvalidInput(m) => write!(f, "invalid store input: {m}"),
+            StoreError::Injected(m) => write!(f, "injected store fault: {m}"),
         }
     }
 }
@@ -46,7 +57,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Codec(e) => Some(e),
-            StoreError::Corrupt(_) | StoreError::InvalidInput(_) => None,
+            StoreError::Corrupt(_) | StoreError::InvalidInput(_) | StoreError::Injected(_) => None,
         }
     }
 }

@@ -26,7 +26,7 @@ use std::io::{BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use drmap_telemetry::Histogram;
 
@@ -140,8 +140,46 @@ struct StoreMetrics {
     compact_ns: Arc<Histogram>,
 }
 
+/// Which public store operation a [`FaultHook`] is being consulted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// [`Store::get`].
+    Get,
+    /// [`Store::put`].
+    Put,
+    /// [`Store::compact`].
+    Compact,
+}
+
+impl StoreOp {
+    /// Stable lowercase name, for error messages and metrics labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreOp::Get => "get",
+            StoreOp::Put => "put",
+            StoreOp::Compact => "compact",
+        }
+    }
+}
+
+/// What an attached [`FaultHook`] asks an operation to do: fail with an
+/// [`StoreError::Injected`] error, or stall by the given jitter before
+/// proceeding. `None` from the hook means proceed untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirective {
+    /// Fail the operation with an injected error.
+    Fail,
+    /// Sleep this long, then run the operation normally.
+    Delay(Duration),
+}
+
+/// A fault-injection callback consulted at the top of [`Store::get`],
+/// [`Store::put`], and [`Store::compact`]. The store itself holds no
+/// fault policy — the hook decides (deterministically seeded, in the
+/// service layer), the store only obeys.
+pub type FaultHook = Box<dyn Fn(StoreOp) -> Option<FaultDirective> + Send + Sync>;
+
 /// A WAL-backed, content-addressed, crash-recovering key→bytes store.
-#[derive(Debug)]
 pub struct Store {
     path: PathBuf,
     read_only: bool,
@@ -149,6 +187,17 @@ pub struct Store {
     gets: AtomicU64,
     hits: AtomicU64,
     metrics: OnceLock<StoreMetrics>,
+    fault_hook: OnceLock<FaultHook>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: the fault hook is an opaque closure.
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("read_only", &self.read_only)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Nanoseconds since `start`, saturating.
@@ -299,6 +348,7 @@ impl Store {
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             metrics: OnceLock::new(),
+            fault_hook: OnceLock::new(),
         })
     }
 
@@ -317,6 +367,30 @@ impl Store {
             write_ns,
             compact_ns,
         });
+    }
+
+    /// Attach a fault-injection hook consulted at the top of
+    /// [`Store::get`], [`Store::put`], and [`Store::compact`]. Like
+    /// [`Store::attach_metrics`], the first attachment wins and the
+    /// store runs hook-free — at zero cost — until one is attached.
+    pub fn attach_fault_hook(&self, hook: FaultHook) {
+        let _ = self.fault_hook.set(hook);
+    }
+
+    /// Consult the fault hook (if any) for `op`: sleeps out a `Delay`
+    /// directive, surfaces `Fail` as [`StoreError::Injected`].
+    fn injected_fault(&self, op: StoreOp) -> Result<(), StoreError> {
+        match self.fault_hook.get().and_then(|hook| hook(op)) {
+            None => Ok(()),
+            Some(FaultDirective::Delay(jitter)) => {
+                std::thread::sleep(jitter);
+                Ok(())
+            }
+            Some(FaultDirective::Fail) => Err(StoreError::injected(format!(
+                "fault plan failed this {}",
+                op.label()
+            ))),
+        }
     }
 
     /// The log's path.
@@ -347,6 +421,7 @@ impl Store {
     /// Fails on I/O errors or a checksum mismatch on the value bytes
     /// (on-disk bit rot since the log was opened).
     pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.injected_fault(StoreOp::Get)?;
         let start = Instant::now();
         let result = self.get_inner(key);
         if let Some(m) = self.metrics.get() {
@@ -387,6 +462,7 @@ impl Store {
     /// Fails on I/O errors, payloads beyond the format's size caps, or
     /// a store opened read-only.
     pub fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.injected_fault(StoreOp::Put)?;
         let start = Instant::now();
         let result = self.put_inner(key, value);
         if let Some(m) = self.metrics.get() {
@@ -586,6 +662,7 @@ impl Store {
     /// Fails on I/O errors or a store opened read-only; the original
     /// log is untouched on failure.
     pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        self.injected_fault(StoreOp::Compact)?;
         let start = Instant::now();
         let result = self.compact_inner();
         if let Some(m) = self.metrics.get() {
@@ -698,6 +775,27 @@ mod tests {
     fn store_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Store>();
+    }
+
+    #[test]
+    fn fault_hook_fails_and_delays_the_ops_it_targets() {
+        let path = temp_store_path("fault-hook");
+        let _ = std::fs::remove_file(&path);
+        let store = Store::open(&path).unwrap();
+        store.put("live", b"before-hook").unwrap();
+        store.attach_fault_hook(Box::new(|op| match op {
+            StoreOp::Put => Some(FaultDirective::Fail),
+            StoreOp::Get => Some(FaultDirective::Delay(Duration::from_millis(1))),
+            StoreOp::Compact => None,
+        }));
+        assert!(matches!(store.put("k", b"v"), Err(StoreError::Injected(_))));
+        // A delayed get still answers correctly.
+        assert_eq!(store.get("live").unwrap().unwrap(), b"before-hook");
+        // Untargeted ops are untouched.
+        store.compact().unwrap();
+        // A second attachment is ignored, like attach_metrics.
+        store.attach_fault_hook(Box::new(|_| None));
+        assert!(store.put("k", b"v").is_err());
     }
 
     #[test]

@@ -403,6 +403,38 @@ impl HistogramSnapshot {
     }
 }
 
+/// Successive-difference windowing over one [`Histogram`]: each
+/// [`HistogramWindow::tick`] snapshots the histogram and returns the
+/// delta since the previous tick — the distribution of samples
+/// recorded *during* the window, not since boot. Control loops (e.g.
+/// an overload controller watching request latency) feed on windowed
+/// percentiles so they react to current behavior instead of the
+/// all-time aggregate.
+#[derive(Debug)]
+pub struct HistogramWindow {
+    hist: Arc<Histogram>,
+    last: Mutex<HistogramSnapshot>,
+}
+
+impl HistogramWindow {
+    /// A window over `hist`, starting from its current contents (the
+    /// first tick covers only samples recorded after construction).
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        let last = Mutex::new(hist.snapshot());
+        HistogramWindow { hist, last }
+    }
+
+    /// Close the current window: returns the delta distribution since
+    /// the previous tick and starts the next window.
+    pub fn tick(&self) -> HistogramSnapshot {
+        let cumulative = self.hist.snapshot();
+        let mut last = lock_recovered(&self.last);
+        let delta = cumulative.diff(&last);
+        *last = cumulative;
+        delta
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Registry + snapshot
 // ---------------------------------------------------------------------------
@@ -1224,6 +1256,24 @@ mod tests {
         let mut wrong = bytes.clone();
         wrong[0] = 0xFF;
         assert!(SlowEntry::decode_record(&wrong).is_none());
+    }
+
+    #[test]
+    fn histogram_window_yields_per_window_deltas() {
+        let hist = Arc::new(Histogram::new());
+        hist.record(1_000);
+        let window = HistogramWindow::new(Arc::clone(&hist));
+        // Samples recorded before construction belong to no window.
+        assert_eq!(window.tick().count, 0);
+        hist.record(5_000);
+        hist.record(7_000);
+        let first = window.tick();
+        assert_eq!(first.count, 2);
+        assert!(first.p99() >= 5_000);
+        // An idle window is empty, not a replay of the last one.
+        assert_eq!(window.tick().count, 0);
+        hist.record(100);
+        assert_eq!(window.tick().count, 1);
     }
 
     #[test]
