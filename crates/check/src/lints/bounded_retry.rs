@@ -20,7 +20,11 @@ use crate::engine::Workspace;
 use crate::lexer::TokKind::{Ident, Punct};
 
 /// The trees where a retry loop touches live traffic or durable data.
-const SCOPES: [&str; 2] = ["crates/service/src/", "crates/store/src/"];
+const SCOPES: [&str; 3] = [
+    "crates/service/src/",
+    "crates/store/src/",
+    "crates/router/src/",
+];
 
 /// Run the lint over every loop in the scoped trees.
 pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {

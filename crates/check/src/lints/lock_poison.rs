@@ -12,10 +12,11 @@ use crate::engine::Workspace;
 use crate::lexer::TokKind::{Ident, Punct};
 use crate::lints::seq_at;
 
-const SCOPES: [&str; 3] = [
+const SCOPES: [&str; 4] = [
     "crates/service/src/",
     "crates/store/src/",
     "crates/telemetry/src/",
+    "crates/router/src/",
 ];
 
 /// Run the lint over every in-scope file.

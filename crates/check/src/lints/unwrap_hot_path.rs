@@ -13,12 +13,14 @@ use crate::lexer::TokKind::{Ident, Punct};
 use crate::lints::seq_at;
 
 /// The modules every request flows through.
-const HOT_PATH: [&str; 5] = [
+const HOT_PATH: [&str; 7] = [
     "crates/service/src/server.rs",
     "crates/service/src/cache.rs",
     "crates/service/src/pool.rs",
     "crates/service/src/wire.rs",
     "crates/service/src/engine.rs",
+    "crates/router/src/proxy.rs",
+    "crates/router/src/backend.rs",
 ];
 
 /// Run the lint over the request-path modules.

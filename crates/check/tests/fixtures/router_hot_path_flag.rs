@@ -1,0 +1,15 @@
+// fixture-path: crates/router/src/proxy.rs
+// fixture-expect: no-unwrap-hot-path, lock-poison
+// The router's proxy path is request-hot and lock-bearing: bare
+// unwraps and poison-propagating lock().unwrap() must both be flagged
+// there, exactly as on the serve-side hot path.
+
+use std::sync::Mutex;
+
+pub fn bare_unwrap(pending: Option<u64>) -> u64 {
+    pending.unwrap()
+}
+
+pub fn poisoned_lock(pending: &Mutex<Vec<u64>>) -> usize {
+    pending.lock().unwrap().len()
+}

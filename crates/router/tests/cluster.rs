@@ -1,0 +1,346 @@
+//! Live cluster tests: a 3-backend fleet behind `drmap-router` must be
+//! observationally identical to a single `drmap-serve` — results
+//! bit-identical to direct engine calls, scatter merges exact, admin
+//! verbs aggregating — and a SIGKILLed backend's jobs must fail over
+//! with zero client-visible errors.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drmap_cnn::layer::Layer;
+use drmap_cnn::network::Network;
+use drmap_router::hash;
+use drmap_router::proxy::{Router, RouterConfig, RouterCore};
+use drmap_service::client::Client;
+use drmap_service::engine::{job_route_key, ServiceState};
+use drmap_service::pool::DsePool;
+use drmap_service::server::JobServer;
+use drmap_service::spec::{EngineSpec, JobResult, JobSpec};
+
+/// One in-process backend: a live `JobServer` plus its state handle so
+/// tests can inspect the node directly.
+struct InProcBackend {
+    addr: String,
+    state: Arc<ServiceState>,
+}
+
+fn boot_backends(n: usize) -> Vec<InProcBackend> {
+    (0..n)
+        .map(|_| {
+            let state = ServiceState::new().unwrap();
+            let pool = Arc::new(DsePool::new(Arc::clone(&state), 2));
+            let server = JobServer::with_pool("127.0.0.1:0", pool).unwrap();
+            let addr = server.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                let _ = server.run();
+            });
+            InProcBackend { addr, state }
+        })
+        .collect()
+}
+
+fn boot_router(
+    backends: &[String],
+    tune: impl FnOnce(&mut RouterConfig),
+) -> (String, Arc<RouterCore>) {
+    let mut cfg = RouterConfig {
+        backends: backends.to_vec(),
+        probe_interval: Duration::from_millis(100),
+        ..RouterConfig::default()
+    };
+    tune(&mut cfg);
+    let router = Router::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = router.local_addr().unwrap().to_string();
+    let core = router.core();
+    std::thread::spawn(move || {
+        let _ = router.run();
+    });
+    (addr, core)
+}
+
+fn wait_healthy(core: &RouterCore, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while core.healthy().len() < n {
+        assert!(
+            Instant::now() < deadline,
+            "router admitted {} of {n} backends within 10 s",
+            core.healthy().len()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn assert_bit_identical(served: &JobResult, direct: &JobResult) {
+    assert_eq!(served.workload, direct.workload);
+    assert_eq!(served.layers.len(), direct.layers.len());
+    for (s, d) in served.layers.iter().zip(&direct.layers) {
+        assert_eq!(s.name, d.name);
+        assert_eq!(s.mapping, d.mapping, "mapping differs for {}", s.name);
+        assert_eq!(s.scheme, d.scheme, "scheme differs for {}", s.name);
+        assert_eq!(s.tiling, d.tiling, "tiling differs for {}", s.name);
+        assert_eq!(
+            s.estimate.energy.to_bits(),
+            d.estimate.energy.to_bits(),
+            "energy differs for {}",
+            s.name
+        );
+        assert_eq!(
+            s.estimate.cycles.to_bits(),
+            d.estimate.cycles.to_bits(),
+            "cycles differ for {}",
+            s.name
+        );
+        assert_eq!(
+            s.evaluations, d.evaluations,
+            "evaluations differ for {}",
+            s.name
+        );
+    }
+    assert_eq!(served.total.energy.to_bits(), direct.total.energy.to_bits());
+    assert_eq!(served.total.cycles.to_bits(), direct.total.cycles.to_bits());
+}
+
+#[test]
+fn routed_results_are_bit_identical_to_direct() {
+    let backends = boot_backends(3);
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let (addr, core) = boot_router(&addrs, |_| {});
+    wait_healthy(&core, 3);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let hello = client.hello().unwrap();
+    assert!(hello.has("router"), "router capability missing: {hello:?}");
+    assert!(hello.has("jobs"));
+    assert!(hello.has("pipelining"));
+    assert!(
+        !hello.has("metrics-history"),
+        "per-node diagnostics must not be advertised by the router"
+    );
+
+    let reference = ServiceState::new().unwrap();
+    for (i, network) in [Network::tiny(), Network::alexnet()]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = JobSpec::network(i as u64 + 1, EngineSpec::default(), network);
+        let served = client.submit(&spec).unwrap();
+        let direct = reference.run_job(&spec).unwrap();
+        assert_eq!(served.id, spec.id, "client id must be restored");
+        assert_bit_identical(&served, &direct);
+    }
+    let snapshot = core.metrics().snapshot();
+    assert!(snapshot.counter("route_total").unwrap() >= 2);
+    assert_eq!(snapshot.gauge("backends_up"), Some(3));
+}
+
+#[test]
+fn scattered_layer_merges_bit_identically() {
+    let backends = boot_backends(3);
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let (addr, core) = boot_router(&addrs, |cfg| {
+        cfg.scatter = true;
+        cfg.scatter_threshold = 2; // everything scatters
+    });
+    wait_healthy(&core, 3);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let reference = ServiceState::new().unwrap();
+    for (i, layer) in Network::tiny().layers().iter().enumerate() {
+        let spec = JobSpec::layer(i as u64 + 10, EngineSpec::default(), layer.clone());
+        let served = client.submit(&spec).unwrap();
+        let direct = reference.run_job(&spec).unwrap();
+        assert_bit_identical(&served, &direct);
+    }
+    let scattered = core
+        .metrics()
+        .snapshot()
+        .counter("scatter_jobs_total")
+        .unwrap();
+    assert!(
+        scattered >= 1,
+        "at least one job should have scattered, got {scattered}"
+    );
+}
+
+#[test]
+fn admin_verbs_aggregate_and_broadcast() {
+    let backends = boot_backends(3);
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let (addr, core) = boot_router(&addrs, |_| {});
+    wait_healthy(&core, 3);
+
+    let mut client = Client::connect(&addr).unwrap();
+    // Distinct single-layer jobs spread over the fleet and populate
+    // each backend's cache.
+    let specs: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            let layer = Layer::conv(&format!("L{i}"), 8, 8, 8 + i, 3, 3, 3, 1);
+            JobSpec::layer(i as u64 + 1, EngineSpec::default(), layer)
+        })
+        .collect();
+    for result in client.submit_batch(&specs).unwrap() {
+        result.unwrap();
+    }
+
+    let report = client.stats_report().unwrap();
+    assert_eq!(report.backends, Some(3), "router must report cluster size");
+    assert_eq!(report.workers, 6, "2 workers per backend must sum");
+    let direct_entries: usize = backends
+        .iter()
+        .map(|b| b.state.cache().stats().entries)
+        .sum();
+    assert_eq!(report.cache.entries, direct_entries);
+    assert!(report.cache.entries >= 6, "6 distinct layers were explored");
+
+    // Aggregated metrics carry both tiers: a backend counter summed
+    // over the fleet and the router's own routing counters.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.snapshot.counter("route_total").unwrap() >= 6);
+    assert!(metrics.snapshot.counter("connections_total").is_some());
+
+    // A broadcast verb reaches every node.
+    client.cache_clear().unwrap();
+    for backend in &backends {
+        assert_eq!(backend.state.cache().stats().entries, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failover under SIGKILL (external backend processes)
+// ---------------------------------------------------------------------
+
+fn serve_bin() -> std::path::PathBuf {
+    // target/debug/deps/cluster-… → target/debug/drmap-serve
+    let mut path = std::env::current_exe().unwrap();
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join(format!("drmap-serve{}", std::env::consts::EXE_SUFFIX))
+}
+
+fn wait_for_backend(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.ping().is_ok() {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend {addr} not up within 20 s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigkilled_backend_fails_over_without_job_errors() {
+    let bin = serve_bin();
+    if !bin.exists() {
+        // The serve binary is built by a workspace `cargo test` /
+        // `cargo build`; a bare `cargo test -p drmap-router` may
+        // predate it. CI's cluster-smoke job covers this path too.
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+
+    let ports: Vec<u16> = (0..3)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+                .port()
+        })
+        .collect();
+    let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let mut children: Vec<std::process::Child> = addrs
+        .iter()
+        .map(|addr| {
+            std::process::Command::new(&bin)
+                .args(["--addr", addr, "--workers", "2"])
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    for addr in &addrs {
+        wait_for_backend(addr);
+    }
+
+    let (addr, core) = boot_router(&addrs, |cfg| {
+        cfg.retry.base_ms = 10;
+        cfg.retry.cap_ms = 100;
+    });
+    wait_healthy(&core, 3);
+
+    // Jobs whose rendezvous pick is the victim: every one of them is
+    // in flight on the node we are about to kill.
+    let victim = 0usize;
+    let all_healthy = vec![true; addrs.len()];
+    let mut specs = Vec::new();
+    let mut candidate = 0usize;
+    while specs.len() < 6 {
+        let layer = Layer::conv(
+            &format!("victim-{candidate}"),
+            27,
+            27,
+            64 + candidate,
+            32,
+            5,
+            5,
+            1,
+        );
+        let spec = JobSpec::layer(specs.len() as u64 + 1, EngineSpec::default(), layer);
+        let key = job_route_key(&spec);
+        if hash::pick(&key, &addrs, &all_healthy) == Some(victim) {
+            specs.push(spec);
+        }
+        candidate += 1;
+        assert!(
+            candidate < 10_000,
+            "could not find keys owned by the victim"
+        );
+    }
+
+    let killer_addrs = addrs.clone();
+    let victim_child = children.remove(victim);
+    let killer = std::thread::spawn(move || {
+        // Let the pipelined batch land on the victim, then kill it
+        // mid-flight.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut child = victim_child;
+        let _ = child.kill();
+        let _ = child.wait();
+        killer_addrs
+    });
+
+    let mut client = Client::connect(&addr).unwrap();
+    let results = client.submit_batch(&specs).unwrap();
+    for (spec, result) in specs.iter().zip(results) {
+        let job = result.unwrap_or_else(|e| panic!("job {} failed after failover: {e}", spec.id));
+        assert_eq!(job.id, spec.id);
+        assert_eq!(job.layers.len(), 1);
+    }
+    killer.join().unwrap();
+
+    let snapshot = core.metrics().snapshot();
+    assert!(
+        snapshot.counter("failover_total").unwrap() >= 1,
+        "killed mid-flight jobs must have failed over"
+    );
+    assert_eq!(snapshot.gauge("backends_up"), Some(2));
+
+    // The survivors still answer admin verbs, reporting the shrunken
+    // fleet.
+    let report = client.stats_report().unwrap();
+    assert_eq!(report.backends, Some(2));
+
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}

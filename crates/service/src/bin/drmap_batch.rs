@@ -514,9 +514,9 @@ fn run_admin(addr: &str, binary: bool, text: bool, commands: &[AdminCmd]) -> Res
                     .map_err(|e| format!("cache-warm: {e}"))?;
                 println!("cache-warm: {loaded} entries promoted");
             }
-            AdminCmd::StoreCompact => {
+            AdminCmd::StoreCompact(auto_ratio) => {
                 let report = client
-                    .compact_store()
+                    .compact_store_with(*auto_ratio)
                     .map_err(|e| format!("store-compact: {e}"))?;
                 println!(
                     "store-compact: {} -> {} bytes ({} records dropped, {} live)",

@@ -478,6 +478,13 @@ fn run(args: &Args) -> Result<RunReport, String> {
                     }),
                 ),
                 ("target_rate_rps", opt_f64(args.rate)),
+                // Topology: how many serving nodes produced these
+                // numbers, and whether a router tier sat in front.
+                (
+                    "backends",
+                    Json::num_usize(stats_before.backends.unwrap_or(1)),
+                ),
+                ("router", Json::Bool(hello.has("router"))),
                 ("window", Json::num_usize(args.window)),
                 ("addr", Json::str(&args.addr)),
             ]),

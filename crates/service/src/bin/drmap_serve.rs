@@ -4,7 +4,7 @@
 //! drmap-serve [--addr HOST:PORT] [--workers N]
 //!             [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost]
 //!             [--shard-min-tilings N] [--shard-chunk N]
-//!             [--store PATH] [--warm N]
+//!             [--store PATH] [--warm N] [--auto-compact-ratio R]
 //!             [--max-inflight N] [--max-inflight-global N]
 //!             [--slow-ms N] [--slow-log-cap N] [--sample-secs N]
 //!             [--drain-secs N] [--fault-plan SPEC] [--overload SPEC]
@@ -23,7 +23,11 @@
 //! persistent result log beneath the cache — results survive restarts,
 //! and on boot the most recent stored results warm the cache (`--warm`
 //! caps how many; default: up to the cache's entry bound, or all of
-//! them). `--max-inflight` bounds in-flight requests per connection;
+//! them). `--auto-compact-ratio R` arms background store compaction:
+//! each sampler tick compacts the log when its dead-bytes ratio
+//! reaches R (retunable live via `store-compact=auto:R`; counted in
+//! `drmap_wal_autocompact_total`). `--max-inflight` bounds in-flight
+//! requests per connection;
 //! `--max-inflight-global` additionally bounds them across all
 //! connections. `--slow-ms N` turns on the slow-request log: any job
 //! taking at least N ms is captured with its per-stage span breakdown,
@@ -69,6 +73,7 @@ struct Args {
     shard: ShardPolicy,
     store: Option<String>,
     warm: Option<usize>,
+    auto_compact_ratio: Option<f64>,
     slow_log_cap: Option<usize>,
     fault_plan: Option<FaultPlan>,
     overload: Option<drmap_service::proto::OverloadUpdate>,
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         shard: ShardPolicy::default(),
         store: None,
         warm: None,
+        auto_compact_ratio: None,
         slow_log_cap: None,
         fault_plan: None,
         overload: None,
@@ -116,6 +122,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store" => args.store = Some(value("--store")?),
             "--warm" => args.warm = Some(positive("--warm", &value("--warm")?)?),
+            "--auto-compact-ratio" => {
+                let v = value("--auto-compact-ratio")?;
+                let ratio: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r) && *r > 0.0)
+                    .ok_or_else(|| {
+                        format!("invalid --auto-compact-ratio value {v:?} (expected (0, 1])")
+                    })?;
+                args.auto_compact_ratio = Some(ratio);
+            }
             "--max-inflight" => {
                 args.server.max_inflight = positive("--max-inflight", &value("--max-inflight")?)?;
             }
@@ -171,7 +188,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: drmap-serve [--addr HOST:PORT] [--workers N] \
                      [--cache-entries N] [--cache-bytes BYTES] [--cache-policy lru|cost] \
                      [--shard-min-tilings N] [--shard-chunk N] \
-                     [--store PATH] [--warm N] \
+                     [--store PATH] [--warm N] [--auto-compact-ratio R] \
                      [--max-inflight N] [--max-inflight-global N] \
                      [--slow-ms N] [--slow-log-cap N] [--sample-secs N] \
                      [--drain-secs N] [--fault-plan SPEC] [--overload SPEC]"
@@ -183,6 +200,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.warm.is_some() && args.store.is_none() {
         return Err("--warm only applies with --store".to_owned());
+    }
+    if args.auto_compact_ratio.is_some() && args.store.is_none() {
+        return Err("--auto-compact-ratio only applies with --store".to_owned());
     }
     Ok(args)
 }
@@ -211,6 +231,9 @@ fn main() -> ExitCode {
             if warmed > 0 {
                 println!("drmap-serve: warm-started {warmed} cached results from the store");
             }
+        }
+        if let Some(ratio) = args.auto_compact_ratio {
+            state.set_auto_compact_ratio(Some(ratio));
         }
         if let Some(cap) = args.slow_log_cap {
             state.slow_log().set_capacity(cap);

@@ -105,8 +105,10 @@ pub enum AdminCmd {
     CacheClear,
     /// `cache-warm[=N]` — promote stored results into the cache.
     CacheWarm(Option<usize>),
-    /// `store-compact` — rewrite the store log.
-    StoreCompact,
+    /// `store-compact[=auto:RATIO]` — rewrite the store log now, or
+    /// arm the background auto-compaction check at the given
+    /// dead-bytes ratio (`auto:0` disarms).
+    StoreCompact(Option<f64>),
     /// `shutdown` — stop the server accepting connections.
     Shutdown,
 }
@@ -253,7 +255,22 @@ pub fn parse_admin_command(token: &str) -> Result<AdminCmd, String> {
             Ok(AdminCmd::SetOverload(parse_overload_spec(value)?))
         }
         "cache-clear" => no_value(AdminCmd::CacheClear),
-        "store-compact" => no_value(AdminCmd::StoreCompact),
+        "store-compact" => match value {
+            None => Ok(AdminCmd::StoreCompact(None)),
+            Some(v) => {
+                let ratio = v
+                    .strip_prefix("auto:")
+                    .and_then(|r| r.parse::<f64>().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!(
+                            "invalid store-compact value {v:?} \
+                             (expected auto:RATIO with RATIO in [0, 1]; 0 disarms)"
+                        )
+                    })?;
+                Ok(AdminCmd::StoreCompact(Some(ratio)))
+            }
+        },
         "shutdown" => no_value(AdminCmd::Shutdown),
         "cache-warm" => match value {
             None => Ok(AdminCmd::CacheWarm(None)),
@@ -377,6 +394,14 @@ mod tests {
             Ok(AdminCmd::SetPolicy(EvictionPolicy::Cost))
         );
         assert_eq!(
+            parse_admin_command("store-compact"),
+            Ok(AdminCmd::StoreCompact(None))
+        );
+        assert_eq!(
+            parse_admin_command("store-compact=auto:0.4"),
+            Ok(AdminCmd::StoreCompact(Some(0.4)))
+        );
+        assert_eq!(
             parse_admin_command("set-shard-policy=min_tilings:32,chunk_tilings:0"),
             Ok(AdminCmd::SetShardPolicy(ShardPolicyUpdate {
                 min_tilings: Some(32),
@@ -469,6 +494,9 @@ mod tests {
             "set-overload=enabled:maybe",
             "set-overload=high_ms:0",
             "set-overload=shed:yes",
+            "store-compact=0.4",
+            "store-compact=auto:1.5",
+            "store-compact=auto:now",
         ] {
             assert!(parse_admin_command(bad).is_err(), "accepted {bad:?}");
         }

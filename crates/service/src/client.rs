@@ -337,7 +337,9 @@ impl Client {
     /// [`ServiceError::Protocol`], shed load and missed deadlines as
     /// their typed variants so callers (and [`RetryPolicy`]) can react
     /// without string-matching.
-    fn typed_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+    /// Public so layered tiers (`drmap-router`'s admin fan-out) can
+    /// send verbs this client has no dedicated wrapper for.
+    pub fn typed_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
         wire::write_request(&mut self.writer, request, self.encoding)?;
         match wire::read_response(&mut self.reader)? {
             Some((Response::Error { message, .. }, _)) => Err(ServiceError::protocol(message)),
@@ -562,7 +564,26 @@ impl Client {
     /// Fails if the server has no store attached, or on malformed
     /// responses.
     pub fn compact_store(&mut self) -> Result<CompactReport, ServiceError> {
-        match self.typed_request(&Request::StoreCompact { id: None })? {
+        self.compact_store_with(None)
+    }
+
+    /// [`Client::compact_store`] with an optional auto-compaction
+    /// threshold: `Some(ratio)` arms the server's background
+    /// dead-bytes check (0 disarms) instead of forcing an immediate
+    /// rewrite — see [`Request::StoreCompact`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server has no store attached, or on malformed
+    /// responses.
+    pub fn compact_store_with(
+        &mut self,
+        auto_ratio: Option<f64>,
+    ) -> Result<CompactReport, ServiceError> {
+        match self.typed_request(&Request::StoreCompact {
+            id: None,
+            auto_ratio,
+        })? {
             Response::StoreCompacted { report, .. } => Ok(report),
             other => Err(Self::unexpected("store-compact", &other)),
         }

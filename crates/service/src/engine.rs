@@ -48,6 +48,13 @@ const SNAPSHOT_RING_CAPACITY: usize = 60;
 /// replay garbage-collects the ring on compaction.
 const SLOW_TRACE_SLOTS: u64 = 256;
 
+/// The profiled substrate every served engine runs on: Table II
+/// geometry and accelerator, DDR3-1600K timing, Micron 2Gb x8 energy
+/// parameters. Part of every cache fingerprint — and therefore of
+/// [`job_route_key`], which must agree with the backends' keys without
+/// building an engine.
+pub const SUBSTRATE: &str = "salp_2gb_x8/ddr3_1600k/micron_2gb_x8/table_ii";
+
 /// Builds [`DseEngine`]s on demand, memoizing the profiled cost tables.
 #[derive(Debug)]
 pub struct EngineFactory {
@@ -71,7 +78,7 @@ impl EngineFactory {
             geometry: Geometry::salp_2gb_x8(),
             acc: AcceleratorConfig::table_ii(),
             profiler: Profiler::table_ii()?,
-            substrate: "salp_2gb_x8/ddr3_1600k/micron_2gb_x8/table_ii",
+            substrate: SUBSTRATE,
             tables: Mutex::new(HashMap::new()),
         })
     }
@@ -215,6 +222,14 @@ pub struct ServiceState {
     /// Successive-difference window over `request_ns`, closed once per
     /// sampler tick to feed the overload controller.
     request_window: HistogramWindow,
+    /// Dead-bytes ratio above which the sampler tick compacts the
+    /// attached store (`--auto-compact-ratio` at boot; live-tunable via
+    /// the `store-compact` verb's `auto_ratio` extension). `None`
+    /// disables the background check.
+    auto_compact_ratio: Mutex<Option<f64>>,
+    /// Store compactions triggered by the background ratio check (as
+    /// opposed to explicit `store-compact` requests).
+    wal_autocompact_total: Arc<Counter>,
 }
 
 impl ServiceState {
@@ -285,6 +300,7 @@ impl ServiceState {
         });
         let slow_seq = cache.store().map(|store| next_slow_seq(store)).unwrap_or(0);
         let request_window = HistogramWindow::new(Arc::clone(&stages.request_ns));
+        let wal_autocompact_total = metrics.counter("wal_autocompact_total");
         Ok(Arc::new(ServiceState {
             factory: EngineFactory::table_ii()?,
             cache,
@@ -296,7 +312,51 @@ impl ServiceState {
             faults,
             overload: OverloadController::default(),
             request_window,
+            auto_compact_ratio: Mutex::new(None),
+            wal_autocompact_total,
         }))
+    }
+
+    /// The current auto-compaction threshold: the dead-bytes ratio
+    /// (`dead_bytes / file_bytes`) above which
+    /// [`ServiceState::maybe_auto_compact`] compacts the store. `None`
+    /// means the background check is disabled.
+    pub fn auto_compact_ratio(&self) -> Option<f64> {
+        *crate::sync::lock_recovered(&self.auto_compact_ratio)
+    }
+
+    /// Arm (`Some`) or disarm (`None`) the background auto-compaction
+    /// check; returns the previous threshold.
+    pub fn set_auto_compact_ratio(&self, ratio: Option<f64>) -> Option<f64> {
+        std::mem::replace(
+            &mut *crate::sync::lock_recovered(&self.auto_compact_ratio),
+            ratio,
+        )
+    }
+
+    /// One background auto-compaction check (the server runs this on
+    /// the sampler cadence): when a threshold is armed, a store is
+    /// attached, and the store's dead-bytes ratio has reached the
+    /// threshold, compact and count it in `wal_autocompact_total`.
+    /// Returns whether a compaction ran. A compaction failure is
+    /// swallowed — the check is opportunistic hygiene and the explicit
+    /// `store-compact` verb still reports errors to the caller.
+    pub fn maybe_auto_compact(&self) -> bool {
+        let Some(ratio) = self.auto_compact_ratio() else {
+            return false;
+        };
+        let Some(store) = self.cache.store() else {
+            return false;
+        };
+        let stats = store.stats();
+        if stats.file_bytes == 0 || (stats.dead_bytes as f64) < ratio * stats.file_bytes as f64 {
+            return false;
+        }
+        if store.compact().is_ok() {
+            self.wal_autocompact_total.inc();
+            return true;
+        }
+        false
     }
 
     /// The metrics registry every layer of the stack records into.
@@ -455,7 +515,7 @@ impl ServiceState {
     where
         F: FnOnce() -> Result<LayerDseResult, DseError>,
     {
-        self.explore_layer_cached_traced(engine, tag, layer, mode, None, explore)
+        self.explore_layer_cached_traced(engine, tag, layer, mode, None, None, explore)
     }
 
     /// [`ServiceState::explore_layer_cached_with`] with an optional
@@ -466,9 +526,16 @@ impl ServiceState {
     /// stage breakdown. Instrumentation never touches the result, so
     /// bit-identity across paths is preserved.
     ///
+    /// A ranged sweep (`range`, from
+    /// [`JobOptions::tiling_range`](crate::spec::JobOptions)) is keyed
+    /// with a `|range=start..end` suffix so partial results — the unit
+    /// the router's `--scatter` mode distributes — never alias the full
+    /// layer's cache entry, in either the resident tier or the store.
+    ///
     /// # Errors
     ///
     /// Propagates `explore` failures; failures are not cached.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn explore_layer_cached_traced<F>(
         &self,
         engine: &DseEngine,
@@ -476,6 +543,7 @@ impl ServiceState {
         layer: &Layer,
         mode: CacheMode,
         trace: Option<&Arc<Trace>>,
+        range: Option<(u64, u64)>,
         explore: F,
     ) -> Result<(LayerDseResult, CacheOutcome), DseError>
     where
@@ -484,7 +552,10 @@ impl ServiceState {
         let _lookup = Span::enter("cache_lookup", &self.stages.cache_lookup_ns).traced(trace);
         self.stages.layers_total.inc();
         let acc = engine.model().traffic_model().accelerator();
-        let key = layer_cache_key(tag, layer, acc, engine.config());
+        let mut key = layer_cache_key(tag, layer, acc, engine.config());
+        if let Some((start, end)) = range {
+            key.push_str(&format!("|range={start}..{end}"));
+        }
         let stages = &self.stages;
         let (mut result, outcome) = self.cache.get_or_compute_with(&key, mode, || {
             let _explore = Span::enter("explore", &stages.explore_ns).traced(trace);
@@ -515,13 +586,19 @@ impl ServiceState {
             .factory
             .engine_with(&spec.engine, spec.options.keep_points);
         let tag = self.factory.engine_tag(&spec.engine);
+        let range = spec.options.tiling_range;
         let mut outcomes = Vec::with_capacity(spec.workload.layers().len());
         let mut total = drmap_core::edp::EdpEstimate::zero(engine.model().table().t_ck_ns);
         for layer in spec.workload.layers() {
-            let (result, outcome) =
-                self.explore_layer_cached_with(&engine, &tag, layer, spec.options.cache, || {
-                    engine.explore_layer(layer)
-                })?;
+            let (result, outcome) = self.explore_layer_cached_traced(
+                &engine,
+                &tag,
+                layer,
+                spec.options.cache,
+                None,
+                range,
+                || explore_layer_ranged(&engine, layer, range),
+            )?;
             total.accumulate(&result.best.estimate);
             outcomes.push(outcome_from_result(result, outcome));
         }
@@ -532,6 +609,61 @@ impl ServiceState {
             layers: outcomes,
         })
     }
+}
+
+/// Explore a layer, restricted to `range` when one is set. The ranged
+/// path mirrors [`DseEngine::explore_layer`] (which is itself the full
+/// `0..usize::MAX` range), so a scattered sweep's merged partials are
+/// bit-identical to one whole sweep by construction.
+///
+/// # Errors
+///
+/// Propagates sweep failures, and rejects a range that is empty after
+/// clamping to the layer's tiling count — `LayerPartial::into_result`
+/// on an empty partial would panic, and a silently-empty partial would
+/// corrupt a scatter merge.
+pub fn explore_layer_ranged(
+    engine: &DseEngine,
+    layer: &Layer,
+    range: Option<(u64, u64)>,
+) -> Result<LayerDseResult, DseError> {
+    let Some((start, end)) = range else {
+        return engine.explore_layer(layer);
+    };
+    let count = engine.tiling_count(layer)? as u64;
+    if start >= count.min(end) {
+        return Err(DseError::new(format!(
+            "tiling range {start}..{end} is empty for layer {:?} ({count} tilings)",
+            layer.name
+        )));
+    }
+    let clamped = usize::try_from(start).unwrap_or(usize::MAX)
+        ..usize::try_from(end.min(count)).unwrap_or(usize::MAX);
+    Ok(engine
+        .explore_layer_range(layer, clamped)?
+        .into_result(layer.name.clone()))
+}
+
+/// The routing fingerprint for a job: the concatenated cache keys of
+/// its layers over the served substrate, computed without profiling an
+/// engine (the router never builds one). Two jobs share a fingerprint
+/// exactly when they share every layer cache entry, so rendezvous
+/// hashing on it keeps each backend's memo cache and WAL store hot for
+/// a stable key slice.
+pub fn job_route_key(spec: &JobSpec) -> String {
+    let acc = AcceleratorConfig::table_ii();
+    let config = DseConfig {
+        objective: spec.engine.objective,
+        keep_points: spec.options.keep_points,
+        ..DseConfig::default()
+    };
+    let tag = format!("{}@{}", spec.engine.arch.label(), SUBSTRATE);
+    let mut key = String::new();
+    for layer in spec.workload.layers() {
+        key.push_str(&layer_cache_key(&tag, layer, &acc, &config));
+        key.push('\n');
+    }
+    key
 }
 
 /// The next slow-trace sequence number to hand out: one past the

@@ -204,12 +204,14 @@ impl JobMix {
 
 /// Fields every `BENCH_load.json` environment block must carry. A
 /// throughput or percentile number is meaningless without them.
-pub const REQUIRED_ENVIRONMENT_FIELDS: [&str; 5] = [
+pub const REQUIRED_ENVIRONMENT_FIELDS: [&str; 7] = [
     "cores_available",
     "connections",
     "workers",
     "mode",
     "target_rate_rps",
+    "backends",
+    "router",
 ];
 
 /// Latency percentile fields every `BENCH_load.json` must carry.
@@ -371,6 +373,8 @@ mod tests {
                     ("workers", Json::num_usize(2)),
                     ("mode", Json::str("closed-loop")),
                     ("target_rate_rps", Json::Null),
+                    ("backends", Json::num_usize(1)),
+                    ("router", Json::Bool(false)),
                 ]),
             ),
             (

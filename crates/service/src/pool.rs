@@ -605,21 +605,30 @@ fn worker_loop(rx: &Mutex<Receiver<Task>>, shared: &PoolShared) {
                 // check:allow(no-unwrap-hot-path): deliberate, counted fault injection
                 panic!("injected fault-plan worker panic");
             }
+            let range = task.options.tiling_range;
             task.state.explore_layer_cached_traced(
                 &task.engine,
                 &task.tag,
                 &task.layer,
                 task.options.cache,
                 task.trace.as_ref(),
+                range,
                 || {
-                    explore_maybe_sharded(
-                        &task.engine,
-                        &task.layer,
-                        shared,
-                        task.options.shard_chunk,
-                        &task.state,
-                        task.deadline,
-                    )
+                    if range.is_some() {
+                        // A ranged job *is* a shard (the router's
+                        // scatter unit); sharding it again would
+                        // re-chunk someone else's chunk.
+                        crate::engine::explore_layer_ranged(&task.engine, &task.layer, range)
+                    } else {
+                        explore_maybe_sharded(
+                            &task.engine,
+                            &task.layer,
+                            shared,
+                            task.options.shard_chunk,
+                            &task.state,
+                            task.deadline,
+                        )
+                    }
                 },
             )
         }))

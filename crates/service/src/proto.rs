@@ -86,6 +86,7 @@ pub fn capabilities(store_attached: bool) -> Vec<String> {
         "set-bounds".to_owned(),
         "deadlines".to_owned(),
         "overload-control".to_owned(),
+        "tiling-range".to_owned(),
     ];
     if crate::faults::FAULTS_COMPILED_IN {
         caps.push("faults".to_owned());
@@ -94,6 +95,32 @@ pub fn capabilities(store_attached: bool) -> Vec<String> {
         caps.push("store".to_owned());
         caps.push("slow-traces".to_owned());
     }
+    caps
+}
+
+/// The capability string `drmap-router` adds to the backend
+/// intersection it advertises, so clients (and the loadgen's
+/// environment block) can tell a cluster tier from a single node.
+/// Backends never advertise it.
+pub const ROUTER_CAPABILITY: &str = "router";
+
+/// The capability set a router advertises: the intersection of its
+/// healthy backends' capabilities — a verb is only promised when every
+/// node that might serve it understands it — minus the verbs the
+/// router cannot aggregate meaningfully (`metrics-history`,
+/// `slow-traces` are per-node rings; ask a backend directly), plus
+/// [`ROUTER_CAPABILITY`].
+pub fn router_capabilities(backend_caps: &[Vec<String>]) -> Vec<String> {
+    let mut caps: Vec<String> = match backend_caps.split_first() {
+        None => Vec::new(),
+        Some((first, rest)) => first
+            .iter()
+            .filter(|cap| rest.iter().all(|other| other.contains(cap)))
+            .filter(|cap| cap.as_str() != "metrics-history" && cap.as_str() != "slow-traces")
+            .cloned()
+            .collect(),
+    };
+    caps.push(ROUTER_CAPABILITY.to_owned());
     caps
 }
 
@@ -270,10 +297,18 @@ pub enum Request {
         /// bound, or everything).
         limit: Option<usize>,
     },
-    /// Rewrite the persistent store's log, dropping superseded records.
+    /// Rewrite the persistent store's log, dropping superseded records
+    /// — and/or retune the background auto-compaction check.
     StoreCompact {
         /// Optional correlation id, echoed in the response.
         id: Option<u64>,
+        /// Without `auto_ratio`, compact unconditionally right now
+        /// (the wire-compatible pre-auto-compaction behavior). With
+        /// it, arm the background check at that dead-bytes ratio
+        /// (`0` disarms, since "absent" already means "compact now")
+        /// and compact immediately only if the store is already past
+        /// the threshold.
+        auto_ratio: Option<f64>,
     },
     /// Fetch the telemetry snapshot: every counter, gauge, and latency
     /// histogram, plus the slow-request log.
@@ -358,6 +393,11 @@ pub struct StatsReport {
     pub workers: usize,
     /// Persistent-store counters, when a store is attached.
     pub store: Option<StoreStats>,
+    /// How many backends stand behind this endpoint: `Some(n)` from a
+    /// `drmap-router` (whose report sums its backends' counters),
+    /// `None` from a single node. V1-only — the legacy rendering
+    /// predates clusters.
+    pub backends: Option<usize>,
 }
 
 /// The telemetry snapshot carried by the typed `metrics` response:
@@ -635,7 +675,13 @@ impl Request {
                 }
                 typed("cache-warm", *id, rest)
             }
-            Request::StoreCompact { id } => typed("store-compact", *id, vec![]),
+            Request::StoreCompact { id, auto_ratio } => {
+                let mut rest = Vec::new();
+                if let Some(ratio) = auto_ratio {
+                    rest.push(("auto_ratio".to_owned(), Json::Num(*ratio)));
+                }
+                typed("store-compact", *id, rest)
+            }
             Request::Metrics { id } => typed("metrics", *id, vec![]),
             Request::SetBounds { id, update } => {
                 let mut rest = Vec::new();
@@ -809,7 +855,18 @@ impl Request {
                 id,
                 limit: opt_usize("limit")?,
             }),
-            "store-compact" => Ok(Request::StoreCompact { id }),
+            "store-compact" => {
+                let auto_ratio = match v.get("auto_ratio") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Num(n)) if (0.0..=1.0).contains(n) => Some(*n),
+                    Some(_) => {
+                        return Err(bad(
+                            "\"auto_ratio\" must be a number in [0, 1] (0 disarms)".to_owned()
+                        ))
+                    }
+                };
+                Ok(Request::StoreCompact { id, auto_ratio })
+            }
             "metrics" => Ok(Request::Metrics { id }),
             "set-bounds" => Ok(Request::SetBounds {
                 id,
@@ -1034,7 +1091,7 @@ impl StatsReport {
             .iter()
             .position(|(k, _)| k == "store")
             .unwrap_or(fields.len());
-        let extensions = vec![
+        let mut extensions = vec![
             ("bypasses".to_owned(), Json::num_u64(self.cache.bypasses)),
             ("refreshes".to_owned(), Json::num_u64(self.cache.refreshes)),
             ("policy".to_owned(), Json::str(self.policy.label())),
@@ -1058,6 +1115,11 @@ impl StatsReport {
                 Json::num_u64(PROTOCOL_VERSION),
             ),
         ];
+        // `backends` only appears on router reports: single-node
+        // reports stay byte-identical to the pre-cluster protocol.
+        if let Some(n) = self.backends {
+            extensions.push(("backends".to_owned(), Json::num_usize(n)));
+        }
         // Replace the legacy partial store object with the full one.
         if let Some(s) = &self.store {
             if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "store") {
@@ -1123,6 +1185,7 @@ impl StatsReport {
                 None | Some(Json::Null) => None,
                 Some(s) => Some(store_stats_from_json(s)?),
             },
+            backends: opt("backends")?,
         })
     }
 }
@@ -1984,7 +2047,14 @@ mod tests {
                 id: None,
                 limit: Some(100),
             },
-            Request::StoreCompact { id: Some(2) },
+            Request::StoreCompact {
+                id: Some(2),
+                auto_ratio: None,
+            },
+            Request::StoreCompact {
+                id: None,
+                auto_ratio: Some(0.25),
+            },
             Request::Metrics { id: Some(11) },
             Request::SetBounds {
                 id: Some(12),
@@ -2118,6 +2188,7 @@ mod tests {
             shard: ShardPolicy::default(),
             workers: 2,
             store: None,
+            backends: None,
         };
         assert_eq!(
             Response::Stats { id: None, report }
@@ -2173,6 +2244,7 @@ mod tests {
                 compactions: 1,
                 recovered_bytes: 0,
             }),
+            backends: Some(3),
         };
         let responses = vec![
             Response::Hello {

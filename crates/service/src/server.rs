@@ -219,6 +219,9 @@ impl JobServer {
                     break;
                 }
                 state.sample_metrics();
+                // Store hygiene rides the sampler cadence: cheap
+                // (one stats read) when disarmed or under threshold.
+                state.maybe_auto_compact();
             });
         }
         let metrics = self.pool.state().metrics();
@@ -603,6 +606,7 @@ pub fn stats_report(pool: &DsePool) -> StatsReport {
         shard: pool.shard_policy(),
         workers: pool.workers(),
         store: cache.store().map(|s| s.stats()),
+        backends: None,
     }
 }
 
@@ -667,12 +671,32 @@ fn control_response(pool: &DsePool, request: &Request) -> (Response, bool) {
                 message: "cache-warm needs a persistent store (start with --store)".to_owned(),
             },
         },
-        Request::StoreCompact { id } => match pool.state().cache().store() {
-            Some(store) => match store.compact() {
-                Ok(report) => Response::StoreCompacted { id: *id, report },
-                Err(e) => Response::Error {
-                    id: *id,
-                    message: format!("compaction failed: {e}"),
+        Request::StoreCompact { id, auto_ratio } => match pool.state().cache().store() {
+            Some(store) => match auto_ratio {
+                // Retune the background check; compact now only if the
+                // store is already past the (non-zero) threshold.
+                Some(ratio) => {
+                    let state = pool.state();
+                    state.set_auto_compact_ratio(Some(*ratio).filter(|r| *r > 0.0));
+                    let before = store.stats();
+                    let compacted = state.maybe_auto_compact();
+                    let after = store.stats();
+                    Response::StoreCompacted {
+                        id: *id,
+                        report: drmap_store::store::CompactReport {
+                            live_records: after.records,
+                            dropped_records: if compacted { before.dead_records } else { 0 },
+                            bytes_before: before.file_bytes,
+                            bytes_after: after.file_bytes,
+                        },
+                    }
+                }
+                None => match store.compact() {
+                    Ok(report) => Response::StoreCompacted { id: *id, report },
+                    Err(e) => Response::Error {
+                        id: *id,
+                        message: format!("compaction failed: {e}"),
+                    },
                 },
             },
             None => Response::Error {

@@ -78,6 +78,15 @@ pub struct JobOptions {
     /// budget lapses is abandoned and the job answers with a typed
     /// `deadline_exceeded` error. `None` (the default) never expires.
     pub deadline_ms: Option<u64>,
+    /// Restrict the sweep to a contiguous `[start, end)` subrange of
+    /// each layer's tiling enumeration (clamped to the enumeration's
+    /// length). The unit of *cross-node* sharding: `drmap-router
+    /// --scatter` splits one oversized layer into disjoint ranges,
+    /// sends each to a different backend, and merges the partial
+    /// outcomes exactly. Ranged results are cache-keyed separately
+    /// from full sweeps, so a partial can never poison the full
+    /// layer's memo entry. `None` (the default) sweeps everything.
+    pub tiling_range: Option<(u64, u64)>,
 }
 
 impl JobOptions {
@@ -99,6 +108,12 @@ impl JobOptions {
         }
         if let Some(deadline) = self.deadline_ms {
             pairs.push(("deadline_ms".to_owned(), Json::num_u64(deadline)));
+        }
+        if let Some((start, end)) = self.tiling_range {
+            pairs.push((
+                "tiling_range".to_owned(),
+                Json::Arr(vec![Json::num_u64(start), Json::num_u64(end)]),
+            ));
         }
         Some(Json::Obj(pairs))
     }
@@ -139,6 +154,21 @@ impl JobOptions {
                 ServiceError::protocol("\"deadline_ms\" must be a positive integer")
             })?;
             options.deadline_ms = Some(deadline);
+        }
+        if let Some(field) = v.get("tiling_range") {
+            let err = || {
+                ServiceError::protocol(
+                    "\"tiling_range\" must be a two-element [start, end) integer array \
+                     with start < end",
+                )
+            };
+            let arr = field.as_array().filter(|a| a.len() == 2).ok_or_else(err)?;
+            let start = arr[0].as_u64().ok_or_else(err)?;
+            let end = arr[1].as_u64().ok_or_else(err)?;
+            if start >= end {
+                return Err(err());
+            }
+            options.tiling_range = Some((start, end));
         }
         Ok(options)
     }
@@ -783,6 +813,7 @@ mod tests {
                 keep_points: true,
                 shard_chunk: Some(32),
                 deadline_ms: Some(1500),
+                tiling_range: Some((8, 72)),
             },
             JobOptions {
                 keep_points: true,
@@ -790,6 +821,10 @@ mod tests {
             },
             JobOptions {
                 deadline_ms: Some(250),
+                ..JobOptions::default()
+            },
+            JobOptions {
+                tiling_range: Some((0, 64)),
                 ..JobOptions::default()
             },
         ] {
@@ -811,6 +846,11 @@ mod tests {
             r#"{"network": {"model": "tiny"}, "options": {"shard_chunk": -4}}"#,
             r#"{"network": {"model": "tiny"}, "options": {"deadline_ms": 0}}"#,
             r#"{"network": {"model": "tiny"}, "options": {"deadline_ms": "soon"}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"tiling_range": [4]}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"tiling_range": [8, 8]}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"tiling_range": [9, 4]}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"tiling_range": ["0", "9"]}}"#,
+            r#"{"network": {"model": "tiny"}, "options": {"tiling_range": 16}}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

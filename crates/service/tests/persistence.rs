@@ -17,7 +17,7 @@ use drmap_service::client::Client;
 use drmap_service::engine::ServiceState;
 use drmap_service::pool::DsePool;
 use drmap_service::server::JobServer;
-use drmap_service::spec::{EngineSpec, JobSpec};
+use drmap_service::spec::{CacheMode, EngineSpec, JobSpec};
 use drmap_store::store::Store;
 use drmap_store::verify::verify;
 
@@ -180,4 +180,45 @@ fn a_restarted_tcp_server_serves_store_hits_over_the_wire() {
     assert!(report.is_clean(), "{report:?}");
     assert!(report.records > 0);
     assert_eq!(report.undecodable, 0);
+}
+
+#[test]
+fn auto_compaction_triggers_on_the_dead_bytes_ratio() {
+    let path = smoke_path("autocompact.wal");
+    let store = Arc::new(Store::open(&path).unwrap());
+    let state = ServiceState::with_cache_and_store(CacheConfig::unbounded(), Some(store)).unwrap();
+
+    // Disarmed and empty: the check must be a no-op.
+    assert!(!state.maybe_auto_compact());
+    assert_eq!(state.auto_compact_ratio(), None);
+
+    // Populate the log, then refresh the same fingerprints so every
+    // original record is superseded in place — pure dead bytes.
+    let mut spec = JobSpec::network(1, EngineSpec::default(), Network::tiny());
+    state.run_job(&spec).unwrap();
+    spec.options.cache = CacheMode::Refresh;
+    state.run_job(&spec).unwrap();
+    let stats = state.cache().store().unwrap().stats();
+    assert!(stats.dead_bytes > 0, "refresh must strand the old records");
+
+    // Armed above the current ratio: still a no-op.
+    assert_eq!(state.set_auto_compact_ratio(Some(0.99)), None);
+    assert!(!state.maybe_auto_compact());
+    assert_eq!(
+        state.metrics().snapshot().counter("wal_autocompact_total"),
+        Some(0)
+    );
+
+    // Armed below it: the background check compacts and counts.
+    assert_eq!(state.set_auto_compact_ratio(Some(0.01)), Some(0.99));
+    assert!(state.maybe_auto_compact());
+    let stats = state.cache().store().unwrap().stats();
+    assert_eq!(stats.dead_bytes, 0, "compaction dropped the dead records");
+    assert_eq!(stats.compactions, 1);
+    assert_eq!(
+        state.metrics().snapshot().counter("wal_autocompact_total"),
+        Some(1)
+    );
+    // And it does not retrigger on a clean log.
+    assert!(!state.maybe_auto_compact());
 }

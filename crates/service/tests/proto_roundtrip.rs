@@ -77,7 +77,10 @@ fn request_variant(kind: usize, a: u64, b: u64, flag: bool) -> Request {
             id,
             limit: (b.is_multiple_of(2)).then_some(b as usize % 10_000),
         },
-        8 => Request::StoreCompact { id },
+        8 => Request::StoreCompact {
+            id,
+            auto_ratio: (b.is_multiple_of(3)).then_some((b % 100) as f64 / 100.0),
+        },
         _ => {
             let mut spec = JobSpec::layer(
                 a,
@@ -93,6 +96,7 @@ fn request_variant(kind: usize, a: u64, b: u64, flag: bool) -> Request {
                 keep_points: flag,
                 shard_chunk: (b.is_multiple_of(2)).then_some(b as usize % 128 + 1),
                 deadline_ms: (b.is_multiple_of(5)).then_some(b % 60_000 + 1),
+                tiling_range: (b.is_multiple_of(7)).then_some((b % 64, b % 64 + b % 100 + 1)),
             };
             Request::Submit(spec)
         }
@@ -157,6 +161,7 @@ fn response_variant(kind: usize, a: u64, b: u64, x: f64, flag: bool) -> Response
                     compactions: a % 4,
                     recovered_bytes: b % 128,
                 }),
+                backends: (a.is_multiple_of(3)).then_some(a as usize % 16 + 1),
             },
         },
         3 => Response::Shutdown { id },
